@@ -1,0 +1,112 @@
+package repro_test
+
+// One testing.B benchmark per paper table and figure: each runs the
+// corresponding experiment end to end (at reduced budgets so `go test
+// -bench=.` completes quickly) and reports the key quantity the paper's
+// table reports as a custom metric. For full-scale numbers, run
+// `go run ./cmd/tcsim -exp all` or raise the budgets via -benchtime.
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// benchParams keeps benchmark iterations fast while preserving the
+// qualitative results (rates are stable well below these budgets).
+func benchParams() repro.ExperimentParams {
+	return repro.ExperimentParams{AccuracyBudget: 300_000, TimingBudget: 200_000}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := repro.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(p)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9") }
+func BenchmarkFigures1to8(b *testing.B) {
+	runExperiment(b, "figures1-8")
+}
+func BenchmarkFigures12and13(b *testing.B) {
+	runExperiment(b, "figures12-13")
+}
+func BenchmarkAblationHistory(b *testing.B) { runExperiment(b, "ablation-history") }
+func BenchmarkBudgetTable(b *testing.B)     { runExperiment(b, "budget") }
+func BenchmarkCxx(b *testing.B)             { runExperiment(b, "cxx") }
+func BenchmarkFollowups(b *testing.B)       { runExperiment(b, "followups") }
+func BenchmarkSensitivity(b *testing.B)     { runExperiment(b, "sensitivity") }
+func BenchmarkRAS(b *testing.B)             { runExperiment(b, "ras") }
+func BenchmarkContextSwitch(b *testing.B)   { runExperiment(b, "context-switch") }
+func BenchmarkWrongPath(b *testing.B)       { runExperiment(b, "wrongpath") }
+func BenchmarkVerifyClaims(b *testing.B)    { runExperiment(b, "verify") }
+func BenchmarkCBTComparison(b *testing.B)   { runExperiment(b, "cbt") }
+
+// Micro-benchmarks for the core structures: cost per prediction, the
+// quantity that would gate a hardware-modelled fetch stage in software.
+
+func BenchmarkTaglessPredict(b *testing.B) {
+	tc := repro.NewTagless(repro.TaglessConfig{Entries: 512, Scheme: repro.SchemeGshare})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%4096) << 2
+		tc.Update(pc, uint64(i), pc+64)
+		tc.Predict(pc, uint64(i))
+	}
+}
+
+func BenchmarkTaggedPredict(b *testing.B) {
+	tc := repro.NewTagged(repro.TaggedConfig{
+		Entries: 256, Ways: 4, Scheme: repro.SchemeHistoryXor, HistBits: 9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i%4096) << 2
+		tc.Update(pc, uint64(i), pc+64)
+		tc.Predict(pc, uint64(i))
+	}
+}
+
+// BenchmarkAccuracySim measures accuracy-simulation throughput
+// (instructions per op reported as ns/instr via b.N scaling).
+func BenchmarkAccuracySim(b *testing.B) {
+	w, err := repro.WorkloadByName("perl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repro.RunAccuracy(w, 100_000, repro.BaselineConfig())
+	}
+}
+
+// BenchmarkTimingSim measures timing-simulation throughput.
+func BenchmarkTimingSim(b *testing.B) {
+	w, err := repro.WorkloadByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := repro.DefaultMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repro.RunTiming(w, 100_000, repro.BaselineConfig(), machine)
+	}
+}

@@ -1,0 +1,143 @@
+// Command tcpredict replays a saved trace file (produced by tracegen)
+// through a chosen predictor configuration and reports per-class accuracy.
+// It decouples trace generation from prediction, so external traces in the
+// repository's format can be evaluated too.
+//
+// Usage:
+//
+//	tracegen -w perl -n 1000000 -o perl.trace
+//	tcpredict -trace perl.trace -predictor tagless
+//	tcpredict -trace perl.trace -predictor tagged -ways 8 -hist 16
+//	tcpredict -trace perl.trace -predictor ittage -history path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (required)")
+		predictor = flag.String("predictor", "btb",
+			"predictor: btb | tagless | tagged | hybrid | cascaded | ittage")
+		histKind = flag.String("history", "pattern", "history: pattern | path")
+		histBits = flag.Int("hist", 9, "history length in bits")
+		entries  = flag.Int("entries", 512, "target cache entries")
+		ways     = flag.Int("ways", 4, "tagged cache associativity")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig()
+	if *predictor != "btb" {
+		newTC, err := buildTC(*predictor, *entries, *ways, *histBits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newHist, err := buildHistory(*histKind, *histBits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = cfg.WithTargetCache(newTC, newHist)
+	}
+
+	factory := fileFactory(*tracePath)
+	res := sim.RunAccuracy(factory, 1<<62, cfg)
+	if res.Instructions == 0 {
+		fmt.Fprintln(os.Stderr, "tcpredict: empty or unreadable trace")
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace:                 %s (%d instructions, %d branches)\n",
+		*tracePath, res.Instructions, res.Branches)
+	fmt.Printf("predictor:             %s\n", *predictor)
+	fmt.Printf("conditional mispred:   %7.3f%%  (%d)\n",
+		100*res.Conditional.MispredictRate(), res.Conditional.Predictions)
+	fmt.Printf("direct mispred:        %7.3f%%  (%d)\n",
+		100*res.Direct.MispredictRate(), res.Direct.Predictions)
+	fmt.Printf("return mispred:        %7.3f%%  (%d)\n",
+		100*res.Returns.MispredictRate(), res.Returns.Predictions)
+	fmt.Printf("indirect jump mispred: %7.3f%%  (%d)\n",
+		100*res.IndirectMispredictRate(), res.Indirect.Predictions)
+	fmt.Printf("overall mispred:       %7.3f%%\n", 100*res.Overall.MispredictRate())
+}
+
+// fileFactory opens the trace file afresh per pass, sniffing the format.
+func fileFactory(path string) trace.Factory {
+	return trace.FactoryFunc(func() trace.Source {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpredict:", err)
+			os.Exit(1)
+		}
+		// The process exits after one pass; the OS reclaims the handle.
+		src, err := trace.NewAutoReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcpredict:", err)
+			os.Exit(1)
+		}
+		return src
+	})
+}
+
+func buildTC(kind string, entries, ways, histBits int) (func() core.TargetCache, error) {
+	switch kind {
+	case "tagless":
+		cfg := core.TaglessConfig{Entries: entries, Scheme: core.SchemeGshare}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return func() core.TargetCache { return core.NewTagless(cfg) }, nil
+	case "tagged":
+		cfg := core.TaggedConfig{
+			Entries: entries, Ways: ways,
+			Scheme: core.SchemeHistoryXor, HistBits: histBits,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return func() core.TargetCache { return core.NewTagged(cfg) }, nil
+	case "hybrid":
+		return func() core.TargetCache { return core.DefaultChooser() }, nil
+	case "cascaded":
+		return func() core.TargetCache {
+			return core.NewCascaded(core.DefaultCascadedConfig())
+		}, nil
+	case "ittage":
+		return func() core.TargetCache {
+			return core.NewITTAGE(core.DefaultITTAGEConfig())
+		}, nil
+	default:
+		return nil, fmt.Errorf("tcpredict: unknown predictor %q", kind)
+	}
+}
+
+func buildHistory(kind string, bits int) (func() history.Provider, error) {
+	switch kind {
+	case "pattern":
+		return func() history.Provider { return history.NewPatternProvider(bits) }, nil
+	case "path":
+		cfg := history.PathConfig{
+			Bits: bits, BitsPerTarget: 1, AddrBitOffset: 2,
+			Filter: history.FilterIndJmp,
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return func() history.Provider { return history.NewPath(cfg) }, nil
+	default:
+		return nil, fmt.Errorf("tcpredict: unknown history %q", kind)
+	}
+}

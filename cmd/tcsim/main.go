@@ -1,0 +1,106 @@
+// Command tcsim runs the paper-reproduction experiments and prints their
+// tables.
+//
+// Usage:
+//
+//	tcsim -list
+//	tcsim -exp table4
+//	tcsim -exp all -n 5000000 -t 2000000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list), or \"all\"")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		nAcc   = flag.Int64("n", 0, "accuracy-simulation instruction budget (default 2M)")
+		nTime  = flag.Int64("t", 0, "timing-simulation instruction budget (default 1M)")
+		model  = flag.String("model", "fast", "timing model: fast | event")
+		format = flag.String("format", "text", "output format: text | json | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := bench.DefaultParams()
+	if *nAcc > 0 {
+		params.AccuracyBudget = *nAcc
+	}
+	if *nTime > 0 {
+		params.TimingBudget = *nTime
+	}
+	switch *model {
+	case "fast":
+	case "event":
+		params.EventModel = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown timing model %q (want fast or event)\n", *model)
+		os.Exit(2)
+	}
+
+	var toRun []*bench.Experiment
+	if *exp == "all" {
+		toRun = bench.All()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	}
+
+	type jsonExperiment struct {
+		ID     string         `json:"id"`
+		Title  string         `json:"title"`
+		Tables []*stats.Table `json:"tables"`
+	}
+	var jsonOut []jsonExperiment
+
+	for _, e := range toRun {
+		tables := e.Run(params)
+		switch *format {
+		case "json":
+			jsonOut = append(jsonOut, jsonExperiment{e.ID, e.Title, tables})
+		case "csv":
+			for _, table := range tables {
+				fmt.Printf("# %s: %s\n", e.ID, table.Title)
+				if err := table.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		case "text":
+			fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+			for _, table := range tables {
+				table.Render(os.Stdout)
+				fmt.Println()
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown output format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example reproduces the paper's headline comparison in a few lines: the
+// BTB versus a 512-entry gshare-indexed target cache on the interpreter
+// workload. Workloads and predictors are fully deterministic, so the
+// output is stable.
+func Example() {
+	w, err := repro.WorkloadByName("perl")
+	if err != nil {
+		panic(err)
+	}
+	base := repro.RunAccuracy(w, 500_000, repro.BaselineConfig())
+
+	cfg := repro.BaselineConfig().WithTargetCache(
+		func() repro.TargetCache {
+			return repro.NewTagless(repro.TaglessConfig{
+				Entries: 512, Scheme: repro.SchemeGshare,
+			})
+		},
+		func() repro.History { return repro.NewPatternHistory(9) },
+	)
+	tc := repro.RunAccuracy(w, 500_000, cfg)
+
+	fmt.Printf("BTB:          %.1f%%\n", 100*base.IndirectMispredictRate())
+	fmt.Printf("target cache: %.1f%%\n", 100*tc.IndirectMispredictRate())
+	fmt.Println("target cache wins:", tc.IndirectMispredictRate() < base.IndirectMispredictRate())
+	// Output:
+	// BTB:          77.1%
+	// target cache: 55.3%
+	// target cache wins: true
+}
+
+// ExampleRunTimelineDiagram shows the pipeline-diagram facility: the
+// timing of the first few instructions of a run.
+func ExampleRunTimelineDiagram() {
+	w, err := repro.WorkloadByName("compress")
+	if err != nil {
+		panic(err)
+	}
+	_, tl := repro.RunTimelineDiagram(w, 1_000, repro.BaselineConfig(),
+		repro.DefaultMachine(), 3)
+	fmt.Println(len(tl.Entries), "instructions captured")
+	// Output:
+	// 3 instructions captured
+}

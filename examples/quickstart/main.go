@@ -1,0 +1,45 @@
+// Quickstart: predict the indirect jumps of the perl-like interpreter
+// workload with a BTB alone and with a target cache, and print the
+// misprediction rates — the paper's headline comparison in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	w, err := repro.WorkloadByName("perl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const budget = 1_000_000
+
+	// Baseline: the paper's 1K-entry 4-way BTB predicts each indirect jump
+	// as its last computed target.
+	base := repro.RunAccuracy(w, budget, repro.BaselineConfig())
+
+	// Target cache: 512-entry tagless table, gshare-indexed with 9 bits of
+	// global pattern history.
+	cfg := repro.BaselineConfig().WithTargetCache(
+		func() repro.TargetCache {
+			return repro.NewTagless(repro.TaglessConfig{
+				Entries: 512,
+				Scheme:  repro.SchemeGshare,
+			})
+		},
+		func() repro.History { return repro.NewPatternHistory(9) },
+	)
+	tc := repro.RunAccuracy(w, budget, cfg)
+
+	fmt.Printf("workload: %s (%d indirect jumps in %d instructions)\n",
+		w.Name, base.Indirect.Predictions, base.Instructions)
+	fmt.Printf("BTB indirect misprediction rate:          %6.2f%%\n",
+		100*base.IndirectMispredictRate())
+	fmt.Printf("target cache indirect misprediction rate: %6.2f%%\n",
+		100*tc.IndirectMispredictRate())
+	fmt.Printf("relative reduction:                       %6.2f%%\n",
+		100*(1-tc.IndirectMispredictRate()/base.IndirectMispredictRate()))
+}

@@ -1,0 +1,195 @@
+// Package bench defines one reproducible experiment per table and figure in
+// the paper's evaluation (Tables 1-9, Figures 1-8 and 12-13), plus ablation
+// sweeps beyond the paper. Each experiment runs the relevant simulations
+// and renders plain-text tables with the same rows/series the paper
+// reports.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Params control experiment scale. The defaults run every experiment in
+// seconds; raise the budgets for tighter estimates.
+type Params struct {
+	// AccuracyBudget is the instruction budget per accuracy simulation.
+	AccuracyBudget int64
+	// TimingBudget is the instruction budget per timing simulation.
+	TimingBudget int64
+	// EventModel switches the timing experiments from the fast one-pass
+	// model to the event-driven validation model (slower, structurally
+	// explicit; the two agree on all reported orderings).
+	EventModel bool
+}
+
+// DefaultParams returns budgets that run the full suite quickly while
+// keeping rates stable.
+func DefaultParams() Params {
+	return Params{AccuracyBudget: 2_000_000, TimingBudget: 1_000_000}
+}
+
+// Experiment is one paper table or figure.
+type Experiment struct {
+	// ID is the command-line name, e.g. "table4" or "figures12-13".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes the experiment and returns rendered tables.
+	Run func(p Params) []*stats.Table
+}
+
+var experiments []*Experiment
+
+func registerExperiment(e *Experiment) *Experiment {
+	experiments = append(experiments, e)
+	return e
+}
+
+// experimentOrder is the canonical presentation order: the paper's tables
+// and figures first, then the extensions, with the claims verifier last.
+var experimentOrder = []string{
+	"table1", "figures1-8", "table2", "table3", "table4", "table5",
+	"table6", "table7", "table8", "table9", "figures12-13",
+	"ablation-history", "budget", "cbt", "context-switch", "cxx", "followups", "ras",
+	"sensitivity", "wrongpath", "verify",
+}
+
+// All returns every experiment in canonical (paper-first) order.
+func All() []*Experiment {
+	rank := make(map[string]int, len(experimentOrder))
+	for i, id := range experimentOrder {
+		rank[id] = i
+	}
+	out := make([]*Experiment, len(experiments))
+	copy(out, experiments)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iOK := rank[out[i].ID]
+		rj, jOK := rank[out[j].ID]
+		if iOK && jOK {
+			return ri < rj
+		}
+		if iOK != jOK {
+			return iOK // ranked experiments before unranked ones
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+// ---- shared helpers ----
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return stats.Percent(v) }
+
+// baselineCycles runs the BTB-only machine once per workload and caches
+// the result for the duration of one experiment.
+type timingContext struct {
+	p      Params
+	base   map[string]int64
+	cpuCfg cpu.Config
+}
+
+func newTimingContext(p Params) *timingContext {
+	return &timingContext{p: p, base: make(map[string]int64), cpuCfg: cpu.DefaultConfig()}
+}
+
+// run executes one timing simulation on the configured model.
+func (tc *timingContext) run(w *workload.Workload, cfg sim.Config) cpu.Result {
+	engine := sim.NewEngine(cfg)
+	if tc.p.EventModel {
+		return cpu.NewEvent(tc.cpuCfg, engine).Run(w.Open(), tc.p.TimingBudget)
+	}
+	return cpu.Run(w.Open(), tc.p.TimingBudget, engine, tc.cpuCfg)
+}
+
+func (tc *timingContext) baseline(w *workload.Workload) int64 {
+	if c, ok := tc.base[w.Name]; ok {
+		return c
+	}
+	res := tc.run(w, sim.DefaultConfig())
+	tc.base[w.Name] = res.Cycles
+	return res.Cycles
+}
+
+// reduction runs the machine with the given target-cache configuration and
+// returns the execution-time reduction versus the BTB-only baseline.
+func (tc *timingContext) reduction(w *workload.Workload, cfg sim.Config) float64 {
+	base := tc.baseline(w)
+	res := tc.run(w, cfg)
+	return stats.Reduction(float64(base), float64(res.Cycles))
+}
+
+// tcConfig builds a sim.Config with the given target cache and history
+// constructors.
+func tcConfig(newTC func() core.TargetCache, newHist func() history.Provider) sim.Config {
+	return sim.DefaultConfig().WithTargetCache(newTC, newHist)
+}
+
+// taglessGshare is the tagless target cache used throughout Tables 5-6.
+func taglessGshare(entries int) func() core.TargetCache {
+	return func() core.TargetCache {
+		return core.NewTagless(core.TaglessConfig{Entries: entries, Scheme: core.SchemeGshare})
+	}
+}
+
+// pattern returns a pattern-history constructor.
+func pattern(bits int) func() history.Provider {
+	return func() history.Provider { return history.NewPatternProvider(bits) }
+}
+
+// path returns a path-history constructor.
+func path(cfg history.PathConfig) func() history.Provider {
+	return func() history.Provider { return history.NewPath(cfg) }
+}
+
+// pathSchemes are the five path-history variants of Tables 5, 6 and 8,
+// in the paper's column order.
+func pathSchemes(bits, bitsPerTarget, addrBitOffset int) []struct {
+	Name string
+	Cfg  history.PathConfig
+} {
+	base := history.PathConfig{
+		Bits:          bits,
+		BitsPerTarget: bitsPerTarget,
+		AddrBitOffset: addrBitOffset,
+	}
+	mk := func(per bool, f history.PathFilter) history.PathConfig {
+		c := base
+		c.PerAddress = per
+		c.Filter = f
+		return c
+	}
+	return []struct {
+		Name string
+		Cfg  history.PathConfig
+	}{
+		{"per-addr", mk(true, 0)},
+		{"branch", mk(false, history.FilterBranch)},
+		{"control", mk(false, history.FilterControl)},
+		{"ind jmp", mk(false, history.FilterIndJmp)},
+		{"call/ret", mk(false, history.FilterCallRet)},
+	}
+}

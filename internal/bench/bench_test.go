@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func tinyParams() Params {
+	return Params{AccuracyBudget: 60_000, TimingBudget: 40_000}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	all := All()
+	if len(all) < 11 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "table9", "figures1-8", "figures12-13",
+	} {
+		if _, err := ByID(want); err != nil {
+			t.Errorf("missing paper experiment %q: %v", want, err)
+		}
+	}
+	if _, err := ByID("nonesuch"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRuns executes each experiment at tiny budgets and
+// checks it renders at least one non-empty table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	p := tinyParams()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(p)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				out := tab.String()
+				if len(tab.Rows) == 0 {
+					t.Fatalf("empty table:\n%s", out)
+				}
+				if !strings.Contains(out, "%") && e.ID != "table3" {
+					t.Fatalf("no percentages rendered:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+// TestTable1Shape checks Table 1 covers all eight workloads.
+func TestTable1Shape(t *testing.T) {
+	e, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(tinyParams())
+	if len(tables) != 1 || len(tables[0].Rows) != 8 {
+		t.Fatalf("table1 should have 8 rows, got %d", len(tables[0].Rows))
+	}
+	names := []string{"compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"}
+	for i, row := range tables[0].Rows {
+		if row[0] != names[i] {
+			t.Errorf("row %d benchmark %q, want %q", i, row[0], names[i])
+		}
+	}
+}
+
+// TestTable4QualitativeOrdering asserts the paper's Table 4 findings hold
+// at moderate budget: gshare is the best tagless scheme for both
+// benchmarks.
+func TestTable4QualitativeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e, err := ByID("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(Params{AccuracyBudget: 500_000, TimingBudget: 100_000})
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("table4 rows = %d", len(rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscanf(s, &v); err != nil {
+			t.Fatalf("bad cell %q: %v", s, err)
+		}
+		return v
+	}
+	gshare := rows[3]
+	for _, col := range []int{1, 2} {
+		g := parse(gshare[col])
+		for r := 0; r < 3; r++ {
+			if parse(rows[r][col])+0.5 < g {
+				t.Errorf("scheme %s (%s) beats gshare (%s) in column %d",
+					rows[r][0], rows[r][col], gshare[col], col)
+			}
+		}
+	}
+}
+
+// fmtSscanf parses "12.34%" into a float.
+func fmtSscanf(s string, v *float64) (int, error) {
+	return fmt.Sscanf(strings.TrimSuffix(s, "%"), "%f", v)
+}

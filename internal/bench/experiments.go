@@ -1,0 +1,444 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cbt"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Table 1: per-benchmark counts and the baseline BTB's indirect-jump
+// misprediction rate.
+var table1 = registerExperiment(&Experiment{
+	ID:    "table1",
+	Title: "Table 1: benchmark characteristics and BTB indirect-jump misprediction rates",
+	Run: func(p Params) []*stats.Table {
+		t := stats.NewTable(
+			"Table 1: 1K-entry 4-way BTB, default update strategy",
+			"Benchmark", "#Instructions", "#Branches", "#Ind Jumps",
+			"Static Ind", "Ind. Jump Mispred. Rate")
+		for _, w := range workload.All() {
+			res := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
+			st := trace.NewStats().Consume(trace.NewLimit(w.Open(), p.AccuracyBudget))
+			t.AddRow(w.Name,
+				fmt.Sprintf("%d", res.Instructions),
+				fmt.Sprintf("%d", res.Branches),
+				fmt.Sprintf("%d", res.Indirect.Predictions),
+				fmt.Sprintf("%d", st.StaticIndJumps()),
+				pct(res.IndirectMispredictRate()))
+		}
+		t.AddNote("paper: gcc 66.0%% and perl 76.4%% — the two benchmarks with significant indirect jumps")
+		return []*stats.Table{t}
+	},
+})
+
+// Figures 1-8: number of distinct dynamic targets per static indirect jump.
+var figures1to8 = registerExperiment(&Experiment{
+	ID:    "figures1-8",
+	Title: "Figures 1-8: number of targets per indirect jump",
+	Run: func(p Params) []*stats.Table {
+		var out []*stats.Table
+		for i, w := range workload.All() {
+			st := trace.NewStats().Consume(trace.NewLimit(w.Open(), p.AccuracyBudget))
+			static := st.TargetHistogram(false)
+			dynamic := st.TargetHistogram(true)
+			var nStatic, nDynamic int64
+			for b := 1; b <= trace.TargetHistogramCap; b++ {
+				nStatic += static[b]
+				nDynamic += dynamic[b]
+			}
+			t := stats.NewTable(
+				fmt.Sprintf("Figure %d: targets per indirect jump (%s)", i+1, w.Name),
+				"#Targets", "% of static jumps", "% of dynamic jumps")
+			bar := &stats.BarChart{
+				Title: fmt.Sprintf("Figure %d (%s): %% of dynamic indirect jumps by target count", i+1, w.Name),
+			}
+			for b := 1; b <= trace.TargetHistogramCap; b++ {
+				if static[b] == 0 && dynamic[b] == 0 {
+					continue
+				}
+				label := fmt.Sprintf("%d", b)
+				if b == trace.TargetHistogramCap {
+					label = fmt.Sprintf(">=%d", b)
+				}
+				dynFrac := float64(dynamic[b]) / float64(max64(nDynamic, 1))
+				t.AddRow(label,
+					pct(float64(static[b])/float64(max64(nStatic, 1))),
+					pct(dynFrac))
+				bar.Add(label, dynFrac)
+			}
+			t.Trailer = bar.String()
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Table 2: the Calder & Grunwald 2-bit BTB update strategy versus the
+// default strategy.
+var table2 = registerExperiment(&Experiment{
+	ID:    "table2",
+	Title: "Table 2: performance of the 2-bit BTB update strategy",
+	Run: func(p Params) []*stats.Table {
+		t := stats.NewTable(
+			"Table 2: indirect-jump misprediction rate by BTB update strategy",
+			"Benchmark", "BTB", "2-bit BTB")
+		for _, w := range workload.All() {
+			def := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
+			cfg := sim.DefaultConfig()
+			cfg.BTB.Strategy = btb.StrategyTwoBit
+			two := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
+			t.AddRow(w.Name,
+				pct(def.IndirectMispredictRate()),
+				pct(two.IndirectMispredictRate()))
+		}
+		t.AddNote("paper: the 2-bit strategy helps compress, gcc, ijpeg and perl but hurts m88ksim, vortex and xlisp")
+		return []*stats.Table{t}
+	},
+})
+
+// Table 3: instruction classes and latencies (machine configuration echo).
+var table3 = registerExperiment(&Experiment{
+	ID:    "table3",
+	Title: "Table 3: instruction classes and latencies",
+	Run: func(p Params) []*stats.Table {
+		cfg := cpu.DefaultConfig()
+		t := stats.NewTable("Table 3: instruction classes and latencies",
+			"Instruction Class", "Exec. Lat.")
+		for _, row := range cfg.LatencyTable() {
+			t.AddRow(row[0], row[1])
+		}
+		t.AddNote("machine: %d-wide issue, %d-instruction window, %dKB %d-way data cache, %d-cycle memory latency",
+			cfg.Width, cfg.Window, cfg.DCacheBytes/1024, cfg.DCacheWays, cfg.MemLatency)
+		return []*stats.Table{t}
+	},
+})
+
+// Table 4: tagless target caches indexed with pattern history.
+var table4 = registerExperiment(&Experiment{
+	ID:    "table4",
+	Title: "Table 4: pattern-history tagless target caches (512 entries)",
+	Run: func(p Params) []*stats.Table {
+		configs := []core.TaglessConfig{
+			{Entries: 512, Scheme: core.SchemeGAg},
+			{Entries: 512, Scheme: core.SchemeGAs, HistBits: 8, AddrBits: 1},
+			{Entries: 512, Scheme: core.SchemeGAs, HistBits: 7, AddrBits: 2},
+			{Entries: 512, Scheme: core.SchemeGshare},
+		}
+		t := stats.NewTable(
+			"Table 4: indirect-jump misprediction rate, 512-entry tagless target caches",
+			"Scheme", "perl", "gcc")
+		for _, tcCfg := range configs {
+			tcCfg := tcCfg
+			row := []string{tcCfg.Name()}
+			for _, w := range workload.PerlGcc() {
+				histBits := 9
+				if tcCfg.Scheme == core.SchemeGAs {
+					histBits = tcCfg.HistBits
+				}
+				cfg := tcConfig(
+					func() core.TargetCache { return core.NewTagless(tcCfg) },
+					pattern(histBits))
+				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
+				row = append(row, pct(res.IndirectMispredictRate()))
+			}
+			// The table's column order is perl, gcc but PerlGcc returns
+			// perl first already.
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: gshare wins; a 512-entry target cache achieves 30.4%% (gcc) and 30.9%% (perl)")
+		return []*stats.Table{t}
+	},
+})
+
+// Table 5: which target-address bits feed the path history register.
+var table5 = registerExperiment(&Experiment{
+	ID:    "table5",
+	Title: "Table 5: path history — address bit selection (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 5 (%s): reduction in execution time by path-history address bit", w.Name),
+				"addr bit", "Per-addr", "branch", "control", "ind jmp", "call/ret")
+			for _, offset := range []int{2, 3, 4, 5, 6, 8, 12} {
+				row := []string{fmt.Sprintf("%d", offset)}
+				for _, s := range pathSchemes(9, 1, offset) {
+					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
+					row = append(row, pct(tctx.reduction(w, cfg)))
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper: the lower address bits provide more information than the higher bits")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Table 6: how many bits of each target enter the path history register.
+var table6 = registerExperiment(&Experiment{
+	ID:    "table6",
+	Title: "Table 6: path history — address bits per branch (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 6 (%s): reduction in execution time by bits recorded per target", w.Name),
+				"bits per addr", "Per-addr", "branch", "control", "ind jmp", "call/ret")
+			for _, bits := range []int{1, 2, 3} {
+				row := []string{fmt.Sprintf("%d", bits)}
+				for _, s := range pathSchemes(9, bits, 2) {
+					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
+					row = append(row, pct(tctx.reduction(w, cfg)))
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper: with nine history bits, recording more bits per target generally hurts (fewer branches remembered)")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Table 7: tagged target cache indexing schemes across associativity.
+var table7 = registerExperiment(&Experiment{
+	ID:    "table7",
+	Title: "Table 7: tagged target cache indexing schemes (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		schemes := []core.TaggedScheme{
+			core.SchemeAddress, core.SchemeHistoryConcat, core.SchemeHistoryXor,
+		}
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 7 (%s): 256-entry tagged target cache, 9 pattern history bits", w.Name),
+				"set-assoc.", "Addr", "History Conc", "History Xor")
+			for _, ways := range []int{1, 2, 4, 8, 16, 32, 64} {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, scheme := range schemes {
+					scheme := scheme
+					ways := ways
+					cfg := tcConfig(func() core.TargetCache {
+						return core.NewTagged(core.TaggedConfig{
+							Entries: 256, Ways: ways, Scheme: scheme, HistBits: 9,
+						})
+					}, pattern(9))
+					row = append(row, pct(tctx.reduction(w, cfg)))
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper: Address indexing needs high associativity (conflict misses); History Xor does not")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Table 8: tagged target caches indexed with path history.
+var table8 = registerExperiment(&Experiment{
+	ID:    "table8",
+	Title: "Table 8: tagged target caches with 9 path history bits (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 8 (%s): 256-entry tagged target cache (History Xor), 9 path history bits, 1 bit per target", w.Name),
+				"set-assoc.", "Per-addr", "branch", "control", "ind jmp", "call/ret")
+			for _, ways := range []int{1, 2, 4, 8, 16} {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, s := range pathSchemes(9, 1, 2) {
+					s := s
+					ways := ways
+					cfg := tcConfig(func() core.TargetCache {
+						return core.NewTagged(core.TaggedConfig{
+							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
+						})
+					}, path(s.Cfg))
+					row = append(row, pct(tctx.reduction(w, cfg)))
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper: pattern history wins for gcc, global path history for perl (perl is an interpreter)")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Table 9: pattern history length for tagged caches (9 vs 16 bits).
+var table9 = registerExperiment(&Experiment{
+	ID:    "table9",
+	Title: "Table 9: tagged target cache, 9 vs 16 pattern history bits (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 9 (%s): 256-entry tagged target cache (History Xor)", w.Name),
+				"set-assoc.", "9 bits", "16 bits")
+			for _, ways := range []int{1, 2, 4, 8, 16, 32} {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, bits := range []int{9, 16} {
+					bits := bits
+					ways := ways
+					cfg := tcConfig(func() core.TargetCache {
+						return core.NewTagged(core.TaggedConfig{
+							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: bits,
+						})
+					}, pattern(bits))
+					row = append(row, pct(tctx.reduction(w, cfg)))
+				}
+				t.AddRow(row...)
+			}
+			t.AddNote("paper: more history bits help high-associativity caches and hurt low-associativity ones")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Figures 12-13: tagless (512 entries) versus tagged (256 entries) across
+// set-associativity.
+var figures12and13 = registerExperiment(&Experiment{
+	ID:    "figures12-13",
+	Title: "Figures 12-13: tagged vs tagless target cache (execution-time reduction)",
+	Run: func(p Params) []*stats.Table {
+		tctx := newTimingContext(p)
+		var out []*stats.Table
+		for fi, w := range workload.PerlGcc() {
+			taglessCfg := tcConfig(taglessGshare(512), pattern(9))
+			taglessRed := tctx.reduction(w, taglessCfg)
+			t := stats.NewTable(
+				fmt.Sprintf("Figure %d (%s): execution-time reduction vs set-associativity", 12+fi, w.Name),
+				"set-assoc.", "w/o tags (512-entry)", "w/ tags (256-entry)")
+			var xs []string
+			var taglessYs, taggedYs []float64
+			for _, ways := range []int{1, 2, 4, 8, 16} {
+				ways := ways
+				cfg := tcConfig(func() core.TargetCache {
+					return core.NewTagged(core.TaggedConfig{
+						Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
+					})
+				}, pattern(9))
+				taggedRed := tctx.reduction(w, cfg)
+				t.AddRow(fmt.Sprintf("%d", ways),
+					pct(taglessRed),
+					pct(taggedRed))
+				xs = append(xs, fmt.Sprintf("%d", ways))
+				taglessYs = append(taglessYs, 100*taglessRed)
+				taggedYs = append(taggedYs, 100*taggedRed)
+			}
+			t.AddNote("paper: tagless beats low-associativity tagged; tagged with >=4 ways beats tagless")
+			plot := &stats.Plot{
+				Title:  fmt.Sprintf("Figure %d (%s): %% execution-time reduction", 12+fi, w.Name),
+				XLabel: "set-associativity",
+			}
+			plot.AddSeries("w/o tags (512-entry)", xs, taglessYs)
+			plot.AddSeries("w/ tags (256-entry)", xs, taggedYs)
+			t.Trailer = plot.String()
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// Ablation beyond the paper: global pattern history length sweep on the
+// tagless gshare cache (the design dimension Table 9 probes for tagged
+// caches).
+var ablationHistLen = registerExperiment(&Experiment{
+	ID:    "ablation-history",
+	Title: "Ablation: tagless gshare history length sweep (misprediction rate)",
+	Run: func(p Params) []*stats.Table {
+		t := stats.NewTable(
+			"Ablation: 512-entry tagless gshare, pattern history length",
+			"history bits", "perl", "gcc")
+		for _, bits := range []int{3, 6, 9, 12, 16} {
+			row := []string{fmt.Sprintf("%d", bits)}
+			for _, w := range workload.PerlGcc() {
+				cfg := tcConfig(taglessGshare(512), pattern(bits))
+				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
+				row = append(row, pct(res.IndirectMispredictRate()))
+			}
+			t.AddRow(row...)
+		}
+		return []*stats.Table{t}
+	},
+})
+
+// Ablation beyond the paper: predictor hardware budget accounting, the
+// paper's cost model (Section 4.2).
+var budgetTable = registerExperiment(&Experiment{
+	ID:    "budget",
+	Title: "Cost model: predictor hardware budgets (Section 4.2 accounting)",
+	Run: func(p Params) []*stats.Table {
+		base := btb.New(btb.DefaultConfig())
+		t := stats.NewTable("Predictor storage budgets", "Structure", "bits", "vs BTB")
+		t.AddRow("1K-entry 4-way BTB", fmt.Sprintf("%d", base.CostBits()), "100.0%")
+		tagless := core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+		t.AddRow("512-entry tagless target cache",
+			fmt.Sprintf("%d", tagless.CostBits()),
+			pct(float64(tagless.CostBits())/float64(base.CostBits())))
+		for _, ways := range []int{1, 4, 16} {
+			tagged := core.NewTagged(core.TaggedConfig{
+				Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
+			})
+			t.AddRow(fmt.Sprintf("256-entry tagged target cache (%d-way)", ways),
+				fmt.Sprintf("%d", tagged.CostBits()),
+				pct(float64(tagged.CostBits())/float64(base.CostBits())))
+		}
+		t.AddNote("paper: the 512-entry tagless cache increases the predictor budget by ~18%%")
+		return []*stats.Table{t}
+	},
+})
+
+// Comparison beyond the paper's tables: the case block table (Section 2
+// related work), in oracle and realistic (stale-value) modes, versus BTB
+// and target cache.
+var cbtComparison = registerExperiment(&Experiment{
+	ID:    "cbt",
+	Title: "Related work: case block table vs BTB vs target cache (misprediction rate)",
+	Run: func(p Params) []*stats.Table {
+		t := stats.NewTable(
+			"Case block table comparison (indirect-jump misprediction rate)",
+			"Benchmark", "BTB", "CBT (stale value)", "CBT (oracle)", "target cache (gshare)")
+		for _, w := range workload.All() {
+			base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
+			stale := runCBT(w, p.AccuracyBudget, false)
+			oracle := runCBT(w, p.AccuracyBudget, true)
+			tc := sim.RunAccuracy(w, p.AccuracyBudget,
+				tcConfig(taglessGshare(512), pattern(9)))
+			t.AddRow(w.Name,
+				pct(base.IndirectMispredictRate()),
+				pct(stale),
+				pct(oracle),
+				pct(tc.IndirectMispredictRate()))
+		}
+		t.AddNote("paper: the oracle CBT needs the dispatch value at fetch, which an out-of-order machine rarely has")
+		return []*stats.Table{t}
+	},
+})
+
+// runCBT returns the CBT's indirect-jump misprediction rate on w.
+func runCBT(w *workload.Workload, budget int64, oracle bool) float64 {
+	cfg := cbt.DefaultConfig()
+	cfg.Oracle = oracle
+	return sim.RunCBT(w, budget, cfg).MispredictRate()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The paper's future work, made concrete: "for object oriented programs
+// where more indirect branches may be executed, tagged caches should
+// provide even greater performance benefits. In the future, we will
+// evaluate the performance benefit of target caches for C++ benchmarks."
+var cxxExperiment = registerExperiment(&Experiment{
+	ID:    "cxx",
+	Title: "Future work: target caches on a C++-style virtual-call workload",
+	Run: func(p Params) []*stats.Table {
+		w, err := workload.ByName("cxx")
+		if err != nil {
+			panic(err)
+		}
+		tctx := newTimingContext(p)
+		base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
+
+		t := stats.NewTable(
+			"C++-style workload (virtual calls through vtables): misprediction and execution time",
+			"Predictor", "ind mispred", "time saved")
+		t.AddRow("BTB (1K, 4-way)", pct(base.IndirectMispredictRate()), "-")
+		add := func(name string, cfg sim.Config) {
+			acc := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
+			t.AddRow(name, pct(acc.IndirectMispredictRate()),
+				pct(tctx.reduction(w, cfg)))
+		}
+		// Virtual-call targets correlate with the *path* of recent call
+		// targets (composite object structure), so all variants here use
+		// ind-jmp path history; tagged caches can store history beyond
+		// the index width in their tags — the paper's conjecture.
+		mkPath := func(bits, bitsPerTarget int) func() history.Provider {
+			return path(history.PathConfig{
+				Bits: bits, BitsPerTarget: bitsPerTarget, AddrBitOffset: 2,
+				Filter: history.FilterIndJmp,
+			})
+		}
+		mkTagged := func(ways, histBits int) func() core.TargetCache {
+			return func() core.TargetCache {
+				return core.NewTagged(core.TaggedConfig{
+					Entries: 256, Ways: ways,
+					Scheme: core.SchemeHistoryXor, HistBits: histBits,
+				})
+			}
+		}
+		add("tagless gshare (512), path 9x1", tcConfig(taglessGshare(512), mkPath(9, 1)))
+		add("tagless gshare (512), path 9x3", tcConfig(taglessGshare(512), mkPath(9, 3)))
+		add("tagged xor (256, 4-way), path 9x3", tcConfig(mkTagged(4, 9), mkPath(9, 3)))
+		add("tagged xor (256, 4-way), path 16x4", tcConfig(mkTagged(4, 16), mkPath(16, 4)))
+		add("tagged xor (256, 16-way), path 24x2", tcConfig(mkTagged(16, 24), mkPath(24, 2)))
+		add("ittage, path 64x4", tcConfig(func() core.TargetCache {
+			return core.NewITTAGE(core.DefaultITTAGEConfig())
+		}, mkPath(64, 4)))
+		t.AddNote("paper conclusion: for OO programs, tagged caches should provide even greater benefits")
+		t.AddNote("tags hold history beyond the index width: the 16-way/24-bit tagged cache and ITTAGE exploit it")
+		return []*stats.Table{t}
+	},
+})
+
+// Follow-up designs that grew out of this paper: the cascaded predictor
+// (Driesen & Hölzle 1998) and an ITTAGE-style predictor (Seznec 2011),
+// compared on all nine workloads against the paper's structures.
+var followupsExperiment = registerExperiment(&Experiment{
+	ID:    "followups",
+	Title: "Lineage: target cache vs cascaded predictor vs ITTAGE-style (misprediction rate)",
+	Run: func(p Params) []*stats.Table {
+		t := stats.NewTable(
+			"Indirect-jump misprediction rate (all with 1K 4-way BTB front end)",
+			"Benchmark", "BTB only", "target cache", "hybrid", "cascaded", "ittage")
+		tcCfg := tcConfig(func() core.TargetCache {
+			return core.NewTagged(core.TaggedConfig{
+				Entries: 256, Ways: 4, Scheme: core.SchemeHistoryXor, HistBits: 9,
+			})
+		}, pattern(9))
+		hybridCfg := tcConfig(func() core.TargetCache {
+			return core.DefaultChooser()
+		}, pattern(9))
+		cascCfg := tcConfig(func() core.TargetCache {
+			return core.NewCascaded(core.DefaultCascadedConfig())
+		}, pattern(9))
+		ittageCfg := tcConfig(func() core.TargetCache {
+			return core.NewITTAGE(core.DefaultITTAGEConfig())
+		}, path(history.PathConfig{
+			Bits: 64, BitsPerTarget: 1, AddrBitOffset: 2,
+			Filter: history.FilterControl,
+		}))
+
+		ws := workload.All()
+		ws = append(ws, workload.Extras()...)
+		for _, w := range ws {
+			base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
+			tc := sim.RunAccuracy(w, p.AccuracyBudget, tcCfg)
+			hyb := sim.RunAccuracy(w, p.AccuracyBudget, hybridCfg)
+			casc := sim.RunAccuracy(w, p.AccuracyBudget, cascCfg)
+			itt := sim.RunAccuracy(w, p.AccuracyBudget, ittageCfg)
+			t.AddRow(w.Name,
+				pct(base.IndirectMispredictRate()),
+				pct(tc.IndirectMispredictRate()),
+				pct(hyb.IndirectMispredictRate()),
+				pct(casc.IndirectMispredictRate()),
+				pct(itt.IndirectMispredictRate()))
+		}
+		t.AddNote("hybrid = last-target + tagged cache with a 2-bit meta chooser; cascaded = filtered 2-stage (Driesen & Hölzle); ittage = geometric-history tables (Seznec)")
+		return []*stats.Table{t}
+	},
+})
+
+// Wrong-path execution: the event-driven model can fetch and execute real
+// speculative instructions after each misprediction (vm-backed workloads
+// expose checkpoint/rollback), so mispredicted indirect jumps also pollute
+// the data cache. This experiment measures whether the paper's headline —
+// the target cache's execution-time reduction — survives that added
+// fidelity.
+var wrongPathExperiment = registerExperiment(&Experiment{
+	ID:    "wrongpath",
+	Title: "Ablation: wrong-path fetch modeling (event-driven model)",
+	Run: func(p Params) []*stats.Table {
+		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		t := stats.NewTable(
+			"Execution-time reduction with and without wrong-path fetch (event model)",
+			"Benchmark", "reduction (no wrong path)", "reduction (wrong path)",
+			"extra dcache accesses")
+		for _, w := range workload.PerlGcc() {
+			run := func(cfg sim.Config, wrongPath bool) cpu.Result {
+				mc := cpu.DefaultConfig()
+				mc.ModelWrongPath = wrongPath
+				return cpu.NewEvent(mc, sim.NewEngine(cfg)).Run(w.Open(), p.TimingBudget)
+			}
+			baseClean := run(sim.DefaultConfig(), false)
+			tcClean := run(tcCfg, false)
+			baseWP := run(sim.DefaultConfig(), true)
+			tcWP := run(tcCfg, true)
+			t.AddRow(w.Name,
+				pct(stats.Reduction(float64(baseClean.Cycles), float64(tcClean.Cycles))),
+				pct(stats.Reduction(float64(baseWP.Cycles), float64(tcWP.Cycles))),
+				pct(float64(baseWP.DCacheAccesses)/float64(baseClean.DCacheAccesses)-1))
+		}
+		t.AddNote("wrong-path loads use the speculative machine's real addresses (VM checkpoint/rollback)")
+		return []*stats.Table{t}
+	},
+})
+
+// Context switches wipe predictor state; this ablation resets the whole
+// front end every N instructions and reports the indirect misprediction
+// rate, quantifying how much of the target cache's advantage survives
+// frequent switching (a standard objection to history-based predictors).
+var contextSwitchExperiment = registerExperiment(&Experiment{
+	ID:    "context-switch",
+	Title: "Ablation: predictor flush interval vs indirect misprediction rate",
+	Run: func(p Params) []*stats.Table {
+		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Context switches (%s): flush interval vs indirect misprediction", w.Name),
+				"flush every", "BTB", "target cache")
+			for _, interval := range []int64{0, 1_000_000, 100_000, 10_000, 1_000} {
+				label := "never"
+				if interval > 0 {
+					label = fmt.Sprintf("%d instr", interval)
+				}
+				base := sim.RunAccuracyWithFlushes(w, p.AccuracyBudget, interval, sim.DefaultConfig())
+				tc := sim.RunAccuracyWithFlushes(w, p.AccuracyBudget, interval, tcCfg)
+				t.AddRow(label,
+					pct(base.IndirectMispredictRate()),
+					pct(tc.IndirectMispredictRate()))
+			}
+			t.AddNote("a history-indexed cache must re-learn one entry per (jump, history) pair after each flush")
+			out = append(out, t)
+		}
+		return out
+	},
+})
+
+// The paper handles returns with a return address stack rather than the
+// target cache ("they are effectively handled with the return address
+// stack"); this ablation quantifies that choice: how deep must the RAS be
+// before return mispredictions vanish on recursion-heavy workloads?
+var rasExperiment = registerExperiment(&Experiment{
+	ID:    "ras",
+	Title: "Ablation: return address stack depth vs return misprediction rate",
+	Run: func(p Params) []*stats.Table {
+		names := []string{"xlisp", "gosearch", "perl"}
+		t := stats.NewTable(
+			"Return misprediction rate by RAS depth",
+			append([]string{"RAS depth"}, names...)...)
+		for _, depth := range []int{1, 2, 4, 8, 16, 32, 64} {
+			row := []string{fmt.Sprintf("%d", depth)}
+			for _, name := range names {
+				w, err := workload.ByName(name)
+				if err != nil {
+					panic(err)
+				}
+				cfg := sim.DefaultConfig()
+				cfg.RASDepth = depth
+				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
+				row = append(row, pct(res.Returns.MispredictRate()))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("the paper's decision to exclude returns from the target cache presumes a deep-enough RAS")
+		return []*stats.Table{t}
+	},
+})
+
+// Sensitivity of the target cache's benefit to machine aggressiveness —
+// the paper's introduction in experiment form: "as the issue rate and
+// pipeline depth of high performance superscalar processors increase, the
+// amount of speculative work issued also increases", so better indirect
+// prediction matters more on wider, deeper machines.
+var sensitivityExperiment = registerExperiment(&Experiment{
+	ID:    "sensitivity",
+	Title: "Ablation: execution-time reduction vs machine aggressiveness",
+	Run: func(p Params) []*stats.Table {
+		machines := []struct {
+			name   string
+			mutate func(*cpu.Config)
+		}{
+			{"2-wide, 32-window, depth 3", func(c *cpu.Config) {
+				c.Width, c.Window, c.FrontEndDepth = 2, 32, 3
+			}},
+			{"4-wide, 64-window, depth 4", func(c *cpu.Config) {
+				c.Width, c.Window, c.FrontEndDepth = 4, 64, 4
+			}},
+			{"8-wide, 128-window, depth 5 (paper)", func(c *cpu.Config) {}},
+			{"16-wide, 256-window, depth 8", func(c *cpu.Config) {
+				c.Width, c.Window, c.FrontEndDepth = 16, 256, 8
+			}},
+			{"16-wide, 256-window, depth 14", func(c *cpu.Config) {
+				c.Width, c.Window, c.FrontEndDepth = 16, 256, 14
+			}},
+		}
+		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		var out []*stats.Table
+		for _, w := range workload.PerlGcc() {
+			t := stats.NewTable(
+				fmt.Sprintf("Sensitivity (%s): target-cache benefit by machine", w.Name),
+				"machine", "base IPC", "tc IPC", "time saved", "mispredict stall share")
+			for _, m := range machines {
+				cfg := cpu.DefaultConfig()
+				m.mutate(&cfg)
+				base := cpu.Run(w.Open(), p.TimingBudget, sim.NewEngine(sim.DefaultConfig()), cfg)
+				tc := cpu.Run(w.Open(), p.TimingBudget, sim.NewEngine(tcCfg), cfg)
+				t.AddRow(m.name,
+					fmt.Sprintf("%.2f", base.IPC()),
+					fmt.Sprintf("%.2f", tc.IPC()),
+					pct(stats.Reduction(float64(base.Cycles), float64(tc.Cycles))),
+					pct(float64(base.MispredictStallCycles)/float64(base.Cycles)))
+			}
+			t.AddNote("paper intro: wider/deeper machines lose more to indirect-jump mispredictions")
+			out = append(out, t)
+		}
+		return out
+	},
+})

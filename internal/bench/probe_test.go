@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// probe helper for interactive calibration; kept as a skipped-by-default
+// diagnostic (run with -run TestHistoryProbe -v).
+func TestHistoryProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	const n = 500_000
+	itt := func() core.TargetCache { return core.NewITTAGE(core.DefaultITTAGEConfig()) }
+	mk := func(f history.PathFilter) func() history.Provider {
+		return path(history.PathConfig{Bits: 64, BitsPerTarget: 1, AddrBitOffset: 2, Filter: f})
+	}
+	ws := workload.All()
+	ws = append(ws, workload.Extras()...)
+	for _, w := range ws {
+		a := sim.RunAccuracy(w, n, tcConfig(itt, mk(history.FilterIndJmp)))
+		b := sim.RunAccuracy(w, n, tcConfig(itt, mk(history.FilterControl)))
+		c := sim.RunAccuracy(w, n, tcConfig(itt, pattern(64)))
+		t.Logf("%-9s ittage: indjmp %6.2f%% control %6.2f%% pattern %6.2f%%",
+			w.Name, 100*a.IndirectMispredictRate(), 100*b.IndirectMispredictRate(),
+			100*c.IndirectMispredictRate())
+	}
+}

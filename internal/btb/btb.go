@@ -1,0 +1,144 @@
+// Package btb implements the branch target buffer the paper uses as its
+// baseline target predictor, including the default target-update strategy
+// and Calder & Grunwald's 2-bit strategy (Section 2, Tables 1 and 2), plus
+// the return address stack used for return instructions.
+package btb
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Strategy selects the BTB's target-update policy for indirect jumps.
+type Strategy uint8
+
+const (
+	// StrategyDefault updates the stored target on every indirect-jump
+	// misprediction, so the BTB always predicts the last computed target.
+	StrategyDefault Strategy = iota
+	// StrategyTwoBit (Calder & Grunwald) does not replace a BTB entry's
+	// target address until two consecutive predictions with that target
+	// have been incorrect.
+	StrategyTwoBit
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDefault:
+		return "default"
+	case StrategyTwoBit:
+		return "2-bit"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Config describes a BTB. The paper's baseline is 256 sets, 4 ways
+// (a 1K-entry 4-way set-associative BTB).
+type Config struct {
+	Sets     int
+	Ways     int
+	Strategy Strategy
+}
+
+// DefaultConfig returns the paper's baseline BTB geometry.
+func DefaultConfig() Config {
+	return Config{Sets: 256, Ways: 4, Strategy: StrategyDefault}
+}
+
+// Entry is the payload stored per BTB entry: the predicted (taken) target,
+// the branch class so the fetch engine knows how to treat the instruction,
+// and the 2-bit strategy's consecutive-misprediction counter.
+type Entry struct {
+	Target    uint64
+	Class     trace.Class
+	missCount uint8
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	cfg Config
+	c   *cache.Cache[Entry]
+}
+
+// New returns a BTB for cfg.
+func New(cfg Config) *BTB {
+	return &BTB{cfg: cfg, c: cache.New[Entry](cfg.Sets, cfg.Ways)}
+}
+
+// Config returns the BTB configuration.
+func (b *BTB) Config() Config { return b.cfg }
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	word := pc >> 2
+	return int(word % uint64(b.cfg.Sets)), word / uint64(b.cfg.Sets)
+}
+
+// Lookup probes the BTB at fetch time. A hit returns the stored entry
+// (by value) so the fetch engine can detect the branch and predict the
+// last-computed target.
+func (b *BTB) Lookup(pc uint64) (Entry, bool) {
+	set, tag := b.index(pc)
+	e, ok := b.c.Lookup(set, tag)
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Update records a resolved control-flow instruction. Entries are
+// allocated for every taken branch (an entry whose branch was never taken
+// would never redirect fetch). For indirect jumps the stored target evolves
+// according to the configured strategy; for direct branches the target is
+// static and simply (re)written.
+func (b *BTB) Update(r *trace.Record) {
+	if !r.Class.IsBranch() || !r.Taken {
+		return
+	}
+	set, tag := b.index(r.PC)
+	e, existed := b.c.Peek(set, tag)
+	if e == nil {
+		e, _ = b.c.Insert(set, tag)
+		existed = false
+	} else {
+		// Refresh LRU via a real lookup.
+		e, _ = b.c.Lookup(set, tag)
+	}
+	e.Class = r.Class
+	if !existed || !r.Class.IsIndirect() {
+		e.Target = r.Target
+		e.missCount = 0
+		return
+	}
+	// Indirect jump with an existing entry: apply the update strategy.
+	if e.Target == r.Target {
+		e.missCount = 0
+		return
+	}
+	switch b.cfg.Strategy {
+	case StrategyDefault:
+		e.Target = r.Target
+	case StrategyTwoBit:
+		e.missCount++
+		if e.missCount >= 2 {
+			e.Target = r.Target
+			e.missCount = 0
+		}
+	}
+}
+
+// Reset invalidates all entries.
+func (b *BTB) Reset() { b.c.Reset() }
+
+// CostBits returns the storage cost of the BTB in bits, using the paper's
+// accounting: each entry consists of a valid bit, 2 least-recently-used
+// bits, 22 tag bits, 30 target address bits, 2 branch type bits, 30
+// fall-through address bits, and 3 branch history bits (90 bits/entry; the
+// paper's 1K-entry BTB is "1024 x 90 bits").
+func (b *BTB) CostBits() int {
+	const bitsPerEntry = 1 + 2 + 22 + 30 + 2 + 30 + 3
+	return b.cfg.Sets * b.cfg.Ways * bitsPerEntry
+}

@@ -1,0 +1,98 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRASPushPop(t *testing.T) {
+	s := NewRAS(4)
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop from empty stack succeeded")
+	}
+	s.Push(0x100)
+	s.Push(0x200)
+	if got, ok := s.Peek(); !ok || got != 0x200 {
+		t.Fatalf("peek = %#x, %v", got, ok)
+	}
+	if got, _ := s.Pop(); got != 0x200 {
+		t.Fatalf("pop = %#x, want 0x200", got)
+	}
+	if got, _ := s.Pop(); got != 0x100 {
+		t.Fatalf("pop = %#x, want 0x100", got)
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", s.Depth())
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	s := NewRAS(2)
+	s.Push(1)
+	s.Push(2)
+	s.Push(3) // overwrites 1
+	if got, _ := s.Pop(); got != 3 {
+		t.Fatalf("pop = %d, want 3", got)
+	}
+	if got, _ := s.Pop(); got != 2 {
+		t.Fatalf("pop = %d, want 2", got)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("entry 1 should have been overwritten")
+	}
+}
+
+func TestRASReset(t *testing.T) {
+	s := NewRAS(4)
+	s.Push(1)
+	s.Reset()
+	if s.Depth() != 0 {
+		t.Fatal("reset did not empty stack")
+	}
+	if _, ok := s.Peek(); ok {
+		t.Fatal("peek after reset succeeded")
+	}
+}
+
+func TestRASBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRAS(0) did not panic")
+		}
+	}()
+	NewRAS(0)
+}
+
+// Property: for any push/pop sequence that stays within capacity, the RAS
+// behaves exactly like an unbounded stack.
+func TestRASMatchesStackWithinCapacity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const capacity = 8
+		s := NewRAS(capacity)
+		var ref []uint64
+		for i, op := range ops {
+			if op%2 == 0 && len(ref) < capacity {
+				v := uint64(i) * 4
+				s.Push(v)
+				ref = append(ref, v)
+			} else {
+				got, ok := s.Pop()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return s.Depth() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

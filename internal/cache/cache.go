@@ -1,0 +1,141 @@
+// Package cache provides a generic set-associative tagged store with
+// true-LRU replacement. It is the shared substrate for the BTB, the tagged
+// target cache, and the timing model's data cache.
+package cache
+
+import "fmt"
+
+type line[V any] struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+	val     V
+}
+
+// Cache is a set-associative array of tagged entries holding payloads of
+// type V. Callers own the index/tag split: Lookup and Insert take a set
+// index (which must be < Sets()) and a full tag.
+type Cache[V any] struct {
+	sets [][]line[V]
+	ways int
+	tick uint64
+
+	// Statistics.
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a cache with numSets sets of ways entries each. It panics if
+// either dimension is non-positive; set counts need not be powers of two.
+func New[V any](numSets, ways int) *Cache[V] {
+	if numSets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %dx%d", numSets, ways))
+	}
+	sets := make([][]line[V], numSets)
+	backing := make([]line[V], numSets*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways:ways], backing[ways:]
+	}
+	return &Cache[V]{sets: sets, ways: ways}
+}
+
+// Sets returns the number of sets.
+func (c *Cache[V]) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache[V]) Ways() int { return c.ways }
+
+// Entries returns the total entry count (sets × ways).
+func (c *Cache[V]) Entries() int { return len(c.sets) * c.ways }
+
+// Lookup searches set for tag. On a hit it refreshes the entry's LRU state
+// and returns a pointer to the payload; the pointer is valid until the next
+// Insert into the same set.
+func (c *Cache[V]) Lookup(set int, tag uint64) (*V, bool) {
+	c.tick++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			c.hits++
+			return &ln.val, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek searches set for tag without touching LRU state or statistics.
+func (c *Cache[V]) Peek(set int, tag uint64) (*V, bool) {
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return &ln.val, true
+		}
+	}
+	return nil, false
+}
+
+// Insert returns a pointer to the payload for tag in set, allocating an
+// entry if absent. Allocation prefers an invalid way and otherwise evicts
+// the least-recently-used entry (a fresh zero V is installed on allocation).
+// The returned bool reports whether an existing valid entry was evicted.
+func (c *Cache[V]) Insert(set int, tag uint64) (*V, bool) {
+	c.tick++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			return &ln.val, false
+		}
+	}
+	var victim *line[V]
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if victim == nil || ln.lastUse < victim.lastUse {
+			victim = ln
+		}
+	}
+	evicted := victim.valid
+	if evicted {
+		c.evictions++
+	}
+	var zero V
+	victim.valid = true
+	victim.tag = tag
+	victim.lastUse = c.tick
+	victim.val = zero
+	return &victim.val, evicted
+}
+
+// Invalidate removes tag from set, reporting whether it was present.
+func (c *Cache[V]) Invalidate(set int, tag uint64) bool {
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates every entry and clears statistics.
+func (c *Cache[V]) Reset() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line[V]{}
+		}
+	}
+	c.tick, c.hits, c.misses, c.evictions = 0, 0, 0, 0
+}
+
+// Stats returns lookup hits, lookup misses and eviction counts.
+func (c *Cache[V]) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}

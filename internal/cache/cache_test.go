@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicInsertLookup(t *testing.T) {
+	c := New[int](4, 2)
+	if c.Sets() != 4 || c.Ways() != 2 || c.Entries() != 8 {
+		t.Fatalf("geometry wrong: %d sets %d ways", c.Sets(), c.Ways())
+	}
+	if _, ok := c.Lookup(0, 1); ok {
+		t.Fatal("lookup hit in empty cache")
+	}
+	v, evicted := c.Insert(0, 1)
+	if evicted {
+		t.Fatal("insert into empty set evicted")
+	}
+	*v = 42
+	got, ok := c.Lookup(0, 1)
+	if !ok || *got != 42 {
+		t.Fatalf("lookup after insert: ok=%v v=%v", ok, got)
+	}
+	// Re-insert keeps the payload.
+	v2, evicted := c.Insert(0, 1)
+	if evicted || *v2 != 42 {
+		t.Fatalf("re-insert: evicted=%v v=%d", evicted, *v2)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](1, 2)
+	*must(c.Insert(0, 10)) = 10
+	*must(c.Insert(0, 20)) = 20
+	c.Lookup(0, 10) // make 10 most recently used
+	_, evicted := c.Insert(0, 30)
+	if !evicted {
+		t.Fatal("full set insert did not evict")
+	}
+	if _, ok := c.Peek(0, 20); ok {
+		t.Fatal("LRU entry 20 survived eviction")
+	}
+	if _, ok := c.Peek(0, 10); !ok {
+		t.Fatal("MRU entry 10 was evicted")
+	}
+}
+
+func must[V any](v *V, _ bool) *V { return v }
+
+func TestInvalidate(t *testing.T) {
+	c := New[int](2, 2)
+	c.Insert(1, 7)
+	if !c.Invalidate(1, 7) {
+		t.Fatal("invalidate missed present entry")
+	}
+	if c.Invalidate(1, 7) {
+		t.Fatal("invalidate hit absent entry")
+	}
+	if _, ok := c.Lookup(1, 7); ok {
+		t.Fatal("invalidated entry still present")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int](2, 2)
+	c.Insert(0, 1)
+	c.Lookup(0, 1)
+	c.Lookup(0, 9)
+	c.Reset()
+	if _, ok := c.Peek(0, 1); ok {
+		t.Fatal("entry survived reset")
+	}
+	h, m, e := c.Stats()
+	if h != 0 || m != 0 || e != 0 {
+		t.Fatalf("stats survived reset: %d/%d/%d", h, m, e)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := New[int](1, 1)
+	c.Lookup(0, 1) // miss
+	c.Insert(0, 1)
+	c.Lookup(0, 1) // hit
+	c.Insert(0, 2) // evict
+	h, m, e := c.Stats()
+	if h != 1 || m != 1 || e != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", h, m, e)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 1) did not panic")
+		}
+	}()
+	New[int](0, 1)
+}
+
+// referenceSet is a naive model of one set used to cross-check LRU
+// behaviour under random operations.
+type referenceSet struct {
+	order []uint64 // most recent last
+	ways  int
+}
+
+func (r *referenceSet) touch(tag uint64) bool {
+	for i, t := range r.order {
+		if t == tag {
+			r.order = append(append(r.order[:i:i], r.order[i+1:]...), tag)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *referenceSet) insert(tag uint64) {
+	if r.touch(tag) {
+		return
+	}
+	if len(r.order) == r.ways {
+		r.order = r.order[1:]
+	}
+	r.order = append(r.order, tag)
+}
+
+// TestLRUAgainstReferenceModel drives the cache and a reference model with
+// the same random operation stream and checks hit/miss agreement.
+func TestLRUAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ways := range []int{1, 2, 4, 8} {
+		c := New[struct{}](1, ways)
+		ref := &referenceSet{ways: ways}
+		for op := 0; op < 10000; op++ {
+			tag := uint64(rng.Intn(ways * 3))
+			if rng.Intn(2) == 0 {
+				_, hit := c.Lookup(0, tag)
+				refHit := ref.touch(tag)
+				if hit != refHit {
+					t.Fatalf("ways=%d op=%d lookup(%d): cache %v, reference %v",
+						ways, op, tag, hit, refHit)
+				}
+			} else {
+				c.Insert(0, tag)
+				ref.insert(tag)
+			}
+		}
+	}
+}

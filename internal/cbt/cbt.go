@@ -1,0 +1,91 @@
+// Package cbt implements the case block table of Kaeli & Emma, the
+// related-work mechanism the paper compares the target cache against
+// (Section 2). The CBT records, for each value of a SWITCH/CASE statement's
+// case block variable, the corresponding case address — in effect
+// dynamically generating a jump table.
+//
+// The paper notes two limitations: compilers already generate jump tables,
+// and on out-of-order machines the case block variable's value is usually
+// not yet known when the indirect jump is fetched. This implementation
+// models both regimes: in oracle mode the value is always available at
+// prediction time (Kaeli's oracle CBT); otherwise the most recently
+// *computed* value for the jump is used, modelling the stale value an
+// out-of-order front end would actually have.
+package cbt
+
+import (
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Config describes a case block table.
+type Config struct {
+	// Sets and Ways give the table geometry; entries are keyed by jump
+	// address and case-variable value.
+	Sets, Ways int
+	// Oracle makes the dispatch value available at prediction time. A real
+	// out-of-order machine rarely has it, so Oracle=false predicts with
+	// the last computed value for the jump.
+	Oracle bool
+}
+
+// DefaultConfig returns a 256x4 CBT.
+func DefaultConfig() Config { return Config{Sets: 256, Ways: 4} }
+
+// CBT is a case block table.
+type CBT struct {
+	cfg       Config
+	table     *cache.Cache[uint64] // (pc,value) -> case address
+	lastValue map[uint64]uint64    // pc -> last computed dispatch value
+}
+
+// New returns a CBT for cfg.
+func New(cfg Config) *CBT {
+	return &CBT{
+		cfg:       cfg,
+		table:     cache.New[uint64](cfg.Sets, cfg.Ways),
+		lastValue: make(map[uint64]uint64),
+	}
+}
+
+func (c *CBT) key(pc, value uint64) (int, uint64) {
+	k := (pc >> 2) ^ (value * 0x9e3779b97f4a7c15)
+	return int(k % uint64(c.cfg.Sets)), k / uint64(c.cfg.Sets)
+}
+
+// Predict returns the CBT's predicted target for the indirect jump at pc.
+// value is the jump's true dispatch value this dynamic instance (the trace
+// records it in Record.Addr); it is consulted only in oracle mode.
+func (c *CBT) Predict(pc, value uint64) (uint64, bool) {
+	if !c.cfg.Oracle {
+		var ok bool
+		value, ok = c.lastValue[pc]
+		if !ok {
+			return 0, false
+		}
+	}
+	set, tag := c.key(pc, value)
+	t, ok := c.table.Lookup(set, tag)
+	if !ok {
+		return 0, false
+	}
+	return *t, true
+}
+
+// Update records a resolved indirect jump: the mapping value→target is
+// installed and the jump's last computed value is remembered.
+func (c *CBT) Update(r *trace.Record) {
+	if !r.Class.IsTargetCachePredicted() {
+		return
+	}
+	set, tag := c.key(r.PC, r.Addr)
+	t, _ := c.table.Insert(set, tag)
+	*t = r.Target
+	c.lastValue[r.PC] = r.Addr
+}
+
+// Reset clears the table.
+func (c *CBT) Reset() {
+	c.table.Reset()
+	c.lastValue = make(map[uint64]uint64)
+}

@@ -1,0 +1,83 @@
+package cbt
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func jump(pc, value, target uint64) trace.Record {
+	return trace.Record{PC: pc, Addr: value, Target: target,
+		Class: trace.ClassIndJump, Taken: true}
+}
+
+func TestOracleCBTLearnsMapping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Oracle = true
+	c := New(cfg)
+	// value 1 -> 0x100, value 2 -> 0x200.
+	r1 := jump(0x1000, 1, 0x100)
+	r2 := jump(0x1000, 2, 0x200)
+	c.Update(&r1)
+	c.Update(&r2)
+	if got, ok := c.Predict(0x1000, 1); !ok || got != 0x100 {
+		t.Fatalf("oracle predict(1) = %#x, %v", got, ok)
+	}
+	if got, ok := c.Predict(0x1000, 2); !ok || got != 0x200 {
+		t.Fatalf("oracle predict(2) = %#x, %v", got, ok)
+	}
+	if _, ok := c.Predict(0x1000, 3); ok {
+		t.Fatal("oracle predicted unseen value")
+	}
+}
+
+func TestStaleValueCBT(t *testing.T) {
+	c := New(DefaultConfig())
+	if _, ok := c.Predict(0x1000, 1); ok {
+		t.Fatal("prediction before any update")
+	}
+	r1 := jump(0x1000, 1, 0x100)
+	c.Update(&r1)
+	// Without the oracle, the prediction uses the LAST computed value (1)
+	// regardless of the current value (2).
+	got, ok := c.Predict(0x1000, 2)
+	if !ok || got != 0x100 {
+		t.Fatalf("stale predict = %#x, %v (want the value-1 target)", got, ok)
+	}
+}
+
+func TestCBTIgnoresNonIndirect(t *testing.T) {
+	c := New(DefaultConfig())
+	r := trace.Record{PC: 0x1000, Addr: 1, Target: 0x100,
+		Class: trace.ClassCondDirect, Taken: true}
+	c.Update(&r)
+	if _, ok := c.Predict(0x1000, 1); ok {
+		t.Fatal("conditional branch trained the CBT")
+	}
+}
+
+func TestCBTDistinguishesJumps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Oracle = true
+	c := New(cfg)
+	rA := jump(0x1000, 1, 0x100)
+	rB := jump(0x2000, 1, 0x900)
+	c.Update(&rA)
+	c.Update(&rB)
+	if got, _ := c.Predict(0x1000, 1); got != 0x100 {
+		t.Fatalf("jump A corrupted by jump B: %#x", got)
+	}
+	if got, _ := c.Predict(0x2000, 1); got != 0x900 {
+		t.Fatalf("jump B wrong: %#x", got)
+	}
+}
+
+func TestCBTReset(t *testing.T) {
+	c := New(DefaultConfig())
+	r := jump(0x1000, 1, 0x100)
+	c.Update(&r)
+	c.Reset()
+	if _, ok := c.Predict(0x1000, 1); ok {
+		t.Fatal("entry survived reset")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Cascaded is the follow-up design of Driesen & Hölzle ("The Cascaded
+// Predictor", 1998), included as a beyond-the-paper comparator: a small
+// address-indexed first stage backs a history-indexed second stage, and —
+// the key idea — the second stage is *filtered*: an entry is allocated
+// there only when the first stage mispredicts, so monomorphic jumps never
+// consume history-indexed capacity.
+type Cascaded struct {
+	cfg    CascadedConfig
+	stage1 *cache.Cache[uint64] // pc-indexed, last-target (BTB-like)
+	stage2 *Tagged              // history-indexed
+}
+
+// CascadedConfig describes a cascaded indirect-target predictor.
+type CascadedConfig struct {
+	// Stage1Entries/Stage1Ways give the address-indexed stage geometry.
+	Stage1Entries, Stage1Ways int
+	// Stage2 is the history-indexed stage configuration.
+	Stage2 TaggedConfig
+	// Filtered enables allocation filtering (the defining feature); with
+	// it off the structure degenerates to "tagged target cache plus a
+	// private BTB", useful as an ablation.
+	Filtered bool
+}
+
+// DefaultCascadedConfig returns a filtered cascade with a 128-entry first
+// stage and a 256-entry 4-way second stage.
+func DefaultCascadedConfig() CascadedConfig {
+	return CascadedConfig{
+		Stage1Entries: 128,
+		Stage1Ways:    2,
+		Stage2: TaggedConfig{
+			Entries: 256, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9,
+		},
+		Filtered: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c CascadedConfig) Validate() error {
+	if c.Stage1Entries <= 0 || c.Stage1Ways <= 0 ||
+		c.Stage1Entries%c.Stage1Ways != 0 {
+		return fmt.Errorf("core: invalid cascade stage-1 geometry %d/%d",
+			c.Stage1Entries, c.Stage1Ways)
+	}
+	return c.Stage2.Validate()
+}
+
+// NewCascaded builds a cascaded predictor. It panics on invalid
+// configuration.
+func NewCascaded(cfg CascadedConfig) *Cascaded {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cascaded{
+		cfg:    cfg,
+		stage1: cache.New[uint64](cfg.Stage1Entries/cfg.Stage1Ways, cfg.Stage1Ways),
+		stage2: NewTagged(cfg.Stage2),
+	}
+}
+
+func (c *Cascaded) stage1Index(pc uint64) (int, uint64) {
+	word := pc >> 2
+	sets := uint64(c.stage1.Sets())
+	return int(word % sets), word / sets
+}
+
+// Predict implements TargetCache: the second (history) stage wins when it
+// hits; otherwise the first stage's last target is used.
+func (c *Cascaded) Predict(pc, hist uint64) (uint64, bool) {
+	if tgt, ok := c.stage2.Predict(pc, hist); ok {
+		return tgt, true
+	}
+	set, tag := c.stage1Index(pc)
+	if v, ok := c.stage1.Lookup(set, tag); ok {
+		return *v, true
+	}
+	return 0, false
+}
+
+// Update implements TargetCache. The first stage always learns the last
+// target. The second stage updates an existing entry, but allocates a new
+// one only if (when filtering) the first stage just mispredicted — i.e.
+// the jump demonstrated polymorphism.
+func (c *Cascaded) Update(pc, hist, target uint64) {
+	set, tag := c.stage1Index(pc)
+	stage1Correct := false
+	if v, ok := c.stage1.Lookup(set, tag); ok {
+		stage1Correct = *v == target
+	}
+	if _, hit := c.stage2.Predict(pc, hist); hit || !c.cfg.Filtered || !stage1Correct {
+		c.stage2.Update(pc, hist, target)
+	}
+	v, _ := c.stage1.Insert(set, tag)
+	*v = target
+}
+
+// CostBits implements TargetCache (32-bit targets plus second-stage
+// accounting).
+func (c *Cascaded) CostBits() int {
+	return c.cfg.Stage1Entries*32 + c.stage2.CostBits()
+}
+
+// Reset implements TargetCache.
+func (c *Cascaded) Reset() {
+	c.stage1.Reset()
+	c.stage2.Reset()
+}
+
+var _ TargetCache = (*Cascaded)(nil)

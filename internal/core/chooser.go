@@ -1,0 +1,140 @@
+package core
+
+import "repro/internal/cache"
+
+// LastTarget is the BTB's prediction policy factored into a TargetCache: a
+// pc-indexed table holding each jump's most recent target, ignoring
+// history. It is the base component for hybrid predictors and a useful
+// experimental control.
+type LastTarget struct {
+	c *cache.Cache[uint64]
+}
+
+// NewLastTarget returns a last-target predictor with the given geometry.
+func NewLastTarget(entries, ways int) *LastTarget {
+	return &LastTarget{c: cache.New[uint64](entries/ways, ways)}
+}
+
+func (l *LastTarget) index(pc uint64) (int, uint64) {
+	word := pc >> 2
+	sets := uint64(l.c.Sets())
+	return int(word % sets), word / sets
+}
+
+// Predict implements TargetCache (hist is ignored).
+func (l *LastTarget) Predict(pc, hist uint64) (uint64, bool) {
+	set, tag := l.index(pc)
+	if v, ok := l.c.Lookup(set, tag); ok {
+		return *v, true
+	}
+	return 0, false
+}
+
+// Update implements TargetCache.
+func (l *LastTarget) Update(pc, hist, target uint64) {
+	set, tag := l.index(pc)
+	v, _ := l.c.Insert(set, tag)
+	*v = target
+}
+
+// CostBits implements TargetCache.
+func (l *LastTarget) CostBits() int { return l.c.Entries() * 32 }
+
+// Reset implements TargetCache.
+func (l *LastTarget) Reset() { l.c.Reset() }
+
+var _ TargetCache = (*LastTarget)(nil)
+
+// Chooser is a hybrid indirect-target predictor in the spirit of the
+// authors' own branch-classification work (Chang, Hao, Yeh & Patt, MICRO
+// 1994) and McFarling's combining predictor: two component predictors run
+// side by side and a per-jump 2-bit meta counter selects which one's
+// prediction to use. A monomorphic jump settles on the cheap last-target
+// component; a history-correlated jump settles on the target cache — so
+// the hybrid avoids the target cache's warm-up and interference losses on
+// easy jumps while keeping its wins on hard ones.
+type Chooser struct {
+	// A is preferred when the meta counter is low, B when high.
+	A, B TargetCache
+	meta []uint8
+	mask uint64
+}
+
+// NewChooser combines two component predictors with a meta table of
+// metaEntries 2-bit counters (power of two), initialised neutral-toward-B.
+func NewChooser(a, b TargetCache, metaEntries int) *Chooser {
+	if metaEntries <= 0 || metaEntries&(metaEntries-1) != 0 {
+		panic("core: chooser meta size must be a positive power of two")
+	}
+	c := &Chooser{A: a, B: b, meta: make([]uint8, metaEntries),
+		mask: uint64(metaEntries - 1)}
+	for i := range c.meta {
+		c.meta[i] = 2 // weakly prefer B (the history component)
+	}
+	return c
+}
+
+func (c *Chooser) idx(pc uint64) int { return int((pc >> 2) & c.mask) }
+
+// Predict implements TargetCache: the meta counter picks the component;
+// if the chosen component has no prediction, the other is consulted.
+func (c *Chooser) Predict(pc, hist uint64) (uint64, bool) {
+	first, second := c.A, c.B
+	if c.meta[c.idx(pc)] >= 2 {
+		first, second = c.B, c.A
+	}
+	if tgt, ok := first.Predict(pc, hist); ok {
+		return tgt, true
+	}
+	return second.Predict(pc, hist)
+}
+
+// Update implements TargetCache: both components train on every jump, and
+// the meta counter moves toward whichever component was right when they
+// disagree.
+func (c *Chooser) Update(pc, hist, target uint64) {
+	aTgt, aOK := c.A.Predict(pc, hist)
+	bTgt, bOK := c.B.Predict(pc, hist)
+	aRight := aOK && aTgt == target
+	bRight := bOK && bTgt == target
+	i := c.idx(pc)
+	switch {
+	case bRight && !aRight:
+		if c.meta[i] < 3 {
+			c.meta[i]++
+		}
+	case aRight && !bRight:
+		if c.meta[i] > 0 {
+			c.meta[i]--
+		}
+	}
+	c.A.Update(pc, hist, target)
+	c.B.Update(pc, hist, target)
+}
+
+// CostBits implements TargetCache (components plus 2 bits per meta entry).
+func (c *Chooser) CostBits() int {
+	return c.A.CostBits() + c.B.CostBits() + 2*len(c.meta)
+}
+
+// Reset implements TargetCache.
+func (c *Chooser) Reset() {
+	c.A.Reset()
+	c.B.Reset()
+	for i := range c.meta {
+		c.meta[i] = 2
+	}
+}
+
+var _ TargetCache = (*Chooser)(nil)
+
+// DefaultChooser returns the canonical hybrid: a 128-entry last-target
+// table backing a 256-entry 4-way History-XOR tagged target cache.
+func DefaultChooser() *Chooser {
+	return NewChooser(
+		NewLastTarget(128, 2),
+		NewTagged(TaggedConfig{
+			Entries: 256, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9,
+		}),
+		256)
+}

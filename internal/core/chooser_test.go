@@ -1,0 +1,108 @@
+package core
+
+import "testing"
+
+func TestLastTargetBasics(t *testing.T) {
+	l := NewLastTarget(128, 2)
+	if _, ok := l.Predict(0x100, 7); ok {
+		t.Fatal("prediction from empty table")
+	}
+	l.Update(0x100, 7, 0x4000)
+	// History must be irrelevant.
+	if got, ok := l.Predict(0x100, 999); !ok || got != 0x4000 {
+		t.Fatalf("predict = %#x, %v", got, ok)
+	}
+	l.Update(0x100, 1, 0x5000)
+	if got, _ := l.Predict(0x100, 7); got != 0x5000 {
+		t.Fatalf("last-target not updated: %#x", got)
+	}
+	if l.CostBits() != 128*32 {
+		t.Fatalf("CostBits = %d", l.CostBits())
+	}
+	l.Reset()
+	if _, ok := l.Predict(0x100, 7); ok {
+		t.Fatal("entry survived reset")
+	}
+}
+
+// alwaysPredictor is a test stub returning a fixed target.
+type alwaysPredictor struct {
+	target uint64
+	ok     bool
+}
+
+func (a *alwaysPredictor) Predict(pc, hist uint64) (uint64, bool) { return a.target, a.ok }
+func (a *alwaysPredictor) Update(pc, hist, target uint64)         {}
+func (a *alwaysPredictor) CostBits() int                          { return 0 }
+func (a *alwaysPredictor) Reset()                                 {}
+
+func TestChooserSelectsBetterComponent(t *testing.T) {
+	right := &alwaysPredictor{target: 0x4000, ok: true}
+	wrong := &alwaysPredictor{target: 0x9999, ok: true}
+
+	// B right: meta should saturate toward B and predict 0x4000.
+	c := NewChooser(wrong, right, 64)
+	for i := 0; i < 10; i++ {
+		c.Update(0x100, 0, 0x4000)
+	}
+	if got, ok := c.Predict(0x100, 0); !ok || got != 0x4000 {
+		t.Fatalf("chooser did not learn B is right: %#x %v", got, ok)
+	}
+
+	// A right: meta should swing to A.
+	c2 := NewChooser(right, wrong, 64)
+	for i := 0; i < 10; i++ {
+		c2.Update(0x100, 0, 0x4000)
+	}
+	if got, ok := c2.Predict(0x100, 0); !ok || got != 0x4000 {
+		t.Fatalf("chooser did not learn A is right: %#x %v", got, ok)
+	}
+}
+
+func TestChooserFallsBackAcrossComponents(t *testing.T) {
+	silent := &alwaysPredictor{ok: false}
+	speaks := &alwaysPredictor{target: 0x4000, ok: true}
+	c := NewChooser(speaks, silent, 64) // meta starts preferring B (silent)
+	if got, ok := c.Predict(0x100, 0); !ok || got != 0x4000 {
+		t.Fatalf("chooser did not fall back to the speaking component: %#x %v", got, ok)
+	}
+}
+
+func TestChooserPerJumpIndependence(t *testing.T) {
+	a := NewLastTarget(64, 1)
+	b := NewTagged(TaggedConfig{Entries: 64, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9})
+	c := NewChooser(a, b, 64)
+	// Jump X: monomorphic (A perfect after warmup). Jump Y: alternates by
+	// history (B perfect, A always wrong).
+	for i := 0; i < 300; i++ {
+		c.Update(0x100, uint64(i%7), 0x4000)
+		h := uint64(i % 2)
+		c.Update(0x200, h, 0x5000+h*0x100)
+	}
+	if got, _ := c.Predict(0x100, 3); got != 0x4000 {
+		t.Fatalf("monomorphic jump wrong: %#x", got)
+	}
+	for h := uint64(0); h < 2; h++ {
+		if got, _ := c.Predict(0x200, h); got != 0x5000+h*0x100 {
+			t.Fatalf("alternating jump wrong for hist %d: %#x", h, got)
+		}
+	}
+}
+
+func TestChooserMisc(t *testing.T) {
+	c := DefaultChooser()
+	if c.CostBits() <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	c.Update(0x100, 1, 0x4000)
+	c.Reset()
+	if _, ok := c.Predict(0x100, 1); ok {
+		t.Fatal("state survived reset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad meta size accepted")
+		}
+	}()
+	NewChooser(&alwaysPredictor{}, &alwaysPredictor{}, 3)
+}

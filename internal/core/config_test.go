@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// Exercise the config accessors and remaining small surfaces.
+func TestConfigAccessors(t *testing.T) {
+	tl := NewTagless(TaglessConfig{Entries: 128, Scheme: SchemeGshare})
+	if tl.Config().Entries != 128 {
+		t.Fatal("tagless Config() wrong")
+	}
+	tg := NewTagged(TaggedConfig{Entries: 64, Ways: 2, Scheme: SchemeAddress, HistBits: 9})
+	if tg.Config().Ways != 2 {
+		t.Fatal("tagged Config() wrong")
+	}
+}
+
+func TestLog2Panics(t *testing.T) {
+	for _, bad := range []int{0, -4, 3, 12} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("log2(%d) did not panic", bad)
+				}
+			}()
+			log2(bad)
+		}()
+	}
+	if log2(1) != 0 || log2(256) != 8 {
+		t.Fatal("log2 values wrong")
+	}
+}
+
+func TestNewTaglessPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid tagless config accepted")
+		}
+	}()
+	NewTagless(TaglessConfig{Entries: 100, Scheme: SchemeGshare})
+}
+
+func TestNewTaggedPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid tagged config accepted")
+		}
+	}()
+	NewTagged(TaggedConfig{Entries: 256, Ways: 3, HistBits: 9})
+}

@@ -1,0 +1,49 @@
+// Package core implements the paper's primary contribution: the target
+// cache, a prediction mechanism for indirect-jump targets (Section 3).
+//
+// A target cache is indexed with the indirect jump's fetch address combined
+// with branch history, so that different dynamic occurrences of the same
+// jump — which tend to go to different targets — map to different entries.
+// When the jump is fetched the selected entry supplies the predicted
+// target; when the jump retires, the entry selected by the same index is
+// updated with the computed target.
+//
+// Two structures are provided, matching Sections 3.2 and 4:
+//
+//   - Tagless: a direct table of targets, analogous to the pattern history
+//     table of a two-level direction predictor but recording target
+//     addresses instead of directions. Index hashing variants: GAg, GAs,
+//     gshare.
+//   - Tagged: a set-associative cache of targets with tags, eliminating
+//     interference between unrelated branches at the cost of storage.
+//     Index/tag split variants: Address, History-Concatenate, History-XOR.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TargetCache is the interface shared by the tagless and tagged variants,
+// used by the simulation drivers.
+type TargetCache interface {
+	// Predict returns the predicted target for the indirect jump at pc
+	// given the current branch history. ok is false when the cache has no
+	// prediction (tagged miss, or never-written tagless entry).
+	Predict(pc, hist uint64) (target uint64, ok bool)
+	// Update records the computed target for the jump at pc under the
+	// history value that was current when the jump was fetched.
+	Update(pc, hist, target uint64)
+	// CostBits returns the storage cost in bits under the paper's
+	// accounting.
+	CostBits() int
+	// Reset clears all entries.
+	Reset()
+}
+
+func log2(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("core: %d is not a positive power of two", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}

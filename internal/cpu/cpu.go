@@ -1,0 +1,314 @@
+// Package cpu is the cycle-level timing model standing in for the paper's
+// HPS simulator: a wide-issue out-of-order machine with register-dependence
+// scheduling (Tomasulo-style wakeup), per-class execution latencies
+// (Table 3), a 16KB data cache, and checkpoint repair — once a branch
+// misprediction is resolved, instructions from the correct path are fetched
+// in the next cycle.
+//
+// The model is a one-pass trace-driven approximation: for each retired
+// instruction it computes fetch, issue, completion and retire cycles under
+// fetch-width, window-occupancy, operand-readiness, functional-unit and
+// retire-width constraints. Branch outcomes come from a sim.Engine, so the
+// timing experiments see exactly the predictor behaviour the accuracy
+// experiments measure. (The engine trains on committed state; wrong-path
+// effects on predictor contents are not modelled, as is usual for
+// trace-driven studies.)
+package cpu
+
+import (
+	"strconv"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config describes the machine.
+type Config struct {
+	// Width is the fetch, issue and retire bandwidth per cycle.
+	Width int
+	// Window is the maximum number of in-flight instructions ("the maximum
+	// number of instructions that can exist in the machine at one time").
+	Window int
+	// FrontEndDepth is the number of cycles between fetch and earliest
+	// issue; it sets the floor of the misprediction penalty.
+	FrontEndDepth int
+	// Latencies maps each functional-unit class to its execution latency
+	// in cycles (Table 3).
+	Latencies [trace.NumOpClasses]int64
+	// MemLatency is the additional latency of a data-cache miss
+	// ("latency for fetching data from memory is 10 cycles").
+	MemLatency int64
+	// DCacheBytes, DCacheWays and DCacheLine describe the data cache
+	// (16KB in the paper; the instruction cache is perfect).
+	DCacheBytes, DCacheWays, DCacheLine int
+	// ModelWrongPath makes the event-driven model fetch and execute real
+	// wrong-path instructions after a misprediction (requires a source
+	// that implements WrongPathFetcher, e.g. vm.Looping): the wrong path
+	// occupies fetch/issue bandwidth and pollutes the data cache with the
+	// speculative machine's actual addresses, then is squashed at
+	// resolution. The fast model ignores this flag.
+	ModelWrongPath bool
+}
+
+// DefaultConfig returns the paper's machine: 8-wide, 128-entry window,
+// Table 3 latencies, 16KB 4-way data cache with a 10-cycle memory latency.
+func DefaultConfig() Config {
+	cfg := Config{
+		Width:         8,
+		Window:        128,
+		FrontEndDepth: 5,
+		MemLatency:    10,
+		DCacheBytes:   16 * 1024,
+		DCacheWays:    4,
+		DCacheLine:    32,
+	}
+	cfg.Latencies[trace.OpInt] = 1
+	cfg.Latencies[trace.OpFPAdd] = 3
+	cfg.Latencies[trace.OpMul] = 3
+	cfg.Latencies[trace.OpDiv] = 8
+	cfg.Latencies[trace.OpLoad] = 1
+	cfg.Latencies[trace.OpStore] = 1
+	cfg.Latencies[trace.OpBitField] = 1
+	cfg.Latencies[trace.OpBranch] = 1
+	return cfg
+}
+
+// LatencyTable returns (class name, latency) rows for Table 3 reporting.
+func (c Config) LatencyTable() [][2]string {
+	rows := make([][2]string, 0, trace.NumOpClasses)
+	for op := 0; op < trace.NumOpClasses; op++ {
+		rows = append(rows, [2]string{
+			trace.OpClass(op).String(),
+			strconv.FormatInt(c.Latencies[op], 10),
+		})
+	}
+	return rows
+}
+
+// Result reports one timing run.
+type Result struct {
+	Instructions int64
+	Cycles       int64
+
+	Branches            int64
+	Mispredicts         int64
+	IndirectCount       int64
+	IndirectMispredicts int64
+	CondMispredicts     int64
+	ReturnMispredicts   int64
+
+	DCacheAccesses int64
+	DCacheMisses   int64
+
+	// MispredictStallCycles counts fetch cycles lost to branch
+	// misprediction (checkpoint-repair redirects); WindowStallCycles
+	// counts fetch cycles lost waiting for window slots. Together they
+	// locate where execution time goes — the breakdown behind the paper's
+	// "reduction in execution time" results.
+	MispredictStallCycles int64
+	WindowStallCycles     int64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// fuRing tracks per-cycle functional-unit occupancy without unbounded
+// storage: entries are tagged with their cycle and lazily reset.
+type fuRing struct {
+	cycle []int64
+	count []int
+}
+
+func newFURing(size int) *fuRing {
+	return &fuRing{cycle: make([]int64, size), count: make([]int, size)}
+}
+
+func (f *fuRing) at(cycle int64) *int {
+	i := int(cycle) & (len(f.count) - 1)
+	if f.cycle[i] != cycle {
+		f.cycle[i] = cycle
+		f.count[i] = 0
+	}
+	return &f.count[i]
+}
+
+// Machine is a reusable timing simulator instance.
+type Machine struct {
+	cfg    Config
+	engine *sim.Engine
+	dcache *cache.Cache[struct{}]
+	dsets  int
+	// observer, when set, receives every instruction's timing (used by
+	// RunTimeline for pipeline diagrams).
+	observer func(TimelineEntry)
+}
+
+// New returns a machine using cfg and the given prediction engine.
+func New(cfg Config, engine *sim.Engine) *Machine {
+	sets := cfg.DCacheBytes / (cfg.DCacheLine * cfg.DCacheWays)
+	return &Machine{
+		cfg:    cfg,
+		engine: engine,
+		dcache: cache.New[struct{}](sets, cfg.DCacheWays),
+		dsets:  sets,
+	}
+}
+
+// Run simulates up to budget instructions from src and returns the timing
+// result. It may be called once per Machine.
+func (m *Machine) Run(src trace.Source, budget int64) Result {
+	cfg := m.cfg
+	var res Result
+
+	var (
+		fetchCycle   int64 // cycle the next instruction is fetched
+		fetchedThis  int   // instructions fetched in fetchCycle
+		lastRetire   int64 // retire cycle of the previous instruction
+		retiredThis  int   // instructions retired in lastRetire
+		regReady     [64]int64
+		windowRetire = make([]int64, cfg.Window) // ring: retire cycle per slot
+		fus          = newFURing(8192)
+		idx          int64
+		r            trace.Record
+	)
+
+	lineShift := 0
+	for 1<<lineShift < cfg.DCacheLine {
+		lineShift++
+	}
+
+	for idx < budget && src.Next(&r) {
+		// Fetch: width and window constraints.
+		if fetchedThis >= cfg.Width {
+			fetchCycle++
+			fetchedThis = 0
+		}
+		if oldest := windowRetire[idx%int64(cfg.Window)]; oldest > fetchCycle {
+			// The slot's previous occupant retires at `oldest`; we can
+			// occupy it the following cycle.
+			res.WindowStallCycles += oldest + 1 - fetchCycle
+			fetchCycle = oldest + 1
+			fetchedThis = 0
+		}
+		fetched := fetchCycle
+		fetchedThis++
+
+		// Issue: operands, then a free functional unit.
+		issue := fetched + int64(cfg.FrontEndDepth)
+		if r.Src1 != 0 && regReady[r.Src1] > issue {
+			issue = regReady[r.Src1]
+		}
+		if r.Src2 != 0 && regReady[r.Src2] > issue {
+			issue = regReady[r.Src2]
+		}
+		for *fus.at(issue) >= cfg.Width {
+			issue++
+		}
+		*fus.at(issue)++
+
+		// Execute.
+		lat := cfg.Latencies[r.Op]
+		if r.Op == trace.OpLoad || r.Op == trace.OpStore {
+			res.DCacheAccesses++
+			line := r.Addr >> lineShift
+			set := int(line % uint64(m.dsets))
+			tag := line / uint64(m.dsets)
+			if _, hit := m.dcache.Lookup(set, tag); !hit {
+				res.DCacheMisses++
+				m.dcache.Insert(set, tag)
+				if r.Op == trace.OpLoad {
+					lat += cfg.MemLatency
+				}
+			}
+		}
+		complete := issue + lat
+		if r.Dst != 0 {
+			regReady[r.Dst] = complete
+		}
+
+		// Branch prediction and checkpoint repair.
+		mispredicted := false
+		if r.Class.IsBranch() {
+			res.Branches++
+			p := m.engine.Predict(&r)
+			correct := p.Correct(&r)
+			m.engine.Resolve(&r, p)
+			switch r.Class {
+			case trace.ClassIndJump, trace.ClassIndCall:
+				res.IndirectCount++
+				if !correct {
+					res.IndirectMispredicts++
+				}
+			case trace.ClassCondDirect:
+				if !correct {
+					res.CondMispredicts++
+				}
+			case trace.ClassReturn:
+				if !correct {
+					res.ReturnMispredicts++
+				}
+			}
+			if !correct {
+				res.Mispredicts++
+				mispredicted = true
+				// Checkpoint repair: correct-path fetch resumes the cycle
+				// after the branch resolves.
+				if complete+1 > fetchCycle {
+					res.MispredictStallCycles += complete + 1 - fetchCycle
+					fetchCycle = complete + 1
+					fetchedThis = 0
+				}
+			} else if r.Taken {
+				// A predicted-taken branch ends the fetch group.
+				fetchedThis = cfg.Width
+			}
+		}
+
+		// Retire: in order, Width per cycle.
+		retire := complete
+		if retire < lastRetire {
+			retire = lastRetire
+		}
+		if retire == lastRetire {
+			if retiredThis >= cfg.Width {
+				retire++
+				retiredThis = 1
+			} else {
+				retiredThis++
+			}
+		} else {
+			retiredThis = 1
+		}
+		lastRetire = retire
+		windowRetire[idx%int64(cfg.Window)] = retire
+
+		if m.observer != nil {
+			m.observer(TimelineEntry{
+				Record:     r,
+				Fetch:      fetched,
+				Issue:      issue,
+				Complete:   complete,
+				Retire:     retire,
+				Mispredict: mispredicted,
+			})
+		}
+
+		idx++
+	}
+
+	res.Instructions = idx
+	res.Cycles = lastRetire + 1
+	return res
+}
+
+// Run is a convenience wrapper: build a machine over cfg and engine, run
+// src for budget instructions.
+func Run(src trace.Source, budget int64, engine *sim.Engine, cfg Config) Result {
+	return New(cfg, engine).Run(src, budget)
+}

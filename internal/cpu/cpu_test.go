@@ -1,0 +1,103 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func runTiming(t *testing.T, w *workload.Workload, budget int64, cfg sim.Config) Result {
+	t.Helper()
+	eng := sim.NewEngine(cfg)
+	return Run(w.Open(), budget, eng, DefaultConfig())
+}
+
+// TestTimingBasics checks structural properties of the timing model on a
+// real workload: cycles are positive, IPC is plausible for an 8-wide
+// machine, and the counters are consistent.
+func TestTimingBasics(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runTiming(t, w, 200_000, sim.DefaultConfig())
+	if res.Instructions != 200_000 {
+		t.Fatalf("instructions = %d, want 200000", res.Instructions)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+	ipc := res.IPC()
+	if ipc < 0.3 || ipc > 8 {
+		t.Errorf("IPC %.2f implausible for an 8-wide machine", ipc)
+	}
+	if res.Mispredicts == 0 || res.IndirectMispredicts == 0 {
+		t.Errorf("expected mispredictions, got %+v", res)
+	}
+	if res.IndirectMispredicts > res.IndirectCount {
+		t.Errorf("more indirect mispredicts (%d) than indirect jumps (%d)",
+			res.IndirectMispredicts, res.IndirectCount)
+	}
+	t.Logf("perl baseline: cycles=%d IPC=%.2f indMP=%d/%d condMP=%d dmiss=%d/%d",
+		res.Cycles, ipc, res.IndirectMispredicts, res.IndirectCount,
+		res.CondMispredicts, res.DCacheMisses, res.DCacheAccesses)
+}
+
+// TestTargetCacheSpeedsUpPerlAndGcc reproduces the paper's headline timing
+// claim directionally: adding a target cache reduces execution time on the
+// two indirect-jump-heavy benchmarks.
+func TestTargetCacheSpeedsUpPerlAndGcc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison is slow")
+	}
+	const budget = 500_000
+	for _, name := range []string{"perl", "gcc"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := runTiming(t, w, budget, sim.DefaultConfig())
+		tcCfg := sim.DefaultConfig().WithTargetCache(
+			func() core.TargetCache {
+				return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+			},
+			func() history.Provider { return history.NewPatternProvider(9) },
+		)
+		tc := runTiming(t, w, budget, tcCfg)
+		red := stats.Reduction(float64(base.Cycles), float64(tc.Cycles))
+		t.Logf("%s: base=%d cycles (IPC %.2f), tc=%d cycles (IPC %.2f), reduction=%.2f%%",
+			name, base.Cycles, base.IPC(), tc.Cycles, tc.IPC(), red*100)
+		if tc.Cycles >= base.Cycles {
+			t.Errorf("%s: target cache did not reduce execution time (%d -> %d)",
+				name, base.Cycles, tc.Cycles)
+		}
+	}
+}
+
+// TestDCacheGeometry checks the miss path adds latency only for loads and
+// that a tiny cache misses more than the default.
+func TestDCacheGeometry(t *testing.T) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := DefaultConfig()
+	small := DefaultConfig()
+	small.DCacheBytes = 512
+	resBig := New(big, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), 100_000)
+	resSmall := New(small, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), 100_000)
+	if resSmall.DCacheMisses <= resBig.DCacheMisses {
+		t.Errorf("small cache misses (%d) should exceed big cache misses (%d)",
+			resSmall.DCacheMisses, resBig.DCacheMisses)
+	}
+	if resSmall.Cycles <= resBig.Cycles {
+		t.Errorf("small cache should cost cycles: %d vs %d", resSmall.Cycles, resBig.Cycles)
+	}
+}
+
+var _ = trace.Record{} // keep the import for test helpers that may grow

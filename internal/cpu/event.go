@@ -1,0 +1,319 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EventMachine is a second, structurally explicit implementation of the
+// timing model: a cycle-by-cycle simulator with a reorder buffer, an issue
+// stage with register scoreboarding and functional-unit arbitration,
+// in-order retirement, and checkpoint-repair fetch redirection. It is
+// slower than Machine's one-pass approximation and exists to validate it:
+// the two models must agree on cycle counts within a small tolerance and
+// on every experiment's orderings (see TestModelsAgree).
+type EventMachine struct {
+	cfg    Config
+	engine *sim.Engine
+	dc     *dcacheModel
+}
+
+// NewEvent returns an event-driven machine using cfg and engine.
+func NewEvent(cfg Config, engine *sim.Engine) *EventMachine {
+	return &EventMachine{cfg: cfg, engine: engine, dc: newDCacheModel(cfg)}
+}
+
+// WrongPathFetcher is the capability the event model needs from a trace
+// source to model wrong-path execution (vm.VM and vm.Looping implement
+// it): redirect the machine to a mispredicted address, stream real
+// speculative instructions from there, and squash.
+type WrongPathFetcher interface {
+	trace.Source
+	StartWrongPath(addr uint64) bool
+	EndWrongPath()
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	issued     bool
+	complete   int64 // completion cycle once issued
+	dst        uint8
+	src1, src2 uint8
+	lat        int64
+	readyAt    int64 // earliest issue cycle (fetch + front-end depth)
+	isBranch   bool
+	mispredict bool
+	wrongPath  bool // speculative; squashed at redirect, never retired
+	valid      bool
+}
+
+// Run simulates up to budget instructions and returns the timing result.
+func (m *EventMachine) Run(src trace.Source, budget int64) Result {
+	cfg := m.cfg
+	var res Result
+
+	rob := make([]robEntry, cfg.Window)
+	head, tail, occupancy := 0, 0, 0
+
+	var (
+		cycle        int64
+		regReady     [64]int64
+		fetchStalled bool  // a mispredicted branch is in flight
+		redirectAt   int64 = -1
+		done         bool
+		r            trace.Record
+		hasRec       bool
+		correctOcc   int // non-speculative entries in flight
+	)
+
+	// Wrong-path support: only when configured and the source can do it.
+	var wf WrongPathFetcher
+	if cfg.ModelWrongPath {
+		wf, _ = src.(WrongPathFetcher)
+	}
+	wrongActive := false  // wrong-path records still streaming
+	wrongStarted := false // EndWrongPath owed at redirect
+
+	// Deadlock guard: the simulation must retire something regularly.
+	lastProgress := int64(0)
+
+	for res.Instructions < budget || occupancy > 0 {
+		// Retire up to Width completed instructions from the head.
+		for retired := 0; retired < cfg.Width && occupancy > 0; retired++ {
+			e := &rob[head]
+			if !e.issued || e.complete > cycle || e.wrongPath {
+				break
+			}
+			e.valid = false
+			head = (head + 1) % cfg.Window
+			occupancy--
+			correctOcc--
+			res.Instructions++
+			lastProgress = cycle
+		}
+
+		// Issue: oldest-first, bounded by Width functional units.
+		issued := 0
+		for i, idx := 0, head; i < occupancy && issued < cfg.Width; i, idx = i+1, (idx+1)%cfg.Window {
+			e := &rob[idx]
+			if e.issued {
+				continue
+			}
+			if e.readyAt > cycle {
+				continue
+			}
+			if e.src1 != 0 && regReady[e.src1] > cycle {
+				continue
+			}
+			if e.src2 != 0 && regReady[e.src2] > cycle {
+				continue
+			}
+			e.issued = true
+			e.complete = cycle + e.lat
+			// Wrong-path results are renamed away; they never become
+			// architecturally visible.
+			if e.dst != 0 && !e.wrongPath {
+				regReady[e.dst] = e.complete
+			}
+			if e.mispredict {
+				redirectAt = e.complete + 1
+			}
+			issued++
+		}
+
+		// Redirect: once the mispredicted branch has resolved, squash the
+		// wrong path and resume fetch at the (known-correct) next trace
+		// instruction.
+		if fetchStalled && redirectAt >= 0 && cycle >= redirectAt {
+			fetchStalled = false
+			redirectAt = -1
+			if wrongStarted {
+				wf.EndWrongPath()
+				wrongStarted, wrongActive = false, false
+				hasRec = false // drop any buffered wrong-path record
+			}
+			for occupancy > 0 {
+				prev := (tail - 1 + cfg.Window) % cfg.Window
+				if !rob[prev].wrongPath {
+					break
+				}
+				rob[prev].valid = false
+				tail = prev
+				occupancy--
+			}
+		}
+
+		// Fetch up to Width instructions: from the correct path normally,
+		// or from the live wrong path while a misprediction is pending.
+		for fetched := 0; fetched < cfg.Width && !done; fetched++ {
+			wrongFetch := fetchStalled
+			if wrongFetch && !wrongActive {
+				break
+			}
+			if !wrongFetch && res.Instructions+int64(correctOcc) >= budget {
+				break
+			}
+			if occupancy >= cfg.Window {
+				break
+			}
+			if !hasRec {
+				if !src.Next(&r) {
+					if wrongFetch {
+						wrongActive = false // the wrong path died
+						break
+					}
+					done = true
+					break
+				}
+				hasRec = true
+			}
+			e := &rob[tail]
+			*e = robEntry{
+				valid:     true,
+				wrongPath: wrongFetch,
+				dst:       r.Dst,
+				src1:      r.Src1,
+				src2:      r.Src2,
+				lat:       cfg.Latencies[r.Op],
+				readyAt:   cycle + int64(cfg.FrontEndDepth),
+			}
+			if r.Op == trace.OpLoad || r.Op == trace.OpStore {
+				// Wrong-path accesses use the speculative machine's real
+				// addresses: this is the cache pollution the flag models.
+				if miss := m.dc.access(r.Addr); miss {
+					res.DCacheMisses++
+					if r.Op == trace.OpLoad {
+						e.lat += cfg.MemLatency
+					}
+				}
+				res.DCacheAccesses++
+			}
+			endGroup := false
+			if r.Class.IsBranch() {
+				if wrongFetch {
+					// Wrong-path branches follow the speculative machine's
+					// own outcomes; predictors are neither consulted nor
+					// trained (no wrong-path predictor pollution).
+					e.isBranch = true
+					if r.Taken {
+						endGroup = true
+					}
+				} else {
+					res.Branches++
+					e.isBranch = true
+					p := m.engine.Predict(&r)
+					correct := p.Correct(&r)
+					m.engine.Resolve(&r, p)
+					switch r.Class {
+					case trace.ClassIndJump, trace.ClassIndCall:
+						res.IndirectCount++
+						if !correct {
+							res.IndirectMispredicts++
+						}
+					case trace.ClassCondDirect:
+						if !correct {
+							res.CondMispredicts++
+						}
+					case trace.ClassReturn:
+						if !correct {
+							res.ReturnMispredicts++
+						}
+					}
+					if !correct {
+						res.Mispredicts++
+						e.mispredict = true
+						fetchStalled = true
+						redirectAt = -1 // resolved when the branch issues
+						endGroup = true
+						if wf != nil {
+							predicted := r.FallThrough()
+							if p.Taken && p.HasTarget {
+								predicted = p.Target
+							}
+							if predicted != r.NextPC() && wf.StartWrongPath(predicted) {
+								wrongStarted, wrongActive = true, true
+							}
+						}
+					} else if r.Taken {
+						endGroup = true
+					}
+				}
+			}
+			tail = (tail + 1) % cfg.Window
+			occupancy++
+			if !wrongFetch {
+				correctOcc++
+			}
+			hasRec = false
+			if endGroup {
+				break
+			}
+		}
+
+		if done && occupancy == 0 {
+			break
+		}
+		cycle++
+		if cycle-lastProgress > 1_000_000 {
+			panic(fmt.Sprintf("cpu: event model deadlock at cycle %d (occupancy %d)",
+				cycle, occupancy))
+		}
+	}
+
+	res.Cycles = cycle
+	return res
+}
+
+// dcacheModel is the same 16KB data cache the fast model uses, factored so
+// both models share behaviour exactly.
+type dcacheModel struct {
+	sets      int
+	lineShift int
+	tags      [][]uint64
+	valid     [][]bool
+	lru       [][]int64
+	tick      int64
+}
+
+func newDCacheModel(cfg Config) *dcacheModel {
+	sets := cfg.DCacheBytes / (cfg.DCacheLine * cfg.DCacheWays)
+	d := &dcacheModel{sets: sets}
+	for 1<<d.lineShift < cfg.DCacheLine {
+		d.lineShift++
+	}
+	d.tags = make([][]uint64, sets)
+	d.valid = make([][]bool, sets)
+	d.lru = make([][]int64, sets)
+	for i := range d.tags {
+		d.tags[i] = make([]uint64, cfg.DCacheWays)
+		d.valid[i] = make([]bool, cfg.DCacheWays)
+		d.lru[i] = make([]int64, cfg.DCacheWays)
+	}
+	return d
+}
+
+// access touches addr and reports whether it missed.
+func (d *dcacheModel) access(addr uint64) bool {
+	d.tick++
+	line := addr >> d.lineShift
+	set := int(line % uint64(d.sets))
+	tag := line / uint64(d.sets)
+	victim := 0
+	for w := range d.tags[set] {
+		if d.valid[set][w] && d.tags[set][w] == tag {
+			d.lru[set][w] = d.tick
+			return false
+		}
+		if !d.valid[set][w] {
+			victim = w
+		} else if d.valid[set][victim] && d.lru[set][w] < d.lru[set][victim] {
+			victim = w
+		}
+	}
+	d.tags[set][victim] = tag
+	d.valid[set][victim] = true
+	d.lru[set][victim] = d.tick
+	return true
+}

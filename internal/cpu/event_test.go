@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestModelsAgree cross-validates the fast one-pass timing model against
+// the event-driven model: same instruction counts, cycle counts within a
+// modest tolerance, and — what the experiments depend on — the same
+// direction and similar magnitude for the target cache's benefit.
+func TestModelsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four timing simulations")
+	}
+	const budget = 200_000
+	tcCfg := sim.DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+		},
+		func() history.Provider { return history.NewPatternProvider(9) },
+	)
+	for _, name := range []string{"perl", "gcc"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduction := func(run func(cfg sim.Config) Result) (float64, Result, Result) {
+			base := run(sim.DefaultConfig())
+			tc := run(tcCfg)
+			return 1 - float64(tc.Cycles)/float64(base.Cycles), base, tc
+		}
+
+		fastRed, fastBase, _ := reduction(func(cfg sim.Config) Result {
+			return New(DefaultConfig(), sim.NewEngine(cfg)).Run(w.Open(), budget)
+		})
+		evRed, evBase, _ := reduction(func(cfg sim.Config) Result {
+			return NewEvent(DefaultConfig(), sim.NewEngine(cfg)).Run(w.Open(), budget)
+		})
+
+		if fastBase.Instructions != evBase.Instructions {
+			t.Fatalf("%s: instruction counts differ: %d vs %d",
+				name, fastBase.Instructions, evBase.Instructions)
+		}
+		if fastBase.Mispredicts != evBase.Mispredicts {
+			t.Errorf("%s: mispredict counts differ: %d vs %d (same engine, same trace)",
+				name, fastBase.Mispredicts, evBase.Mispredicts)
+		}
+		ratio := float64(fastBase.Cycles) / float64(evBase.Cycles)
+		if ratio < 0.6 || ratio > 1.67 {
+			t.Errorf("%s: cycle counts diverge: fast=%d event=%d (ratio %.2f)",
+				name, fastBase.Cycles, evBase.Cycles, ratio)
+		}
+		if (fastRed > 0) != (evRed > 0) {
+			t.Errorf("%s: models disagree on the target cache's benefit: %.2f%% vs %.2f%%",
+				name, 100*fastRed, 100*evRed)
+		}
+		if diff := fastRed - evRed; diff > 0.12 || diff < -0.12 {
+			t.Errorf("%s: reduction estimates far apart: fast %.2f%% event %.2f%%",
+				name, 100*fastRed, 100*evRed)
+		}
+		t.Logf("%s: fast %d cycles (red %.2f%%), event %d cycles (red %.2f%%)",
+			name, fastBase.Cycles, 100*fastRed, evBase.Cycles, 100*evRed)
+	}
+}
+
+// TestEventModelBasics checks structural sanity of the event model alone.
+func TestEventModelBasics(t *testing.T) {
+	w, err := workload.ByName("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewEvent(DefaultConfig(), sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), 50_000)
+	if res.Instructions != 50_000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	if res.Cycles <= res.Instructions/int64(DefaultConfig().Width) {
+		t.Fatalf("cycles %d below the width bound", res.Cycles)
+	}
+	if ipc := res.IPC(); ipc <= 0 || ipc > 8 {
+		t.Fatalf("IPC %.2f implausible", ipc)
+	}
+}

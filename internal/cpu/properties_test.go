@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestWiderMachineNeverSlower checks a monotonicity property of both
+// timing models: increasing width and window (all else equal) must not
+// increase cycle count.
+func TestWiderMachineNeverSlower(t *testing.T) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 100_000
+	configs := []struct{ width, window int }{
+		{1, 16}, {2, 32}, {4, 64}, {8, 128}, {16, 256},
+	}
+	for _, model := range []string{"fast", "event"} {
+		prev := int64(1 << 62)
+		for _, c := range configs {
+			cfg := DefaultConfig()
+			cfg.Width, cfg.Window = c.width, c.window
+			var cycles int64
+			if model == "fast" {
+				cycles = New(cfg, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), budget).Cycles
+			} else {
+				cycles = NewEvent(cfg, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), budget).Cycles
+			}
+			// Allow 2% slack: wider fetch can shift which instructions
+			// share a cycle and perturb cache/predictor interleaving.
+			if float64(cycles) > float64(prev)*1.02 {
+				t.Errorf("%s model: %d-wide/%d-window slower than previous config (%d > %d)",
+					model, c.width, c.window, cycles, prev)
+			}
+			prev = cycles
+		}
+	}
+}
+
+// TestLongerMemoryLatencyCostsCycles checks the dcache path is live.
+func TestLongerMemoryLatencyCostsCycles(t *testing.T) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := DefaultConfig()
+	slow := DefaultConfig()
+	slow.MemLatency = 200
+	slow.DCacheBytes = 1024 // force misses
+	fast.DCacheBytes = 1024
+	a := New(fast, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), 100_000)
+	b := New(slow, sim.NewEngine(sim.DefaultConfig())).Run(w.Open(), 100_000)
+	if b.Cycles <= a.Cycles {
+		t.Fatalf("200-cycle memory (%d cycles) not slower than 10-cycle (%d)",
+			b.Cycles, a.Cycles)
+	}
+	if a.DCacheMisses != b.DCacheMisses {
+		t.Fatalf("same cache geometry must miss identically: %d vs %d",
+			a.DCacheMisses, b.DCacheMisses)
+	}
+}
+
+// TestPerfectPredictionUpperBound: an engine that never mispredicts (we
+// approximate with a huge warmed ITTAGE-free config by re-running the same
+// trace through a pre-trained engine) must not be slower than the cold
+// engine.
+func TestSecondPassFasterThanFirst(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 100_000
+	engine := sim.NewEngine(sim.DefaultConfig())
+	first := New(DefaultConfig(), engine).Run(w.Open(), budget)
+	second := New(DefaultConfig(), engine).Run(w.Open(), budget)
+	if second.Mispredicts > first.Mispredicts {
+		t.Fatalf("trained engine mispredicts more: %d vs %d",
+			second.Mispredicts, first.Mispredicts)
+	}
+	if second.Cycles > first.Cycles {
+		t.Fatalf("trained second pass slower: %d vs %d cycles",
+			second.Cycles, first.Cycles)
+	}
+}

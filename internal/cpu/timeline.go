@@ -1,0 +1,109 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Timeline captures per-instruction pipeline timing for a short window of
+// execution, for debugging the model and for pipeline diagrams: where
+// cycles go when an indirect jump mispredicts is the paper's whole
+// subject, and a diagram shows it directly.
+type Timeline struct {
+	// Entries are in program order.
+	Entries []TimelineEntry
+}
+
+// TimelineEntry is one instruction's passage through the machine.
+type TimelineEntry struct {
+	Record     trace.Record
+	Fetch      int64
+	Issue      int64
+	Complete   int64
+	Retire     int64
+	Mispredict bool
+}
+
+// RunTimeline runs the fast model for budget instructions, recording the
+// first maxEntries instructions' timing.
+func RunTimeline(src trace.Source, budget int64, engine *sim.Engine, cfg Config, maxEntries int) (Result, *Timeline) {
+	m := New(cfg, engine)
+	tl := &Timeline{}
+	m.observer = func(e TimelineEntry) {
+		if len(tl.Entries) < maxEntries {
+			tl.Entries = append(tl.Entries, e)
+		}
+	}
+	res := m.Run(src, budget)
+	return res, tl
+}
+
+// String renders the classic pipeline diagram: one row per instruction,
+// one column per cycle, with F (fetch), I (issue), C (complete), R
+// (retire) markers and dots for in-flight cycles. Mispredicted branches
+// are flagged with '!'.
+func (t *Timeline) String() string {
+	if len(t.Entries) == 0 {
+		return "(empty timeline)\n"
+	}
+	base := t.Entries[0].Fetch
+	end := int64(0)
+	for _, e := range t.Entries {
+		if e.Retire > end {
+			end = e.Retire
+		}
+	}
+	width := int(end-base) + 1
+	if width > 200 {
+		width = 200
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %s\n", "instruction", "cycles (F fetch, I issue, C complete, R retire)")
+	for _, e := range t.Entries {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		mark := func(cycle int64, c byte) {
+			i := int(cycle - base)
+			if i >= 0 && i < width {
+				if row[i] != ' ' {
+					// Stages sharing a cycle: keep the later-stage letter.
+					switch {
+					case c == 'R':
+						row[i] = 'R'
+					case c == 'C' && row[i] != 'R':
+						row[i] = 'C'
+					}
+					return
+				}
+				row[i] = c
+			}
+		}
+		for cy := e.Fetch + 1; cy < e.Retire; cy++ {
+			mark(cy, '.')
+		}
+		mark(e.Fetch, 'F')
+		mark(e.Issue, 'I')
+		mark(e.Complete, 'C')
+		mark(e.Retire, 'R')
+
+		desc := describeRecord(&e.Record)
+		flag := " "
+		if e.Mispredict {
+			flag = "!"
+		}
+		fmt.Fprintf(&b, "%s%-33s %s\n", flag, desc, strings.TrimRight(string(row), " "))
+	}
+	return b.String()
+}
+
+func describeRecord(r *trace.Record) string {
+	if r.Class.IsBranch() {
+		return fmt.Sprintf("%#07x %-11s ->%#x", r.PC, r.Class, r.Target)
+	}
+	return fmt.Sprintf("%#07x %s", r.PC, r.Op)
+}

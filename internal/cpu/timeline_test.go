@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestTimelineCapture(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tl := RunTimeline(w.Open(), 5_000, sim.NewEngine(sim.DefaultConfig()),
+		DefaultConfig(), 40)
+	if res.Instructions != 5_000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	if len(tl.Entries) != 40 {
+		t.Fatalf("captured %d entries, want 40", len(tl.Entries))
+	}
+	prevFetch := int64(-1)
+	for i, e := range tl.Entries {
+		if e.Fetch < prevFetch {
+			t.Fatalf("entry %d: fetch goes backwards (%d < %d)", i, e.Fetch, prevFetch)
+		}
+		prevFetch = e.Fetch
+		if e.Issue < e.Fetch || e.Complete < e.Issue || e.Retire < e.Complete {
+			t.Fatalf("entry %d: stage ordering violated: %+v", i, e)
+		}
+		if e.Issue-e.Fetch < int64(DefaultConfig().FrontEndDepth) {
+			t.Fatalf("entry %d: issue before the front end could deliver it", i)
+		}
+	}
+	out := tl.String()
+	for _, want := range []string{"F", "R", "instruction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineShowsMispredictPenalty(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a cold BTB the first indirect dispatch mispredicts; its
+	// successor's fetch must be pushed past the branch's completion.
+	_, tl := RunTimeline(w.Open(), 2_000, sim.NewEngine(sim.DefaultConfig()),
+		DefaultConfig(), 500)
+	found := false
+	for i := 0; i+1 < len(tl.Entries); i++ {
+		e := tl.Entries[i]
+		if e.Mispredict {
+			next := tl.Entries[i+1]
+			if next.Fetch <= e.Complete {
+				t.Fatalf("instruction after mispredict fetched at %d, before resolution at %d",
+					next.Fetch, e.Complete)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no misprediction in the first 500 instructions of a cold run")
+	}
+	if !strings.Contains(tl.String(), "!") {
+		t.Error("diagram does not flag the misprediction")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := &Timeline{}
+	if !strings.Contains(tl.String(), "empty") {
+		t.Error("empty timeline should say so")
+	}
+}

@@ -1,0 +1,161 @@
+package dirpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("always-taken branch predicted not-taken")
+	}
+	for i := 0; i < 100; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("always-not-taken branch predicted taken")
+	}
+}
+
+func TestLearnsAlternatingBranchViaHistory(t *testing.T) {
+	// An alternating branch defeats a 2-bit counter but is perfectly
+	// predictable with global history: after warmup the gshare predictor
+	// should be nearly always right.
+	p := New(Config{HistoryBits: 8, Scheme: SchemeGshare})
+	pc := uint64(0x4000)
+	taken := false
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		taken = !taken
+		pred := p.Predict(pc)
+		if i >= 1000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.Update(pc, taken)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Fatalf("alternating-branch accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestLearnsPeriodicPatternGAg(t *testing.T) {
+	p := New(Config{HistoryBits: 8, Scheme: SchemeGAg})
+	pattern := []bool{true, true, false, true, false, false}
+	correct, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		want := pattern[i%len(pattern)]
+		pred := p.Predict(0x100)
+		if i > 3000 {
+			total++
+			if pred == want {
+				correct++
+			}
+		}
+		p.Update(0x100, want)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.98 {
+		t.Fatalf("periodic-pattern accuracy = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		want := rng.Intn(2) == 0
+		if p.Predict(0x200) == want {
+			correct++
+		}
+		total++
+		p.Update(0x200, want)
+	}
+	acc := float64(correct) / float64(total)
+	if acc > 0.6 {
+		t.Fatalf("random branch accuracy %.3f suspiciously high", acc)
+	}
+}
+
+func TestPAgIsolatesBranches(t *testing.T) {
+	// Two interleaved branches: one alternating, one always-taken. A
+	// per-address scheme learns both without cross-pollution even though
+	// they interleave (which would scramble a pure GAg history).
+	p := New(Config{HistoryBits: 6, Scheme: SchemePAg})
+	alt := uint64(0x100)
+	always := uint64(0x204)
+	altTaken := false
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		altTaken = !altTaken
+		if i > 2000 {
+			total += 2
+			if p.Predict(alt) == altTaken {
+				correct++
+			}
+			if p.Predict(always) {
+				correct++
+			}
+		}
+		p.Update(alt, altTaken)
+		p.Update(always, true)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Fatalf("PAg accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestPAgPeriodicPerBranch(t *testing.T) {
+	p := New(Config{HistoryBits: 8, Scheme: SchemePAg})
+	pattern := []bool{true, true, true, false}
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		want := pattern[i%len(pattern)]
+		if i > 2000 {
+			total++
+			if p.Predict(0x400) == want {
+				correct++
+			}
+		}
+		p.Update(0x400, want)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.98 {
+		t.Fatalf("PAg periodic accuracy = %.3f", acc)
+	}
+	p.Reset()
+	// After reset the per-address registers must be cleared too.
+	if p.index(0x400) != 0 {
+		t.Fatal("per-address history survived reset")
+	}
+}
+
+func TestHistoryShared(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.History().Len() != DefaultConfig().HistoryBits {
+		t.Fatal("exposed history register has wrong length")
+	}
+	p.Update(0x100, true)
+	if p.History().Value() != 1 {
+		t.Fatal("history register not updated")
+	}
+	p.Reset()
+	if p.History().Value() != 0 {
+		t.Fatal("reset did not clear history")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid history length did not panic")
+		}
+	}()
+	New(Config{HistoryBits: 0})
+}

@@ -1,0 +1,205 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestPatternShift(t *testing.T) {
+	p := NewPattern(4)
+	outcomes := []bool{true, false, true, true}
+	for _, o := range outcomes {
+		p.Update(o)
+	}
+	// Most recent in LSB: 1,0,1,1 -> 0b1011.
+	if got := p.Value(); got != 0b1011 {
+		t.Fatalf("pattern = %#b, want 0b1011", got)
+	}
+	p.Update(false)
+	// Oldest bit falls off: 0,1,1,0 -> 0b0110.
+	if got := p.Value(); got != 0b0110 {
+		t.Fatalf("pattern after shift = %#b, want 0b0110", got)
+	}
+	p.Reset()
+	if p.Value() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+}
+
+func TestPatternMaskProperty(t *testing.T) {
+	f := func(updates []bool) bool {
+		p := NewPattern(9)
+		for _, u := range updates {
+			p.Update(u)
+		}
+		return p.Value() < 1<<9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternBadLengthPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPattern(%d) did not panic", n)
+				}
+			}()
+			NewPattern(n)
+		}()
+	}
+}
+
+func TestPathConfigValidate(t *testing.T) {
+	good := PathConfig{Bits: 9, BitsPerTarget: 1, AddrBitOffset: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []PathConfig{
+		{Bits: 0, BitsPerTarget: 1},
+		{Bits: 65, BitsPerTarget: 1},
+		{Bits: 4, BitsPerTarget: 0},
+		{Bits: 4, BitsPerTarget: 5},
+		{Bits: 9, BitsPerTarget: 1, AddrBitOffset: -1},
+		{Bits: 9, BitsPerTarget: 1, AddrBitOffset: 63},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPathFilterMatches(t *testing.T) {
+	cases := []struct {
+		f    PathFilter
+		c    trace.Class
+		want bool
+	}{
+		{FilterControl, trace.ClassCondDirect, true},
+		{FilterControl, trace.ClassUncondDirect, true},
+		{FilterControl, trace.ClassIndJump, true},
+		{FilterControl, trace.ClassOther, false},
+		{FilterBranch, trace.ClassCondDirect, true},
+		{FilterBranch, trace.ClassIndJump, false},
+		{FilterCallRet, trace.ClassCall, true},
+		{FilterCallRet, trace.ClassReturn, true},
+		{FilterCallRet, trace.ClassIndCall, true},
+		{FilterCallRet, trace.ClassCondDirect, false},
+		{FilterIndJmp, trace.ClassIndJump, true},
+		{FilterIndJmp, trace.ClassIndCall, true},
+		{FilterIndJmp, trace.ClassReturn, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Matches(tc.c); got != tc.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", tc.f, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestGlobalPathShifting(t *testing.T) {
+	p := NewPath(PathConfig{Bits: 6, BitsPerTarget: 2, AddrBitOffset: 2,
+		Filter: FilterIndJmp})
+	r := trace.Record{Class: trace.ClassIndJump, Taken: true, Target: 0b1100} // bits 2..3 = 0b11
+	p.Observe(&r)
+	if got := p.Value(0); got != 0b11 {
+		t.Fatalf("path = %#b, want 0b11", got)
+	}
+	r.Target = 0b0100 // bits 2..3 = 0b01
+	p.Observe(&r)
+	if got := p.Value(0); got != 0b1101 {
+		t.Fatalf("path = %#b, want 0b1101", got)
+	}
+	// Non-matching classes must not shift.
+	r2 := trace.Record{Class: trace.ClassCondDirect, Taken: true, Target: 0xfff}
+	p.Observe(&r2)
+	if got := p.Value(0); got != 0b1101 {
+		t.Fatalf("filtered class shifted history: %#b", got)
+	}
+}
+
+func TestGlobalPathNotTakenUsesFallThrough(t *testing.T) {
+	p := NewPath(PathConfig{Bits: 4, BitsPerTarget: 4, AddrBitOffset: 2,
+		Filter: FilterBranch})
+	r := trace.Record{PC: 0x100, Target: 0x200, Class: trace.ClassCondDirect, Taken: false}
+	p.Observe(&r)
+	want := (r.FallThrough() >> 2) & 0xf
+	if got := p.Value(0); got != want {
+		t.Fatalf("not-taken path = %#x, want %#x", got, want)
+	}
+}
+
+func TestPerAddressPath(t *testing.T) {
+	p := NewPath(PathConfig{Bits: 4, BitsPerTarget: 1, AddrBitOffset: 2, PerAddress: true})
+	a := trace.Record{PC: 0x100, Target: 0x4, Class: trace.ClassIndJump, Taken: true}
+	b := trace.Record{PC: 0x200, Target: 0x0, Class: trace.ClassIndJump, Taken: true}
+	p.Observe(&a)
+	p.Observe(&b)
+	if got := p.Value(0x100); got != 1 {
+		t.Fatalf("per-addr history for 0x100 = %d, want 1", got)
+	}
+	if got := p.Value(0x200); got != 0 {
+		t.Fatalf("per-addr history for 0x200 = %d, want 0", got)
+	}
+	if got := p.Value(0x999); got != 0 {
+		t.Fatalf("unseen jump history = %d, want 0", got)
+	}
+	// Conditional branches must not touch per-address registers.
+	c := trace.Record{PC: 0x100, Target: 0x4, Class: trace.ClassCondDirect, Taken: true}
+	p.Observe(&c)
+	if got := p.Value(0x100); got != 1 {
+		t.Fatalf("conditional branch updated per-addr history: %d", got)
+	}
+	p.Reset()
+	if got := p.Value(0x100); got != 0 {
+		t.Fatal("reset did not clear per-address registers")
+	}
+}
+
+func TestPathMaskProperty(t *testing.T) {
+	f := func(targets []uint32) bool {
+		p := NewPath(PathConfig{Bits: 9, BitsPerTarget: 3, AddrBitOffset: 2,
+			Filter: FilterControl})
+		for _, tg := range targets {
+			r := trace.Record{Class: trace.ClassUncondDirect, Taken: true,
+				Target: uint64(tg)}
+			p.Observe(&r)
+		}
+		return p.Value(0) < 1<<9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternProvider(t *testing.T) {
+	p := NewPatternProvider(4)
+	cond := trace.Record{Class: trace.ClassCondDirect, Taken: true}
+	other := trace.Record{Class: trace.ClassIndJump, Taken: true, Target: 4}
+	p.Observe(&cond)
+	p.Observe(&other) // must not shift
+	if got := p.Value(0x1234); got != 1 {
+		t.Fatalf("provider value = %d, want 1", got)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestPathName(t *testing.T) {
+	per := PathConfig{Bits: 9, BitsPerTarget: 1, PerAddress: true}
+	if per.Name() != "per-addr" {
+		t.Fatalf("Name = %q", per.Name())
+	}
+	glob := PathConfig{Bits: 9, BitsPerTarget: 1, Filter: FilterIndJmp}
+	if glob.Name() != "ind jmp" {
+		t.Fatalf("Name = %q", glob.Name())
+	}
+}

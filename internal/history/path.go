@@ -1,0 +1,181 @@
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// PathFilter selects which control-flow instructions contribute their
+// targets to a global path history register (the paper's four global-scheme
+// variations).
+type PathFilter uint8
+
+const (
+	// FilterControl records the target of every instruction that can
+	// redirect the instruction stream.
+	FilterControl PathFilter = iota
+	// FilterBranch records only the targets of conditional branches.
+	FilterBranch
+	// FilterCallRet records only the targets of procedure calls and
+	// returns.
+	FilterCallRet
+	// FilterIndJmp records only the targets of indirect jumps.
+	FilterIndJmp
+)
+
+// String returns the paper's name for the filter.
+func (f PathFilter) String() string {
+	switch f {
+	case FilterControl:
+		return "control"
+	case FilterBranch:
+		return "branch"
+	case FilterCallRet:
+		return "call/ret"
+	case FilterIndJmp:
+		return "ind jmp"
+	default:
+		return fmt.Sprintf("PathFilter(%d)", uint8(f))
+	}
+}
+
+// Matches reports whether a record of class c passes the filter.
+func (f PathFilter) Matches(c trace.Class) bool {
+	switch f {
+	case FilterControl:
+		return c.IsBranch()
+	case FilterBranch:
+		return c == trace.ClassCondDirect
+	case FilterCallRet:
+		return c == trace.ClassCall || c == trace.ClassReturn ||
+			c == trace.ClassIndCall
+	case FilterIndJmp:
+		return c == trace.ClassIndJump || c == trace.ClassIndCall
+	default:
+		return false
+	}
+}
+
+// PathConfig describes a path history register file.
+type PathConfig struct {
+	// Bits is the register length n; when a branch is recorded,
+	// BitsPerTarget bits from its target are shifted in, so the register
+	// remembers roughly n/BitsPerTarget recent branches.
+	Bits int
+	// BitsPerTarget is how many bits of each recorded target enter the
+	// register (the paper sweeps 1..3 in Table 6).
+	BitsPerTarget int
+	// AddrBitOffset is the bit position within the target address where
+	// extraction starts. The paper finds lower bits work best; instructions
+	// are word aligned, so offset 2 is the lowest useful bit (Table 5).
+	AddrBitOffset int
+	// PerAddress selects the per-address scheme: one register per static
+	// indirect jump, recording that jump's own recent targets. When false
+	// the scheme is global and Filter selects what is recorded.
+	PerAddress bool
+	// Filter is the global-scheme branch-type filter (ignored when
+	// PerAddress is set).
+	Filter PathFilter
+}
+
+// Validate checks the configuration.
+func (c PathConfig) Validate() error {
+	if c.Bits < 1 || c.Bits > 64 {
+		return fmt.Errorf("history: invalid path length %d", c.Bits)
+	}
+	if c.BitsPerTarget < 1 || c.BitsPerTarget > c.Bits {
+		return fmt.Errorf("history: invalid bits-per-target %d for %d-bit register",
+			c.BitsPerTarget, c.Bits)
+	}
+	if c.AddrBitOffset < 0 || c.AddrBitOffset > 62 {
+		return fmt.Errorf("history: invalid address bit offset %d", c.AddrBitOffset)
+	}
+	return nil
+}
+
+// Name returns the paper's name for the scheme ("per-addr" or the global
+// filter name).
+func (c PathConfig) Name() string {
+	if c.PerAddress {
+		return "per-addr"
+	}
+	return c.Filter.String()
+}
+
+// Path is a path history register file configured by PathConfig.
+type Path struct {
+	cfg     PathConfig
+	mask    uint64
+	chunk   uint64
+	global  uint64
+	perAddr map[uint64]uint64
+}
+
+// NewPath returns a register file for cfg. It panics on invalid
+// configuration (configs are static experiment inputs).
+func NewPath(cfg PathConfig) *Path {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Path{
+		cfg:   cfg,
+		mask:  (uint64(1)<<cfg.Bits - 1),
+		chunk: (uint64(1)<<cfg.BitsPerTarget - 1),
+	}
+	if cfg.Bits == 64 {
+		p.mask = ^uint64(0)
+	}
+	if cfg.PerAddress {
+		p.perAddr = make(map[uint64]uint64)
+	}
+	return p
+}
+
+// Config returns the configuration.
+func (p *Path) Config() PathConfig { return p.cfg }
+
+// extract pulls BitsPerTarget bits of addr starting at AddrBitOffset.
+func (p *Path) extract(addr uint64) uint64 {
+	return (addr >> uint(p.cfg.AddrBitOffset)) & p.chunk
+}
+
+// Observe records a resolved instruction. For the global scheme, the
+// targets of instructions passing the filter are shifted in; a not-taken
+// conditional branch contributes its fall-through address (the next basic
+// block on the path, as in Nair's path-based correlation). For the
+// per-address scheme, only indirect jumps update their own registers, with
+// the computed target.
+func (p *Path) Observe(r *trace.Record) {
+	if p.cfg.PerAddress {
+		if r.Class.IsTargetCachePredicted() {
+			h := p.perAddr[r.PC]
+			h = (h<<uint(p.cfg.BitsPerTarget) | p.extract(r.Target)) & p.mask
+			p.perAddr[r.PC] = h
+		}
+		return
+	}
+	if !p.cfg.Filter.Matches(r.Class) {
+		return
+	}
+	p.global = (p.global<<uint(p.cfg.BitsPerTarget) | p.extract(r.NextPC())) & p.mask
+}
+
+// Value returns the history used to predict the indirect jump at pc.
+func (p *Path) Value(pc uint64) uint64 {
+	if p.cfg.PerAddress {
+		return p.perAddr[pc]
+	}
+	return p.global
+}
+
+// Len returns the register length in bits.
+func (p *Path) Len() int { return p.cfg.Bits }
+
+// Reset clears all registers.
+func (p *Path) Reset() {
+	p.global = 0
+	if p.perAddr != nil {
+		p.perAddr = make(map[uint64]uint64)
+	}
+}

@@ -1,0 +1,50 @@
+// Package history implements the branch-history registers of the paper's
+// Section 3.1: the global pattern history register (the last n conditional
+// branch outcomes, shared with the two-level direction predictor) and path
+// history registers (bits of the target addresses of recent branches),
+// either one global register with a branch-type filter or one register per
+// static indirect jump.
+package history
+
+import "fmt"
+
+// Pattern is a global pattern history register: a shift register of the
+// outcomes of the last n conditional branches, most recent in the least
+// significant bit. This is the same register a two-level branch predictor
+// maintains, so "no extra hardware is required to maintain the branch
+// history for the target cache".
+type Pattern struct {
+	bits uint64
+	n    int
+	mask uint64
+}
+
+// NewPattern returns a pattern history register of n bits (1..64).
+func NewPattern(n int) *Pattern {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("history: invalid pattern length %d", n))
+	}
+	mask := ^uint64(0)
+	if n < 64 {
+		mask = (uint64(1) << n) - 1
+	}
+	return &Pattern{n: n, mask: mask}
+}
+
+// Update shifts one conditional-branch outcome into the register.
+func (p *Pattern) Update(taken bool) {
+	p.bits <<= 1
+	if taken {
+		p.bits |= 1
+	}
+	p.bits &= p.mask
+}
+
+// Value returns the current history value (n bits).
+func (p *Pattern) Value() uint64 { return p.bits }
+
+// Len returns the register length in bits.
+func (p *Pattern) Len() int { return p.n }
+
+// Reset clears the register.
+func (p *Pattern) Reset() { p.bits = 0 }

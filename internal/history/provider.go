@@ -1,0 +1,44 @@
+package history
+
+import "repro/internal/trace"
+
+// Provider is the interface the prediction drivers use to obtain the branch
+// history that indexes a target cache, abstracting over pattern history and
+// the path-history variants.
+type Provider interface {
+	// Value returns the history used to predict the indirect jump at pc.
+	Value(pc uint64) uint64
+	// Observe records a resolved instruction into the history.
+	Observe(r *trace.Record)
+	// Len returns the history length in bits.
+	Len() int
+	// Reset clears the history.
+	Reset()
+}
+
+// PatternProvider adapts Pattern to Provider: the global register is shared
+// by all branches and updated with conditional-branch outcomes.
+type PatternProvider struct {
+	*Pattern
+}
+
+// NewPatternProvider returns a Provider over an n-bit global pattern
+// history register.
+func NewPatternProvider(n int) PatternProvider {
+	return PatternProvider{NewPattern(n)}
+}
+
+// Value implements Provider; pattern history is global so pc is ignored.
+func (p PatternProvider) Value(pc uint64) uint64 { return p.Pattern.Value() }
+
+// Observe implements Provider, shifting in conditional-branch outcomes.
+func (p PatternProvider) Observe(r *trace.Record) {
+	if r.Class == trace.ClassCondDirect {
+		p.Pattern.Update(r.Taken)
+	}
+}
+
+var (
+	_ Provider = PatternProvider{}
+	_ Provider = (*Path)(nil)
+)

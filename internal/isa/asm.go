@@ -1,0 +1,424 @@
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the toy ISA's textual assembly into a Program. The
+// syntax (full example in testdata and the examples tree):
+//
+//	; comments run to end of line
+//	.name demo          ; program name
+//	.base 0x1000        ; code base address
+//
+//	.data               ; data directives (word addresses assigned in order)
+//	tbl:   .words 4             ; reserve 4 zero words
+//	vals:  .word 7, 9, -1       ; initialised words
+//	jtab:  .word &h0, &h1       ; code-label addresses (jump table)
+//	rnd:   .rand 256 0xbeef     ; 256 seeded pseudo-random words
+//
+//	.text               ; instructions
+//	start: li   r1, vals        ; load immediate (number or data label)
+//	       ld   r2, 8(r1)       ; load word
+//	       st   r2, 0(r1)       ; store word
+//	       add  r3, r1, r2      ; ALU: add sub and or xor mul div sll srl
+//	       addi r3, r1, 4       ;   immediate forms: <op>i
+//	       beq  r1, r2, start   ; branches: beq bne blt bge
+//	       j    start           ; direct jump / call / ret
+//	       call fn
+//	       jr   r5              ; indirect jump (register)
+//	       jr   r5, r3          ;   with a selector register for the trace
+//	       callr r5             ; indirect call (optionally with selector)
+//	       nop
+//	       halt
+//
+// The entry point is the label `start` if defined, else the first
+// instruction.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		name:     "asm",
+		base:     0x1000,
+		dataSyms: map[string]int64{},
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+type dataFixup struct {
+	wordIndex int
+	label     string
+	line      int
+}
+
+type assembler struct {
+	name     string
+	base     uint64
+	b        *Builder
+	data     []int64
+	dataSyms map[string]int64
+	dataFix  []dataFixup
+	inData   bool
+	sawText  bool
+	hasStart bool
+}
+
+func (a *assembler) parse(src string) error {
+	// First pass collects directives that must precede the Builder
+	// (.name/.base may appear anywhere before .text).
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		line := stripComment(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == ".name" && len(fields) == 2 {
+			a.name = fields[1]
+		}
+		if fields[0] == ".base" && len(fields) == 2 {
+			v, err := parseInt(fields[1])
+			if err != nil || v < 0 || v%4 != 0 {
+				return fmt.Errorf("line %d: bad .base %q", i+1, fields[1])
+			}
+			a.base = uint64(v)
+		}
+	}
+	a.b = NewBuilder(a.name, a.base)
+
+	for i, raw := range lines {
+		if err := a.parseLine(stripComment(raw), i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func (a *assembler) parseLine(line string, n int) error {
+	if line == "" {
+		return nil
+	}
+	// Leading label.
+	if i := strings.IndexByte(line, ':'); i >= 0 && isIdent(line[:i]) {
+		label := line[:i]
+		if a.inData {
+			if _, dup := a.dataSyms[label]; dup {
+				return fmt.Errorf("line %d: duplicate data label %q", n, label)
+			}
+			a.dataSyms[label] = int64(len(a.data)) * 8
+		} else {
+			if label == "start" {
+				a.hasStart = true
+			}
+			a.b.Label(label)
+		}
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	op, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch op {
+	case ".name", ".base":
+		return nil // handled in the pre-pass
+	case ".data":
+		a.inData = true
+		return nil
+	case ".text":
+		a.inData = false
+		a.sawText = true
+		return nil
+	}
+	if a.inData {
+		return a.parseData(op, rest, n)
+	}
+	return a.parseInstr(op, rest, n)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) parseData(op, rest string, n int) error {
+	switch op {
+	case ".word":
+		for _, f := range splitArgs(rest) {
+			if strings.HasPrefix(f, "&") {
+				a.dataFix = append(a.dataFix, dataFixup{len(a.data), f[1:], n})
+				a.data = append(a.data, 0)
+				continue
+			}
+			if addr, ok := a.dataSyms[f]; ok {
+				a.data = append(a.data, addr)
+				continue
+			}
+			v, err := parseInt(f)
+			if err != nil {
+				return fmt.Errorf("line %d: bad word %q", n, f)
+			}
+			a.data = append(a.data, v)
+		}
+		return nil
+	case ".words":
+		v, err := parseInt(rest)
+		if err != nil || v < 0 || v > 1<<24 {
+			return fmt.Errorf("line %d: bad .words count %q", n, rest)
+		}
+		a.data = append(a.data, make([]int64, v)...)
+		return nil
+	case ".rand":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: .rand wants <count> <seed>", n)
+		}
+		count, err1 := parseInt(fields[0])
+		seed, err2 := parseInt(fields[1])
+		if err1 != nil || err2 != nil || count < 0 || count > 1<<24 {
+			return fmt.Errorf("line %d: bad .rand arguments", n)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := int64(0); i < count; i++ {
+			a.data = append(a.data, int64(rng.Uint64()>>1))
+		}
+		return nil
+	default:
+		return fmt.Errorf("line %d: unknown data directive %q", n, op)
+	}
+}
+
+// aluOps maps mnemonics to ALU functions.
+var aluOps = map[string]AluOp{
+	"add": AluAdd, "sub": AluSub, "and": AluAnd, "or": AluOr,
+	"xor": AluXor, "mul": AluMul, "div": AluDiv, "sll": AluSll, "srl": AluSrl,
+}
+
+// branchOps maps mnemonics to conditions.
+var branchOps = map[string]Cond{
+	"beq": CondEQ, "bne": CondNE, "blt": CondLT, "bge": CondGE,
+}
+
+func (a *assembler) parseInstr(op, rest string, n int) error {
+	args := splitArgs(rest)
+	bad := func() error {
+		return fmt.Errorf("line %d: bad operands for %q: %q", n, op, rest)
+	}
+	if alu, ok := aluOps[op]; ok {
+		if len(args) != 3 {
+			return bad()
+		}
+		d, e1 := a.reg(args[0])
+		s1, e2 := a.reg(args[1])
+		s2, e3 := a.reg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad()
+		}
+		a.b.ALU(alu, d, s1, s2)
+		return nil
+	}
+	if strings.HasSuffix(op, "i") {
+		if alu, ok := aluOps[strings.TrimSuffix(op, "i")]; ok {
+			if len(args) != 3 {
+				return bad()
+			}
+			d, e1 := a.reg(args[0])
+			s1, e2 := a.reg(args[1])
+			imm, e3 := a.imm(args[2])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return bad()
+			}
+			a.b.ALUI(alu, d, s1, imm)
+			return nil
+		}
+	}
+	if cond, ok := branchOps[op]; ok {
+		if len(args) != 3 {
+			return bad()
+		}
+		s1, e1 := a.reg(args[0])
+		s2, e2 := a.reg(args[1])
+		if e1 != nil || e2 != nil || !isIdent(args[2]) {
+			return bad()
+		}
+		a.b.Br(cond, s1, s2, args[2])
+		return nil
+	}
+	switch op {
+	case "nop":
+		a.b.Nop()
+	case "halt":
+		a.b.Halt()
+	case "ret":
+		a.b.Ret()
+	case "li":
+		if len(args) != 2 {
+			return bad()
+		}
+		d, e1 := a.reg(args[0])
+		imm, e2 := a.imm(args[1])
+		if e1 != nil || e2 != nil {
+			return bad()
+		}
+		a.b.LoadImm(d, imm)
+	case "ld", "st":
+		if len(args) != 2 {
+			return bad()
+		}
+		r1, e1 := a.reg(args[0])
+		base, off, e2 := a.memOperand(args[1])
+		if e1 != nil || e2 != nil {
+			return bad()
+		}
+		if op == "ld" {
+			a.b.Load(r1, base, off)
+		} else {
+			a.b.Store(base, off, r1)
+		}
+	case "j", "call":
+		if len(args) != 1 || !isIdent(args[0]) {
+			return bad()
+		}
+		if op == "j" {
+			a.b.Jmp(args[0])
+		} else {
+			a.b.Call(args[0])
+		}
+	case "jr", "callr":
+		if len(args) != 1 && len(args) != 2 {
+			return bad()
+		}
+		r, err := a.reg(args[0])
+		if err != nil {
+			return bad()
+		}
+		var sel Reg
+		hasSel := len(args) == 2
+		if hasSel {
+			sel, err = a.reg(args[1])
+			if err != nil {
+				return bad()
+			}
+		}
+		switch {
+		case op == "jr" && hasSel:
+			a.b.JmpIndSel(r, sel)
+		case op == "jr":
+			a.b.JmpInd(r)
+		case hasSel:
+			a.b.CallIndSel(r, sel)
+		default:
+			a.b.CallInd(r)
+		}
+	default:
+		return fmt.Errorf("line %d: unknown instruction %q", n, op)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (a *assembler) reg(s string) (Reg, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 || v >= NumRegs {
+		return 0, fmt.Errorf("isa: bad register %q", s)
+	}
+	return Reg(v), nil
+}
+
+// imm parses an immediate: a number or a data label.
+func (a *assembler) imm(s string) (int64, error) {
+	if addr, ok := a.dataSyms[s]; ok {
+		return addr, nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return 0, fmt.Errorf("isa: bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "off(rN)".
+func (a *assembler) memOperand(s string) (Reg, int64, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("isa: bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := a.imm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := a.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func (a *assembler) finish() (*Program, error) {
+	if !a.sawText {
+		return nil, fmt.Errorf("isa: %s: no .text section", a.name)
+	}
+	for _, w := range a.data {
+		a.b.Word(w)
+	}
+	if a.hasStart {
+		a.b.SetEntry("start")
+	}
+	prog, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range a.dataFix {
+		addr, ok := a.b.AddrOfLabel(f.label)
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined code label &%s", f.line, f.label)
+		}
+		prog.Data[f.wordIndex] = int64(addr)
+	}
+	return prog, nil
+}

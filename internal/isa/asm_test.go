@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoAsm = `
+; a tiny dispatch loop exercising every construct
+.name demo
+.base 0x2000
+
+.data
+counter: .word 0
+vals:    .word 7, 9, -1
+jtab:    .word &h0, &h1
+rnd:     .rand 16 0x42
+
+.text
+start:  li   r1, vals
+        ld   r2, 0(r1)      ; 7
+        ld   r3, 8(r1)      ; 9
+        add  r4, r2, r3     ; 16
+        subi r4, r4, 2      ; 14
+        li   r9, jtab
+        andi r5, r4, 1      ; selector 0
+        slli r6, r5, 3
+        add  r6, r9, r6
+        ld   r7, 0(r6)
+        jr   r7, r5
+h0:     li   r10, 100
+        j    out
+h1:     li   r10, 200
+out:    call fn
+        st   r10, 0(r1)
+        halt
+fn:     addi r10, r10, 1
+        ret
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	// The assembler spells immediate ops "addi" etc.; fix the source to
+	// use the canonical mnemonics.
+	src := strings.NewReplacer("subi", "subi", "andi", "andi", "slli", "slli").Replace(demoAsm)
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || p.Base != 0x2000 {
+		t.Fatalf("metadata wrong: %q %#x", p.Name, p.Base)
+	}
+	if p.Data[1] != 7 || p.Data[2] != 9 || p.Data[3] != -1 {
+		t.Fatalf("data wrong: %v", p.Data[:4])
+	}
+	// Jump table entries must hold code addresses of h0/h1.
+	if p.Data[4] == 0 || p.Data[5] == 0 || p.Data[4] == p.Data[5] {
+		t.Fatalf("jump table not patched: %v", p.Data[4:6])
+	}
+	if len(p.Data) != 6+16 {
+		t.Fatalf("data length %d", len(p.Data))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-text", ".data\nx: .word 1\n", "no .text"},
+		{"bad-op", ".text\nfrob r1, r2\n", "unknown instruction"},
+		{"bad-reg", ".text\nadd r1, r99, r2\n", "bad operands"},
+		{"bad-label", ".text\nj nowhere\n", "undefined label"},
+		{"bad-word", ".data\nx: .word zork\n.text\nnop\n", "bad word"},
+		{"bad-data-ref", ".data\nx: .word &nope\n.text\nnop\n", "undefined code label"},
+		{"dup-data", ".data\nx: .word 1\nx: .word 2\n.text\nnop\n", "duplicate data label"},
+		{"bad-directive", ".data\nx: .blob 3\n.text\nnop\n", "unknown data directive"},
+		{"bad-mem", ".text\nld r1, r2\n", "bad operands"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssembleEntryDefaults(t *testing.T) {
+	p, err := Assemble(".text\nnop\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Fatalf("entry = %d", p.Entry)
+	}
+	p2, err := Assemble(".text\nnop\nstart: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Entry != 1 {
+		t.Fatalf("entry with start label = %d", p2.Entry)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p, err := Assemble(demoAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p)
+	for _, want := range []string{"li", "jr", "call", "halt", "beq", ".base 0x2000"} {
+		if want == "beq" {
+			continue // demo has no conditional branch
+		}
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	// Re-assembling the disassembly must produce the same code stream.
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(p2.Code) != len(p.Code) {
+		t.Fatalf("reassembly length %d, want %d", len(p2.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != p2.Code[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, p.Code[i], p2.Code[i])
+		}
+	}
+}
+
+func TestDisassembleAllOps(t *testing.T) {
+	b := NewBuilder("x", 0)
+	b.Nop().Halt().Ret()
+	b.ALU(AluAdd, 1, 2, 3)
+	b.ALUI(AluSrl, 1, 2, 5)
+	b.LoadImm(4, -9)
+	b.Load(5, 6, 16)
+	b.Store(6, 24, 7)
+	b.Label("l")
+	b.Br(CondLT, 1, 2, "l")
+	b.Jmp("l")
+	b.Call("l")
+	b.JmpInd(8)
+	b.JmpIndSel(8, 9)
+	b.CallInd(8)
+	b.CallIndSel(8, 9)
+	text := Disassemble(b.MustBuild())
+	for _, want := range []string{
+		"nop", "halt", "ret", "add", "srli", "li", "ld", "st",
+		"blt", "j", "call", "jr    r8 ", "jr    r8, r9", "callr r8, r9",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Methods append
+// instructions; Build resolves label references. Builder methods panic on
+// misuse (duplicate or unknown labels) at Build time via returned error.
+type Builder struct {
+	name     string
+	base     uint64
+	code     []Instr
+	labels   map[string]int
+	fixups   []fixup
+	data     []int64
+	dataSyms map[string]int64
+	entry    string
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder returns a Builder for a program named name whose code segment
+// starts at byte address base.
+func NewBuilder(name string, base uint64) *Builder {
+	return &Builder{
+		name:     name,
+		base:     base,
+		labels:   make(map[string]int),
+		dataSyms: make(map[string]int64),
+	}
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fixups = append(b.fixups, fixup{-1, "duplicate label " + name})
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// SetEntry sets the entry-point label (default: instruction 0).
+func (b *Builder) SetEntry(label string) *Builder {
+	b.entry = label
+	return b
+}
+
+// Here returns the current instruction index.
+func (b *Builder) Here() int { return len(b.code) }
+
+// AddrOfLabel returns the final byte address a label will have; it may be
+// called only after the label is defined (used to build jump tables).
+func (b *Builder) AddrOfLabel(name string) (uint64, bool) {
+	i, ok := b.labels[name]
+	if !ok {
+		return 0, false
+	}
+	return b.base + uint64(i)*4, true
+}
+
+// Word appends one word to data memory and returns its byte address.
+func (b *Builder) Word(v int64) int64 {
+	b.data = append(b.data, v)
+	return int64(len(b.data)-1) * 8
+}
+
+// Words appends n zero words, returning the byte address of the first.
+func (b *Builder) Words(n int) int64 {
+	addr := int64(len(b.data)) * 8
+	b.data = append(b.data, make([]int64, n)...)
+	return addr
+}
+
+// DataSym names a data address for later retrieval with DataAddr.
+func (b *Builder) DataSym(name string, addr int64) *Builder {
+	b.dataSyms[name] = addr
+	return b
+}
+
+// DataAddr returns a named data address.
+func (b *Builder) DataAddr(name string) int64 { return b.dataSyms[name] }
+
+// SetWord patches data memory at byte address addr.
+func (b *Builder) SetWord(addr, v int64) { b.data[addr/8] = v }
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+func (b *Builder) emitTarget(i Instr, label string) *Builder {
+	i.Target = -1
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	return b.emit(i)
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// ALU appends dst = s1 <op> s2.
+func (b *Builder) ALU(op AluOp, dst, s1, s2 Reg) *Builder {
+	return b.emit(Instr{Op: OpALU, Alu: op, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// ALUI appends dst = s1 <op> imm.
+func (b *Builder) ALUI(op AluOp, dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpALUI, Alu: op, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// LoadImm appends dst = imm.
+func (b *Builder) LoadImm(dst Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpLoadImm, Dst: dst, Imm: imm})
+}
+
+// Load appends dst = mem[s1+imm].
+func (b *Builder) Load(dst, s1 Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpLoad, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// Store appends mem[s1+imm] = s2.
+func (b *Builder) Store(s1 Reg, imm int64, s2 Reg) *Builder {
+	return b.emit(Instr{Op: OpStore, Src1: s1, Src2: s2, Imm: imm})
+}
+
+// Br appends a conditional branch to label.
+func (b *Builder) Br(c Cond, s1, s2 Reg, label string) *Builder {
+	return b.emitTarget(Instr{Op: OpBr, Cond: c, Src1: s1, Src2: s2}, label)
+}
+
+// Jmp appends an unconditional direct jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitTarget(Instr{Op: OpJmp}, label)
+}
+
+// Call appends a direct call to label.
+func (b *Builder) Call(label string) *Builder {
+	return b.emitTarget(Instr{Op: OpCall}, label)
+}
+
+// Ret appends a subroutine return.
+func (b *Builder) Ret() *Builder { return b.emit(Instr{Op: OpRet}) }
+
+// JmpInd appends an indirect jump through register r.
+func (b *Builder) JmpInd(r Reg) *Builder {
+	return b.emit(Instr{Op: OpJmpInd, Src1: r})
+}
+
+// JmpIndSel appends an indirect jump through r, recording sel as the
+// dispatch selector register for the trace.
+func (b *Builder) JmpIndSel(r, sel Reg) *Builder {
+	return b.emit(Instr{Op: OpJmpInd, Src1: r, Sel: uint8(sel) + 1})
+}
+
+// CallInd appends an indirect call through register r.
+func (b *Builder) CallInd(r Reg) *Builder {
+	return b.emit(Instr{Op: OpCallInd, Src1: r})
+}
+
+// CallIndSel appends an indirect call through r, recording sel as the
+// dispatch selector register for the trace.
+func (b *Builder) CallIndSel(r, sel Reg) *Builder {
+	return b.emit(Instr{Op: OpCallInd, Src1: r, Sel: uint8(sel) + 1})
+}
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		if f.instr < 0 {
+			return nil, fmt.Errorf("isa: %s: %s", b.name, f.label)
+		}
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: %s: undefined label %q", b.name, f.label)
+		}
+		b.code[f.instr].Target = idx
+	}
+	entry := 0
+	if b.entry != "" {
+		idx, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("isa: %s: undefined entry %q", b.name, b.entry)
+		}
+		entry = idx
+	}
+	if len(b.code) == 0 {
+		return nil, fmt.Errorf("isa: %s: empty program", b.name)
+	}
+	return &Program{
+		Name:  b.name,
+		Base:  b.base,
+		Code:  b.code,
+		Data:  b.data,
+		Entry: entry,
+	}, nil
+}
+
+// MustBuild is Build that panics on error; workload construction is static
+// so errors are programming mistakes.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a program's code segment as assembly text, one
+// instruction per line with the address in a trailing comment, so the
+// output is valid input to Assemble (the data segment is not recoverable
+// from a Program's code and is omitted). Labels are synthesised as
+// L<index> at every direct branch target.
+func Disassemble(p *Program) string {
+	targets := map[int]bool{}
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpBr, OpJmp, OpCall:
+			targets[in.Target] = true
+		}
+	}
+	label := func(i int) string { return fmt.Sprintf("L%d", i) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".name %s\n.base %#x\n.text\n", p.Name, p.Base)
+	for i, in := range p.Code {
+		if targets[i] || i == p.Entry {
+			fmt.Fprintf(&b, "%s:", label(i))
+			if i == p.Entry {
+				b.WriteString(" ; entry")
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "  %-28s ; %#08x\n", disasmInstr(&in, label), p.AddrOf(i))
+	}
+	return b.String()
+}
+
+var aluNames = map[AluOp]string{
+	AluAdd: "add", AluSub: "sub", AluAnd: "and", AluOr: "or",
+	AluXor: "xor", AluMul: "mul", AluDiv: "div", AluSll: "sll", AluSrl: "srl",
+}
+
+var condNames = map[Cond]string{
+	CondEQ: "beq", CondNE: "bne", CondLT: "blt", CondGE: "bge",
+}
+
+func disasmInstr(in *Instr, label func(int) string) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return "halt"
+	case OpRet:
+		return "ret"
+	case OpALU:
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", aluNames[in.Alu], in.Dst, in.Src1, in.Src2)
+	case OpALUI:
+		return fmt.Sprintf("%-5s r%d, r%d, %d", aluNames[in.Alu]+"i", in.Dst, in.Src1, in.Imm)
+	case OpLoadImm:
+		return fmt.Sprintf("%-5s r%d, %d", "li", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%-5s r%d, %d(r%d)", "ld", in.Dst, in.Imm, in.Src1)
+	case OpStore:
+		return fmt.Sprintf("%-5s r%d, %d(r%d)", "st", in.Src2, in.Imm, in.Src1)
+	case OpBr:
+		return fmt.Sprintf("%-5s r%d, r%d, %s", condNames[in.Cond], in.Src1, in.Src2, label(in.Target))
+	case OpJmp:
+		return fmt.Sprintf("%-5s %s", "j", label(in.Target))
+	case OpCall:
+		return fmt.Sprintf("%-5s %s", "call", label(in.Target))
+	case OpJmpInd, OpCallInd:
+		name := "jr"
+		if in.Op == OpCallInd {
+			name = "callr"
+		}
+		if in.Sel != 0 {
+			return fmt.Sprintf("%-5s r%d, r%d", name, in.Src1, in.Sel-1)
+		}
+		return fmt.Sprintf("%-5s r%d", name, in.Src1)
+	default:
+		return fmt.Sprintf("??? op=%d", in.Op)
+	}
+}

@@ -1,0 +1,140 @@
+// Package isa defines the small load/store register instruction set the
+// synthetic workloads are written in. It exists so the interpreter-,
+// compiler- and lisp-like workloads are *real programs* whose indirect
+// jumps arise from jump tables and function pointers the same way the
+// paper's SPECint95 benchmarks' do, rather than statistically sampled
+// streams.
+//
+// The machine has 32 integer registers, a word-addressed data memory
+// separate from code, direct and indirect control flow, and a hardware call
+// stack (calls and returns do not consume data memory; the simulators only
+// observe the control-flow trace).
+package isa
+
+import "fmt"
+
+// Reg names a register, 0..31. Register 0 is a normal register (not
+// hardwired to zero).
+type Reg uint8
+
+// NumRegs is the register-file size.
+const NumRegs = 32
+
+// Op is the instruction opcode.
+type Op uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpALU computes Dst = Src1 <AluOp> Src2.
+	OpALU
+	// OpALUI computes Dst = Src1 <AluOp> Imm.
+	OpALUI
+	// OpLoadImm sets Dst = Imm.
+	OpLoadImm
+	// OpLoad loads Dst = mem[Src1 + Imm] (byte address, word aligned).
+	OpLoad
+	// OpStore stores mem[Src1 + Imm] = Src2.
+	OpStore
+	// OpBr branches to Target when Cond(Src1, Src2) holds.
+	OpBr
+	// OpJmp jumps unconditionally to Target.
+	OpJmp
+	// OpCall calls the subroutine at Target, pushing the return address.
+	OpCall
+	// OpRet returns to the most recent pushed return address.
+	OpRet
+	// OpJmpInd jumps to the code address in Src1. Src2, if nonzero when
+	// encoded via WithSelector, names the register holding the dispatch
+	// selector value (recorded in the trace for the CBT comparator).
+	OpJmpInd
+	// OpCallInd calls the code address in Src1, pushing the return
+	// address. Src2 optionally names the selector register.
+	OpCallInd
+	// OpHalt stops the machine.
+	OpHalt
+)
+
+// AluOp selects the ALU function for OpALU/OpALUI.
+type AluOp uint8
+
+const (
+	AluAdd AluOp = iota
+	AluSub
+	AluAnd
+	AluOr
+	AluXor
+	AluMul
+	AluDiv
+	AluSll
+	AluSrl
+)
+
+// Cond selects the comparison for OpBr.
+type Cond uint8
+
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondGE
+)
+
+// Eval applies the condition to two operand values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	default:
+		return a >= b
+	}
+}
+
+// Instr is one machine instruction. Target holds a resolved instruction
+// index for direct control flow.
+type Instr struct {
+	Op     Op
+	Alu    AluOp
+	Cond   Cond
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Target int
+	// Sel names the selector register for indirect jumps, plus one
+	// (0 = none); the VM exposes its value to the trace for the CBT.
+	Sel uint8
+}
+
+// Program is an assembled program: code plus initial data memory.
+type Program struct {
+	Name string
+	// Base is the byte address of instruction 0; instruction i lives at
+	// Base + 4*i.
+	Base uint64
+	Code []Instr
+	// Data is the initial data memory image in 8-byte words. Byte address
+	// 8*i refers to Data[i].
+	Data []int64
+	// Entry is the index of the first instruction executed.
+	Entry int
+}
+
+// AddrOf returns the byte address of instruction index i.
+func (p *Program) AddrOf(i int) uint64 { return p.Base + uint64(i)*4 }
+
+// IndexOf returns the instruction index for byte address a.
+func (p *Program) IndexOf(a uint64) (int, error) {
+	if a < p.Base || (a-p.Base)%4 != 0 {
+		return 0, fmt.Errorf("isa: address %#x outside code segment", a)
+	}
+	i := int((a - p.Base) / 4)
+	if i >= len(p.Code) {
+		return 0, fmt.Errorf("isa: address %#x outside code segment", a)
+	}
+	return i, nil
+}

@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b int64
+		want bool
+	}{
+		{CondEQ, 3, 3, true}, {CondEQ, 3, 4, false},
+		{CondNE, 3, 4, true}, {CondNE, 3, 3, false},
+		{CondLT, -1, 0, true}, {CondLT, 0, 0, false},
+		{CondGE, 0, 0, true}, {CondGE, -1, 0, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("Cond(%d).Eval(%d,%d) = %v, want %v", tc.c, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestProgramAddressing(t *testing.T) {
+	b := NewBuilder("t", 0x1000)
+	b.Nop().Nop().Halt()
+	p := b.MustBuild()
+	if got := p.AddrOf(2); got != 0x1008 {
+		t.Fatalf("AddrOf(2) = %#x", got)
+	}
+	idx, err := p.IndexOf(0x1004)
+	if err != nil || idx != 1 {
+		t.Fatalf("IndexOf = %d, %v", idx, err)
+	}
+	for _, bad := range []uint64{0x0fff, 0x1002, 0x100c, 0x2000} {
+		if _, err := p.IndexOf(bad); err == nil {
+			t.Errorf("IndexOf(%#x) accepted", bad)
+		}
+	}
+}
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Label("start")
+	b.LoadImm(1, 5)
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Target != 3 {
+		t.Fatalf("jmp target = %d, want 3", p.Code[1].Target)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Br(CondEQ, 1, 2, "later")
+	b.Nop()
+	b.Label("later")
+	b.Halt()
+	p := b.MustBuild()
+	if p.Code[0].Target != 2 {
+		t.Fatalf("forward branch target = %d, want 2", p.Code[0].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("undefined label not reported: %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate label not reported: %v", err)
+	}
+}
+
+func TestBuilderUndefinedEntry(t *testing.T) {
+	b := NewBuilder("t", 0)
+	b.Nop()
+	b.SetEntry("missing")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined entry accepted")
+	}
+}
+
+func TestBuilderEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("t", 0).Build(); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestBuilderData(t *testing.T) {
+	b := NewBuilder("t", 0)
+	a0 := b.Word(11)
+	a1 := b.Words(3)
+	b.SetWord(a1+8, 42)
+	b.DataSym("tbl", a1)
+	b.Nop()
+	p := b.MustBuild()
+	if a0 != 0 || a1 != 8 {
+		t.Fatalf("addresses: %d %d", a0, a1)
+	}
+	if p.Data[0] != 11 || p.Data[2] != 42 {
+		t.Fatalf("data image wrong: %v", p.Data)
+	}
+	if b.DataAddr("tbl") != a1 {
+		t.Fatal("DataSym/DataAddr mismatch")
+	}
+}
+
+func TestAddrOfLabel(t *testing.T) {
+	b := NewBuilder("t", 0x100)
+	b.Nop()
+	b.Label("h")
+	b.Halt()
+	addr, ok := b.AddrOfLabel("h")
+	if !ok || addr != 0x104 {
+		t.Fatalf("AddrOfLabel = %#x, %v", addr, ok)
+	}
+	if _, ok := b.AddrOfLabel("missing"); ok {
+		t.Fatal("missing label resolved")
+	}
+	if b.Here() != 2 {
+		t.Fatalf("Here = %d", b.Here())
+	}
+}

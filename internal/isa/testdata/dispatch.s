@@ -1,0 +1,20 @@
+; two-target dispatch demo: alternates handlers via a jump table
+.name demo
+.base 0x1000
+.data
+jtab: .word &even, &odd
+.text
+start: li r1, 0        ; counter
+       li r2, 200      ; iterations
+       li r9, jtab
+loop:  andi r3, r1, 1
+       slli r4, r3, 3
+       add  r4, r9, r4
+       ld   r5, 0(r4)
+       jr   r5, r3
+even:  addi r6, r6, 2
+       j next
+odd:   addi r6, r6, 3
+next:  addi r1, r1, 1
+       blt  r1, r2, loop
+       halt

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// AccuracyResult reports prediction accuracy over one trace, split by
+// branch class. Indirect is the paper's headline population: indirect
+// jumps and indirect calls, excluding returns.
+type AccuracyResult struct {
+	Instructions int64
+	Branches     int64
+
+	Conditional stats.Counter // direction+target of conditional branches
+	Direct      stats.Counter // unconditional direct jumps and calls
+	Returns     stats.Counter
+	Indirect    stats.Counter // target-cache population
+	Overall     stats.Counter
+	// TCCovered counts indirect jumps for which the target cache supplied
+	// the prediction (vs falling back to the BTB), a coverage diagnostic
+	// for tagged caches.
+	TCCovered int64
+}
+
+// IndirectMispredictRate returns the indirect-jump misprediction rate, the
+// paper's primary accuracy metric.
+func (r AccuracyResult) IndirectMispredictRate() float64 {
+	return r.Indirect.MispredictRate()
+}
+
+// RunAccuracy drives up to budget instructions from factory through a fresh
+// engine built from cfg, counting per-class mispredictions.
+func RunAccuracy(factory trace.Factory, budget int64, cfg Config) AccuracyResult {
+	engine := NewEngine(cfg)
+	var res AccuracyResult
+	src := trace.NewLimit(factory.Open(), budget)
+	var r trace.Record
+	for src.Next(&r) {
+		res.Instructions++
+		if !r.Class.IsBranch() {
+			continue
+		}
+		res.Branches++
+		p := engine.Predict(&r)
+		correct := p.Correct(&r)
+		switch r.Class {
+		case trace.ClassCondDirect:
+			res.Conditional.Record(correct)
+		case trace.ClassUncondDirect, trace.ClassCall:
+			res.Direct.Record(correct)
+		case trace.ClassReturn:
+			res.Returns.Record(correct)
+		case trace.ClassIndJump, trace.ClassIndCall:
+			res.Indirect.Record(correct)
+			if p.FromTC {
+				res.TCCovered++
+			}
+		}
+		res.Overall.Record(correct)
+		engine.Resolve(&r, p)
+	}
+	return res
+}

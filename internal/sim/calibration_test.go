@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/workload"
+)
+
+// TestCalibrationSnapshot logs the indirect-jump misprediction rates of the
+// main predictor variants on every workload. It asserts only the paper's
+// coarse qualitative ordering; the logged numbers are the raw material for
+// EXPERIMENTS.md.
+func TestCalibrationSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	const budget = 1_000_000
+	gshare := func() core.TargetCache {
+		return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+	}
+	pat9 := func() history.Provider { return history.NewPatternProvider(9) }
+	pathInd := func() history.Provider {
+		return history.NewPath(history.PathConfig{
+			Bits: 9, BitsPerTarget: 1, AddrBitOffset: 2, Filter: history.FilterIndJmp,
+		})
+	}
+	taggedXor := func() core.TargetCache {
+		return core.NewTagged(core.TaggedConfig{
+			Entries: 256, Ways: 4, Scheme: core.SchemeHistoryXor, HistBits: 9,
+		})
+	}
+
+	for _, w := range workload.All() {
+		base := RunAccuracy(w, budget, DefaultConfig())
+		twoBitCfg := DefaultConfig()
+		twoBitCfg.BTB.Strategy = btb.StrategyTwoBit
+		twoBit := RunAccuracy(w, budget, twoBitCfg)
+		tcPat := RunAccuracy(w, budget, DefaultConfig().WithTargetCache(gshare, pat9))
+		tcPath := RunAccuracy(w, budget, DefaultConfig().WithTargetCache(gshare, pathInd))
+		tcTag := RunAccuracy(w, budget, DefaultConfig().WithTargetCache(taggedXor, pat9))
+
+		t.Logf("%-9s ind=%7d | BTB %6.2f%% | 2bit %6.2f%% | gshare/pat9 %6.2f%% | gshare/path %6.2f%% | tagged4w %6.2f%% | cond %5.2f%% ret %5.2f%%",
+			w.Name, base.Indirect.Predictions,
+			100*base.IndirectMispredictRate(),
+			100*twoBit.IndirectMispredictRate(),
+			100*tcPat.IndirectMispredictRate(),
+			100*tcPath.IndirectMispredictRate(),
+			100*tcTag.IndirectMispredictRate(),
+			100*base.Conditional.MispredictRate(),
+			100*base.Returns.MispredictRate())
+
+		if w.Name == "perl" || w.Name == "gcc" {
+			if tcPat.IndirectMispredictRate() >= base.IndirectMispredictRate() {
+				t.Errorf("%s: pattern-history target cache (%.2f%%) should beat the BTB (%.2f%%)",
+					w.Name, 100*tcPat.IndirectMispredictRate(), 100*base.IndirectMispredictRate())
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"repro/internal/cbt"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RunCBT measures the case block table's indirect-jump target prediction
+// accuracy over a trace. The CBT is consulted for indirect jumps only; a
+// CBT miss counts as a misprediction (no BTB fallback), isolating the
+// mechanism itself as the paper's Section 2 discussion does.
+func RunCBT(factory trace.Factory, budget int64, cfg cbt.Config) stats.Counter {
+	table := cbt.New(cfg)
+	var c stats.Counter
+	src := trace.NewLimit(factory.Open(), budget)
+	var r trace.Record
+	for src.Next(&r) {
+		if !r.Class.IsTargetCachePredicted() {
+			continue
+		}
+		tgt, ok := table.Predict(r.PC, r.Addr)
+		c.Record(ok && tgt == r.Target)
+		table.Update(&r)
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cbt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestRunCBTOracleVsStale(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 300_000
+	oracleCfg := cbt.DefaultConfig()
+	oracleCfg.Oracle = true
+	oracle := RunCBT(w, budget, oracleCfg)
+	stale := RunCBT(w, budget, cbt.DefaultConfig())
+
+	if oracle.Predictions == 0 || oracle.Predictions != stale.Predictions {
+		t.Fatalf("prediction counts: oracle %d stale %d",
+			oracle.Predictions, stale.Predictions)
+	}
+	// The oracle CBT knows the dispatch value: near-perfect. The stale CBT
+	// has only the last computed value: on an interpreter it's as bad as a
+	// BTB (the paper's Section 2 point).
+	if oracle.MispredictRate() > 0.02 {
+		t.Errorf("oracle CBT mispredict %.2f%%, want < 2%%", 100*oracle.MispredictRate())
+	}
+	if stale.MispredictRate() < 0.5 {
+		t.Errorf("stale CBT mispredict %.2f%%, want > 50%% on perl", 100*stale.MispredictRate())
+	}
+}
+
+func TestRunCBTCountsOnlyTargetCachePopulation(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 0x10, Class: trace.ClassCondDirect, Taken: true, Target: 0x40},
+		{PC: 0x20, Class: trace.ClassReturn, Taken: true, Target: 0x44},
+		{PC: 0x30, Addr: 1, Class: trace.ClassIndJump, Taken: true, Target: 0x80},
+	}
+	factory := trace.FactoryFunc(func() trace.Source { return trace.NewSliceSource(recs) })
+	c := RunCBT(factory, int64(len(recs)), cbt.DefaultConfig())
+	if c.Predictions != 1 {
+		t.Fatalf("CBT counted %d predictions, want 1 (indirect jumps only)", c.Predictions)
+	}
+}

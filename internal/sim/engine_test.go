@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+func step(e *Engine, r *trace.Record) bool {
+	p := e.Predict(r)
+	ok := p.Correct(r)
+	e.Resolve(r, p)
+	return ok
+}
+
+func condBr(pc uint64, taken bool) trace.Record {
+	return trace.Record{PC: pc, Target: pc + 0x40, Class: trace.ClassCondDirect, Taken: taken}
+}
+
+func TestFirstEncounterMisses(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	r := trace.Record{PC: 0x100, Target: 0x200, Class: trace.ClassUncondDirect, Taken: true}
+	if step(e, &r) {
+		t.Fatal("first taken branch predicted despite empty BTB")
+	}
+	if !step(e, &r) {
+		t.Fatal("second encounter of a direct jump mispredicted")
+	}
+}
+
+func TestNotTakenBTBMissIsCorrect(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	r := condBr(0x100, false)
+	if !step(e, &r) {
+		t.Fatal("a not-taken branch absent from the BTB must predict correctly (fall-through)")
+	}
+}
+
+func TestConditionalDirectionLearning(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	r := condBr(0x100, true)
+	step(e, &r) // allocate BTB entry, train
+	correct := 0
+	for i := 0; i < 20; i++ {
+		if step(e, &r) {
+			correct++
+		}
+	}
+	if correct < 18 {
+		t.Fatalf("always-taken conditional: %d/20 correct", correct)
+	}
+}
+
+func TestReturnAddressStackPrediction(t *testing.T) {
+	e := NewEngine(DefaultConfig())
+	call := trace.Record{PC: 0x100, Target: 0x800, Class: trace.ClassCall, Taken: true}
+	ret := trace.Record{PC: 0x900, Target: 0x104, Class: trace.ClassReturn, Taken: true}
+	// Warm the BTB so both are detected.
+	step(e, &call)
+	step(e, &ret)
+	if !step(e, &call) {
+		t.Fatal("known call mispredicted")
+	}
+	if !step(e, &ret) {
+		t.Fatal("return mispredicted despite matching RAS entry")
+	}
+}
+
+// TestTargetCacheBeatsBTBOnAlternatingJump is the mechanism of the whole
+// paper in miniature: a jump alternating between two targets defeats the
+// BTB (predict-last-target is always wrong) but is perfectly predictable
+// once pattern history distinguishes its two occurrences.
+func TestTargetCacheBeatsBTBOnAlternatingJump(t *testing.T) {
+	mkJump := func(i int) (trace.Record, trace.Record) {
+		// A conditional branch whose direction reveals the upcoming
+		// target, followed by the indirect jump.
+		tgt := uint64(0x1000)
+		taken := i%2 == 0
+		if taken {
+			tgt = 0x2000
+		}
+		return condBr(0x50, taken),
+			trace.Record{PC: 0x100, Target: tgt, Class: trace.ClassIndJump, Taken: true}
+	}
+
+	runIt := func(cfg Config) float64 {
+		e := NewEngine(cfg)
+		misses, total := 0, 0
+		for i := 0; i < 400; i++ {
+			c, j := mkJump(i)
+			step(e, &c)
+			if i >= 100 {
+				total++
+				if !step(e, &j) {
+					misses++
+				}
+			} else {
+				step(e, &j)
+			}
+		}
+		return float64(misses) / float64(total)
+	}
+
+	base := runIt(DefaultConfig())
+	if base < 0.9 {
+		t.Fatalf("BTB should mispredict an alternating jump: rate %.2f", base)
+	}
+	tc := runIt(DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+		},
+		func() history.Provider { return history.NewPatternProvider(9) },
+	))
+	if tc > 0.05 {
+		t.Fatalf("target cache should nail an alternating jump: rate %.2f", tc)
+	}
+}
+
+func TestTaggedMissFallsBackToBTB(t *testing.T) {
+	cfg := DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagged(core.TaggedConfig{
+				Entries: 16, Ways: 2, Scheme: core.SchemeHistoryXor, HistBits: 9,
+			})
+		},
+		func() history.Provider { return history.NewPatternProvider(9) },
+	)
+	e := NewEngine(cfg)
+	j := trace.Record{PC: 0x100, Target: 0x1000, Class: trace.ClassIndJump, Taken: true}
+	step(e, &j) // allocate BTB + TC under history 0
+	// Shift history so the TC misses, then the BTB's last target must be
+	// used — which is correct here.
+	c := condBr(0x50, true)
+	step(e, &c)
+	p := e.Predict(&j)
+	if p.FromTC {
+		t.Fatal("expected a tagged-cache miss under fresh history")
+	}
+	if !p.HasTarget || p.Target != 0x1000 {
+		t.Fatalf("BTB fallback missing: %+v", p)
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	cfg := DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagless(core.TaglessConfig{Entries: 64, Scheme: core.SchemeGshare})
+		},
+		func() history.Provider { return history.NewPatternProvider(6) },
+	)
+	e := NewEngine(cfg)
+	j := trace.Record{PC: 0x100, Target: 0x1000, Class: trace.ClassIndJump, Taken: true}
+	step(e, &j)
+	e.Reset()
+	p := e.Predict(&j)
+	if p.HasTarget {
+		t.Fatalf("prediction after reset: %+v", p)
+	}
+}
+
+func TestEngineRequiresHistoryWithTC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("target cache without history accepted")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.NewTargetCache = func() core.TargetCache {
+		return core.NewTagless(core.TaglessConfig{Entries: 64, Scheme: core.SchemeGshare})
+	}
+	NewEngine(cfg)
+}
+
+func TestRunAccuracyCounters(t *testing.T) {
+	// A small synthetic trace exercising every class.
+	var recs []trace.Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs,
+			trace.Record{PC: 0x10, Class: trace.ClassOther, Op: trace.OpInt},
+			condBr(0x20, true),
+			trace.Record{PC: 0x30, Target: 0x500, Class: trace.ClassCall, Taken: true},
+			trace.Record{PC: 0x510, Target: 0x34, Class: trace.ClassReturn, Taken: true},
+			trace.Record{PC: 0x40, Target: 0x600, Class: trace.ClassIndJump, Taken: true},
+		)
+	}
+	factory := trace.FactoryFunc(func() trace.Source {
+		return trace.NewSliceSource(recs)
+	})
+	res := RunAccuracy(factory, int64(len(recs)), DefaultConfig())
+	if res.Instructions != int64(len(recs)) {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	if res.Branches != int64(len(recs)/5*4) {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+	if res.Indirect.Predictions != 50 || res.Returns.Predictions != 50 ||
+		res.Conditional.Predictions != 50 || res.Direct.Predictions != 50 {
+		t.Fatalf("per-class counts wrong: %+v", res)
+	}
+	// The monomorphic indirect jump should be near-perfect after warmup.
+	if res.Indirect.Mispredicts > 2 {
+		t.Fatalf("monomorphic indirect mispredicts = %d", res.Indirect.Mispredicts)
+	}
+	if res.Overall.Predictions != res.Branches {
+		t.Fatal("overall counter does not cover all branches")
+	}
+}

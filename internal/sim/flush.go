@@ -1,0 +1,45 @@
+package sim
+
+import "repro/internal/trace"
+
+// RunAccuracyWithFlushes is RunAccuracy with the entire front end reset
+// every flushInterval instructions, modelling context switches that wipe
+// predictor state. It measures how quickly each structure re-warms: the
+// BTB needs one encounter per jump, a history-indexed target cache one
+// encounter per (jump, history) pair, so frequent switches erode the
+// target cache's advantage first — a classic objection the experiment
+// quantifies.
+func RunAccuracyWithFlushes(factory trace.Factory, budget, flushInterval int64, cfg Config) AccuracyResult {
+	engine := NewEngine(cfg)
+	var res AccuracyResult
+	src := trace.NewLimit(factory.Open(), budget)
+	var r trace.Record
+	for src.Next(&r) {
+		res.Instructions++
+		if flushInterval > 0 && res.Instructions%flushInterval == 0 {
+			engine.Reset()
+		}
+		if !r.Class.IsBranch() {
+			continue
+		}
+		res.Branches++
+		p := engine.Predict(&r)
+		correct := p.Correct(&r)
+		switch r.Class {
+		case trace.ClassCondDirect:
+			res.Conditional.Record(correct)
+		case trace.ClassUncondDirect, trace.ClassCall:
+			res.Direct.Record(correct)
+		case trace.ClassReturn:
+			res.Returns.Record(correct)
+		case trace.ClassIndJump, trace.ClassIndCall:
+			res.Indirect.Record(correct)
+			if p.FromTC {
+				res.TCCovered++
+			}
+		}
+		res.Overall.Record(correct)
+		engine.Resolve(&r, p)
+	}
+	return res
+}

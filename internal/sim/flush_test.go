@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/workload"
+)
+
+func TestFlushesDegradePrediction(t *testing.T) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 300_000
+	cfg := DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+		},
+		func() history.Provider { return history.NewPatternProvider(9) },
+	)
+	never := RunAccuracyWithFlushes(w, budget, 0, cfg)
+	plain := RunAccuracy(w, budget, cfg)
+	if never.Indirect != plain.Indirect {
+		t.Fatalf("interval 0 must match plain run: %+v vs %+v",
+			never.Indirect, plain.Indirect)
+	}
+	often := RunAccuracyWithFlushes(w, budget, 2_000, cfg)
+	if often.IndirectMispredictRate() <= never.IndirectMispredictRate() {
+		t.Errorf("frequent flushes should hurt: %.2f%% vs %.2f%%",
+			100*often.IndirectMispredictRate(), 100*never.IndirectMispredictRate())
+	}
+	// Monotonic-ish: flushing every 2k should be no better than every 50k.
+	mid := RunAccuracyWithFlushes(w, budget, 50_000, cfg)
+	if often.IndirectMispredictRate() < mid.IndirectMispredictRate() {
+		t.Errorf("more flushing should not help: 2k %.2f%% vs 50k %.2f%%",
+			100*often.IndirectMispredictRate(), 100*mid.IndirectMispredictRate())
+	}
+}

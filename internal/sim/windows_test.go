@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/workload"
+)
+
+func TestRunAccuracyWindows(t *testing.T) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 400_000
+	cfg := DefaultConfig().WithTargetCache(
+		func() core.TargetCache {
+			return core.NewTagless(core.TaglessConfig{Entries: 512, Scheme: core.SchemeGshare})
+		},
+		func() history.Provider { return history.NewPatternProvider(9) },
+	)
+	res := RunAccuracyWindows(w, budget, 8, cfg)
+	if len(res.Windows) != 8 {
+		t.Fatalf("got %d windows, want 8", len(res.Windows))
+	}
+	whole := RunAccuracy(w, budget, cfg)
+	if res.Overall.Indirect != whole.Indirect {
+		t.Fatalf("windowed accounting diverges from plain run: %+v vs %+v",
+			res.Overall.Indirect, whole.Indirect)
+	}
+	// The steady-state rate must be stable: the last windows should sit
+	// within a few points of each other.
+	last := res.Windows[len(res.Windows)-1]
+	prev := res.Windows[len(res.Windows)-2]
+	if d := last - prev; d > 0.08 || d < -0.08 {
+		t.Errorf("steady-state windows differ by %.3f: %v", d, res.Windows)
+	}
+	// Warm-up: the first window (cold predictor) is the worst or near it.
+	if res.Windows[0] < res.Mean() {
+		t.Errorf("first (cold) window %.3f below the mean %.3f: %v",
+			res.Windows[0], res.Mean(), res.Windows)
+	}
+	if res.StdDev() < 0 {
+		t.Error("negative standard deviation")
+	}
+	t.Logf("windows=%v mean=%.4f stddev=%.4f warmup=%d",
+		res.Windows, res.Mean(), res.StdDev(), res.WarmupWindows(0.01))
+}
+
+func TestWindowedResultStatsEdgeCases(t *testing.T) {
+	var empty WindowedResult
+	if empty.Mean() != 0 || empty.StdDev() != 0 || empty.WarmupWindows(0.1) != 0 {
+		t.Fatal("empty result statistics should be zero")
+	}
+	one := WindowedResult{Windows: []float64{0.5}}
+	if one.Mean() != 0.5 || one.StdDev() != 0 {
+		t.Fatal("single-window statistics wrong")
+	}
+	warm := WindowedResult{Windows: []float64{0.9, 0.6, 0.3, 0.3}}
+	if got := warm.WarmupWindows(0.1); got != 2 {
+		t.Fatalf("warmup = %d, want 2", got)
+	}
+}

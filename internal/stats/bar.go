@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart, used for the
+// targets-per-jump histograms of Figures 1-8.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar length in characters (default 50).
+	Width  int
+	labels []string
+	values []float64
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(label string, value float64) {
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, value)
+}
+
+// String renders the chart; bars scale to the maximum value.
+func (b *BarChart) String() string {
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	labelWidth := 0
+	for i, v := range b.values {
+		if v > max {
+			max = v
+		}
+		if len(b.labels[i]) > labelWidth {
+			labelWidth = len(b.labels[i])
+		}
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		fmt.Fprintln(&sb, b.Title)
+	}
+	if max == 0 {
+		fmt.Fprintln(&sb, "(no data)")
+		return sb.String()
+	}
+	for i, v := range b.values {
+		n := int(v / max * float64(width))
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%*s |%s %.1f%%\n",
+			labelWidth, b.labels[i], strings.Repeat("#", n), 100*v)
+	}
+	return sb.String()
+}

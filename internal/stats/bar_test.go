@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	b := &BarChart{Title: "H", Width: 10}
+	b.Add("1", 0.5)
+	b.Add(">=30", 1.0)
+	b.Add("2", 0.0)
+	out := b.String()
+	if !strings.Contains(out, "H") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar should be full width:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Errorf("half bar should be half width:\n%s", out)
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar should be empty:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "100.0%") {
+		t.Errorf("percent label missing:\n%s", out)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	b := &BarChart{}
+	if out := b.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	b := &BarChart{Width: 20}
+	b.Add("big", 1.0)
+	b.Add("tiny", 0.001)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("non-zero value should render at least one mark:\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders small ASCII line charts for the paper's figures: one or two
+// series over a shared categorical x-axis.
+type Plot struct {
+	Title  string
+	YLabel string
+	XLabel string
+	Series []Series
+	// Height is the number of chart rows (default 12).
+	Height int
+}
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Marker byte
+	X      []string
+	Y      []float64
+}
+
+// AddSeries appends a series; markers default to '*', '+', 'o', 'x'.
+func (p *Plot) AddSeries(name string, x []string, y []float64) {
+	markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+	m := markers[len(p.Series)%len(markers)]
+	p.Series = append(p.Series, Series{Name: name, Marker: m, X: x, Y: y})
+}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	height := p.Height
+	if height <= 0 {
+		height = 12
+	}
+	var lo, hi float64
+	first := true
+	maxPoints := 0
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Y) > maxPoints {
+			maxPoints = len(s.Y)
+		}
+	}
+	if first || maxPoints == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom.
+	span := hi - lo
+	lo -= span * 0.05
+	hi += span * 0.05
+
+	const colWidth = 7
+	width := maxPoints * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.Series {
+		for i, v := range s.Y {
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := i*colWidth + colWidth/2
+			if col < width {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintln(&b, p.Title)
+	}
+	for i, row := range grid {
+		yv := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", yv, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	// X labels.
+	var xrow strings.Builder
+	for i := 0; i < maxPoints; i++ {
+		label := ""
+		for _, s := range p.Series {
+			if i < len(s.X) {
+				label = s.X[i]
+				break
+			}
+		}
+		xrow.WriteString(fmt.Sprintf("%*s", colWidth, label))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.TrimRight(xrow.String(), " "))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", p.XLabel)
+	}
+	for _, s := range p.Series {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", s.Marker, s.Name)
+	}
+	return b.String()
+}

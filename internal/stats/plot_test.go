@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendering(t *testing.T) {
+	p := &Plot{Title: "T", XLabel: "ways"}
+	p.AddSeries("a", []string{"1", "2", "4"}, []float64{1, 2, 3})
+	p.AddSeries("b", []string{"1", "2", "4"}, []float64{3, 2, 1})
+	out := p.String()
+	for _, want := range []string{"T", "ways", "* = a", "+ = b", "|", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The highest value should land within the top two chart rows (the
+	// 5% headroom keeps it off the very top line).
+	lines := strings.Split(out, "\n")
+	if !strings.ContainsAny(lines[1], "*+") && !strings.ContainsAny(lines[2], "*+") {
+		t.Errorf("no marker near the top:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	p := &Plot{}
+	p.AddSeries("flat", []string{"a", "b"}, []float64{5, 5})
+	out := p.String()
+	if !strings.Contains(out, "flat") {
+		t.Errorf("flat series output: %q", out)
+	}
+}
+
+func TestPlotMarkerCycle(t *testing.T) {
+	p := &Plot{}
+	for i := 0; i < 7; i++ {
+		p.AddSeries("s", []string{"x"}, []float64{float64(i)})
+	}
+	if p.Series[0].Marker != p.Series[6].Marker {
+		t.Error("marker cycle should wrap after six series")
+	}
+	if p.Series[0].Marker == p.Series[1].Marker {
+		t.Error("adjacent series share a marker")
+	}
+}

@@ -1,0 +1,57 @@
+// Package stats provides the small measurement and reporting helpers shared
+// by the experiment harness: prediction counters, rates, and plain-text
+// table rendering in the style of the paper's tables.
+package stats
+
+import "fmt"
+
+// Counter tallies prediction outcomes for one predictor/population.
+type Counter struct {
+	Predictions int64
+	Mispredicts int64
+}
+
+// Record adds one prediction outcome.
+func (c *Counter) Record(correct bool) {
+	c.Predictions++
+	if !correct {
+		c.Mispredicts++
+	}
+}
+
+// Add merges another counter into c.
+func (c *Counter) Add(o Counter) {
+	c.Predictions += o.Predictions
+	c.Mispredicts += o.Mispredicts
+}
+
+// MispredictRate returns the fraction of predictions that were wrong,
+// or 0 if nothing was predicted.
+func (c Counter) MispredictRate() float64 {
+	if c.Predictions == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts) / float64(c.Predictions)
+}
+
+// Accuracy returns 1 - MispredictRate (0 if nothing was predicted).
+func (c Counter) Accuracy() float64 {
+	if c.Predictions == 0 {
+		return 0
+	}
+	return 1 - c.MispredictRate()
+}
+
+// Percent formats v (a fraction) as a percentage with two decimals,
+// e.g. 0.6603 -> "66.03%".
+func Percent(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// Reduction returns the fractional reduction going from base to improved
+// (positive when improved < base), the paper's "reduction in execution
+// time" metric: (base-improved)/base.
+func Reduction(base, improved float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - improved) / base
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.MispredictRate() != 0 || c.Accuracy() != 0 {
+		t.Fatal("empty counter rates should be 0")
+	}
+	c.Record(true)
+	c.Record(false)
+	c.Record(false)
+	c.Record(true)
+	if c.Predictions != 4 || c.Mispredicts != 2 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if got := c.MispredictRate(); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+	var d Counter
+	d.Record(false)
+	c.Add(d)
+	if c.Predictions != 5 || c.Mispredicts != 3 {
+		t.Fatalf("after Add: %+v", c)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.6603); got != "66.03%" {
+		t.Fatalf("Percent = %q", got)
+	}
+	if got := Percent(0); got != "0.00%" {
+		t.Fatalf("Percent(0) = %q", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(200, 150); got != 0.25 {
+		t.Fatalf("Reduction = %v, want 0.25", got)
+	}
+	if got := Reduction(0, 10); got != 0 {
+		t.Fatalf("Reduction with zero base = %v", got)
+	}
+	if got := Reduction(100, 110); got != -0.1 {
+		t.Fatalf("negative reduction = %v, want -0.1", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("My Title", "Benchmark", "Rate")
+	tab.AddRow("perl", "76.40%")
+	tab.AddRow("gcc", "66.00%")
+	tab.AddNote("n=%d", 2)
+	out := tab.String()
+	for _, want := range []string{"My Title", "Benchmark", "Rate", "perl", "76.40%", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, rule, header, rule, 2 rows, rule, note.
+	if len(lines) != 8 {
+		t.Fatalf("rendered %d lines, want 8:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "extra")
+	out := tab.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("short row dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders rows of strings as an aligned plain-text table with a title
+// and column headers, in the spirit of the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+	// Trailer is verbatim text rendered after the notes (e.g. an ASCII
+	// chart of the same data for the paper's figures).
+	Trailer string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are kept; short rows
+// are padded when rendered.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line rendered after the table body.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Headers {
+		if len(h) > w[i] {
+			w[i] = len(h)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := t.widths()
+	total := 0
+	for _, x := range widths {
+		total += x + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	if len(t.Headers) > 0 {
+		t.renderRow(w, widths, t.Headers)
+		fmt.Fprintln(w, line)
+	}
+	for _, r := range t.Rows {
+		t.renderRow(w, widths, r)
+	}
+	fmt.Fprintln(w, line)
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "note:", n)
+	}
+	if t.Trailer != "" {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, t.Trailer)
+	}
+}
+
+func (t *Table) renderRow(w io.Writer, widths []int, cells []string) {
+	var b strings.Builder
+	for i, width := range widths {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		// Left-align the first column (row labels), right-align data.
+		if i == 0 {
+			fmt.Fprintf(&b, "%-*s  ", width, c)
+		} else {
+			fmt.Fprintf(&b, "%*s  ", width, c)
+		}
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (header row first, notes and trailer
+// omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Headers) > 0 {
+		if err := cw.Write(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MarshalJSON emits the table as a structured object.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.Title, t.Headers, t.Rows, t.Notes})
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk trace format is a small header followed by fixed-width
+// little-endian records. It exists so cmd/tracegen can persist workload
+// traces for external inspection and so runs can be replayed bit-exactly.
+
+const (
+	codecMagic   = 0x54435452 // "TCTR"
+	codecVersion = 1
+	recordSize   = 8 + 8 + 8 + 1 + 1 + 1 + 1 + 1 + 1 // 30 bytes
+)
+
+// Writer encodes records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [recordSize]byte
+	wrote bool
+}
+
+// NewWriter returns a Writer emitting the trace file header lazily on the
+// first record (or on Flush for an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (tw *Writer) writeHeader() error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], codecVersion)
+	_, err := tw.w.Write(hdr[:])
+	tw.wrote = true
+	return err
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r *Record) error {
+	if !tw.wrote {
+		if err := tw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], r.PC)
+	binary.LittleEndian.PutUint64(b[8:], r.Target)
+	binary.LittleEndian.PutUint64(b[16:], r.Addr)
+	b[24] = byte(r.Class)
+	b[25] = byte(r.Op)
+	if r.Taken {
+		b[26] = 1
+	} else {
+		b[26] = 0
+	}
+	b[27] = r.Dst
+	b[28] = r.Src1
+	b[29] = r.Src2
+	_, err := tw.w.Write(b)
+	return err
+}
+
+// Flush writes any buffered data (and the header, if no record was written).
+func (tw *Writer) Flush() error {
+	if !tw.wrote {
+		if err := tw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace file produced by Writer. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	buf    [recordSize]byte
+	err    error
+	header bool
+}
+
+// NewReader returns a Reader over r. Header validation happens on the first
+// Next call; use Err to observe decode errors after Next returns false.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (tr *Reader) readHeader() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
+		return fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != codecVersion {
+		return fmt.Errorf("trace: unsupported version %d", got)
+	}
+	tr.header = true
+	return nil
+}
+
+// Next implements Source.
+func (tr *Reader) Next(r *Record) bool {
+	if tr.err != nil {
+		return false
+	}
+	if !tr.header {
+		if err := tr.readHeader(); err != nil {
+			tr.err = err
+			return false
+		}
+	}
+	b := tr.buf[:]
+	if _, err := io.ReadFull(tr.r, b); err != nil {
+		if !errors.Is(err, io.EOF) {
+			tr.err = fmt.Errorf("trace: reading record: %w", err)
+		}
+		return false
+	}
+	r.PC = binary.LittleEndian.Uint64(b[0:])
+	r.Target = binary.LittleEndian.Uint64(b[8:])
+	r.Addr = binary.LittleEndian.Uint64(b[16:])
+	r.Class = Class(b[24])
+	r.Op = OpClass(b[25])
+	r.Taken = b[26] != 0
+	r.Dst = b[27]
+	r.Src1 = b[28]
+	r.Src2 = b[29]
+	return true
+}
+
+// Err returns the first decode error encountered, or nil on clean EOF.
+func (tr *Reader) Err() error { return tr.err }
+
+// Copy drains src into w, returning the number of records copied.
+func Copy(w *Writer, src Source) (int64, error) {
+	var r Record
+	var n int64
+	for src.Next(&r) {
+		if err := w.Write(&r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Flush()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]Record, 1000)
+	for i := range recs {
+		recs[i] = Record{
+			PC:     rng.Uint64(),
+			Target: rng.Uint64(),
+			Addr:   rng.Uint64(),
+			Class:  Class(rng.Intn(numClasses)),
+			Op:     OpClass(rng.Intn(NumOpClasses)),
+			Taken:  rng.Intn(2) == 0,
+			Dst:    uint8(rng.Intn(33)),
+			Src1:   uint8(rng.Intn(33)),
+			Src2:   uint8(rng.Intn(33)),
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	n, err := Copy(w, NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("wrote %d records, want 1000", n)
+	}
+	r := NewReader(&buf)
+	got := Collect(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if got := Collect(r); len(got) != 0 {
+		t.Fatalf("empty trace produced %d records", len(got))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("empty trace read error: %v", err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	var rec Record
+	if r.Next(&rec) {
+		t.Fatal("bad magic accepted")
+	}
+	if r.Err() == nil {
+		t.Fatal("bad magic produced no error")
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := Record{PC: 42}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-5]))
+	var out Record
+	if r.Next(&out) {
+		t.Fatal("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated trace produced no error")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(pc, tgt, addr uint64, class, op, dst, s1, s2 uint8, taken bool) bool {
+		in := Record{
+			PC: pc, Target: tgt, Addr: addr,
+			Class: Class(class % uint8(numClasses)),
+			Op:    OpClass(op % uint8(NumOpClasses)),
+			Taken: taken, Dst: dst, Src1: s1, Src2: s2,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(&in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		var out Record
+		return r.Next(&out) && out == in && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

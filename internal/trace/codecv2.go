@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Format v2 is a compact delta/varint encoding. Instruction streams are
+// highly regular — PCs usually advance by 4, most instructions are not
+// branches, and addresses cluster — so v2 traces are typically 4-6x
+// smaller than the fixed-width v1 format. The two formats share the magic
+// number and are distinguished by the version field; NewAutoReader picks
+// the right decoder.
+//
+// Record layout (after the shared 8-byte header):
+//
+//	flags  byte    bit0 taken, bit1 has-target, bit2 has-addr,
+//	               bit3 has-regs, bits 4-7 reserved
+//	class  byte    Class | OpClass<<4
+//	pc     varint  zig-zag delta from previous record's PC
+//	target varint  zig-zag delta from PC (if has-target)
+//	addr   varint  zig-zag delta from previous addr (if has-addr)
+//	regs   3 bytes dst, src1, src2 (if any is nonzero)
+const codecVersion2 = 2
+
+// WriterV2 encodes records in the v2 format.
+type WriterV2 struct {
+	w        *bufio.Writer
+	buf      []byte
+	wrote    bool
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewWriterV2 returns a compact-format writer.
+func NewWriterV2(w io.Writer) *WriterV2 {
+	return &WriterV2{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+func (tw *WriterV2) writeHeader() error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], codecVersion2)
+	_, err := tw.w.Write(hdr[:])
+	tw.wrote = true
+	return err
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+func unzig(v uint64) int64  { return int64(v>>1) ^ -int64(v&1) }
+
+// Write appends one record.
+func (tw *WriterV2) Write(r *Record) error {
+	if !tw.wrote {
+		if err := tw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	var flags byte
+	if r.Taken {
+		flags |= 1
+	}
+	hasTarget := r.Target != 0
+	if hasTarget {
+		flags |= 2
+	}
+	hasAddr := r.Addr != 0
+	if hasAddr {
+		flags |= 4
+	}
+	hasRegs := r.Dst != 0 || r.Src1 != 0 || r.Src2 != 0
+	if hasRegs {
+		flags |= 8
+	}
+	b := tw.buf[:0]
+	b = append(b, flags, byte(r.Class)|byte(r.Op)<<4)
+	b = binary.AppendUvarint(b, zigzag(int64(r.PC-tw.prevPC)))
+	if hasTarget {
+		b = binary.AppendUvarint(b, zigzag(int64(r.Target-r.PC)))
+	}
+	if hasAddr {
+		b = binary.AppendUvarint(b, zigzag(int64(r.Addr-tw.prevAddr)))
+		tw.prevAddr = r.Addr
+	}
+	if hasRegs {
+		b = append(b, r.Dst, r.Src1, r.Src2)
+	}
+	tw.prevPC = r.PC
+	_, err := tw.w.Write(b)
+	return err
+}
+
+// Flush writes buffered data (and the header for an empty trace).
+func (tw *WriterV2) Flush() error {
+	if !tw.wrote {
+		if err := tw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return tw.w.Flush()
+}
+
+// ReaderV2 decodes v2 traces. It implements Source.
+type ReaderV2 struct {
+	r        *bufio.Reader
+	err      error
+	header   bool
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewReaderV2 returns a v2 decoder (header validated on first Next).
+func NewReaderV2(r io.Reader) *ReaderV2 {
+	return &ReaderV2{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// NewAutoReader sniffs the version field and returns the matching decoder.
+func NewAutoReader(r io.Reader) (Source, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", got)
+	}
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case codecVersion:
+		return NewReader(br), nil
+	case codecVersion2:
+		return NewReaderV2(br), nil
+	default:
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+}
+
+func (tr *ReaderV2) readHeader() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
+		return fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != codecVersion2 {
+		return fmt.Errorf("trace: not a v2 trace (version %d)", got)
+	}
+	tr.header = true
+	return nil
+}
+
+func (tr *ReaderV2) fail(err error, context string) bool {
+	if !errors.Is(err, io.EOF) || context != "flags" {
+		tr.err = fmt.Errorf("trace: reading %s: %w", context, err)
+	}
+	return false
+}
+
+// Next implements Source.
+func (tr *ReaderV2) Next(r *Record) bool {
+	if tr.err != nil {
+		return false
+	}
+	if !tr.header {
+		if err := tr.readHeader(); err != nil {
+			tr.err = err
+			return false
+		}
+	}
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		// Clean EOF between records terminates the stream silently.
+		return tr.fail(err, "flags")
+	}
+	if flags&0xf0 != 0 {
+		tr.err = fmt.Errorf("trace: corrupt flags %#x", flags)
+		return false
+	}
+	classOp, err := tr.r.ReadByte()
+	if err != nil {
+		return tr.fail(err, "class")
+	}
+	*r = Record{
+		Class: Class(classOp & 0xf),
+		Op:    OpClass(classOp >> 4),
+		Taken: flags&1 != 0,
+	}
+	if int(r.Class) >= numClasses || int(r.Op) >= NumOpClasses {
+		tr.err = fmt.Errorf("trace: corrupt class byte %#x", classOp)
+		return false
+	}
+	d, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return tr.fail(err, "pc")
+	}
+	r.PC = tr.prevPC + uint64(unzig(d))
+	tr.prevPC = r.PC
+	if flags&2 != 0 {
+		d, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return tr.fail(err, "target")
+		}
+		r.Target = r.PC + uint64(unzig(d))
+	}
+	if flags&4 != 0 {
+		d, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return tr.fail(err, "addr")
+		}
+		r.Addr = tr.prevAddr + uint64(unzig(d))
+		tr.prevAddr = r.Addr
+	}
+	if flags&8 != 0 {
+		var regs [3]byte
+		if _, err := io.ReadFull(tr.r, regs[:]); err != nil {
+			return tr.fail(err, "regs")
+		}
+		r.Dst, r.Src1, r.Src2 = regs[0], regs[1], regs[2]
+	}
+	return true
+}
+
+// Err returns the first decode error, or nil on clean EOF.
+func (tr *ReaderV2) Err() error { return tr.err }
+
+// CopyV2 drains src into a v2 writer, returning the record count.
+func CopyV2(w *WriterV2, src Source) (int64, error) {
+	var r Record
+	var n int64
+	for src.Next(&r) {
+		if err := w.Write(&r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Flush()
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	pc := uint64(0x10000)
+	for i := range recs {
+		recs[i] = Record{
+			PC:    pc,
+			Class: Class(rng.Intn(numClasses)),
+			Op:    OpClass(rng.Intn(NumOpClasses)),
+		}
+		if recs[i].Class.IsBranch() {
+			recs[i].Taken = rng.Intn(3) > 0
+			if recs[i].Taken {
+				recs[i].Target = pc + uint64(rng.Intn(4096))*4 - 2048*4
+			}
+		}
+		if rng.Intn(4) == 0 {
+			recs[i].Addr = uint64(rng.Intn(1<<20) * 8)
+		}
+		if rng.Intn(2) == 0 {
+			recs[i].Dst = uint8(rng.Intn(33))
+			recs[i].Src1 = uint8(rng.Intn(33))
+		}
+		if recs[i].Taken {
+			pc = recs[i].Target
+		} else {
+			pc += 4
+		}
+	}
+	return recs
+}
+
+func TestCodecV2RoundTrip(t *testing.T) {
+	recs := randomRecords(5000, 2)
+	var buf bytes.Buffer
+	w := NewWriterV2(&buf)
+	n, err := CopyV2(w, NewSliceSource(recs))
+	if err != nil || n != int64(len(recs)) {
+		t.Fatalf("CopyV2 = %d, %v", n, err)
+	}
+	r := NewReaderV2(&buf)
+	got := Collect(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestCodecV2Smaller(t *testing.T) {
+	recs := randomRecords(5000, 3)
+	var v1, v2 bytes.Buffer
+	if _, err := Copy(NewWriter(&v1), NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CopyV2(NewWriterV2(&v2), NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len()/2 {
+		t.Errorf("v2 (%d bytes) should be well under half of v1 (%d bytes)",
+			v2.Len(), v1.Len())
+	}
+}
+
+func TestAutoReader(t *testing.T) {
+	recs := randomRecords(100, 4)
+	for _, mk := range []func(*bytes.Buffer) (int64, error){
+		func(b *bytes.Buffer) (int64, error) { return Copy(NewWriter(b), NewSliceSource(recs)) },
+		func(b *bytes.Buffer) (int64, error) { return CopyV2(NewWriterV2(b), NewSliceSource(recs)) },
+	} {
+		var buf bytes.Buffer
+		if _, err := mk(&buf); err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewAutoReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Collect(src)
+		if len(got) != len(recs) || got[50] != recs[50] {
+			t.Fatalf("auto-reader mismatch: %d records", len(got))
+		}
+	}
+	if _, err := NewAutoReader(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestCodecV2NeverPanicsOnGarbage feeds random bytes to the decoder: it
+// must fail cleanly (error or EOF), never panic or loop.
+func TestCodecV2NeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		r := NewReaderV2(bytes.NewReader(data))
+		var rec Record
+		for i := 0; r.Next(&rec) && i < 100000; i++ {
+		}
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Also with a valid header followed by garbage.
+	f2 := func(data []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriterV2(&buf)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		buf.Write(data)
+		r := NewReaderV2(&buf)
+		var rec Record
+		for i := 0; r.Next(&rec) && i < 100000; i++ {
+		}
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecV2TruncationReported(t *testing.T) {
+	recs := randomRecords(10, 5)
+	var buf bytes.Buffer
+	if _, err := CopyV2(NewWriterV2(&buf), NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncate in the middle of the final record's payload.
+	r := NewReaderV2(bytes.NewReader(data[:len(data)-1]))
+	var rec Record
+	n := 0
+	for r.Next(&rec) {
+		n++
+	}
+	if n == len(recs) {
+		t.Fatal("truncated trace decoded completely")
+	}
+	if r.Err() == nil {
+		t.Fatal("mid-record truncation not reported")
+	}
+}

@@ -1,0 +1,173 @@
+// Package trace defines the instruction-trace representation shared by every
+// simulator in this repository.
+//
+// A trace is a stream of Record values, one per retired instruction, in
+// program order. The accuracy simulators (internal/sim) look only at the
+// control-flow fields; the timing simulator (internal/cpu) additionally uses
+// the functional-unit class and register operands.
+package trace
+
+import "fmt"
+
+// Class categorises an instruction's control-flow behaviour using the
+// taxonomy of the paper's introduction: branches are conditional or
+// unconditional crossed with direct or indirect, and only three of the four
+// combinations occur in practice (conditional direct, unconditional direct,
+// unconditional indirect). Returns are indirect jumps but are tracked
+// separately because they are handled by the return address stack rather
+// than the target cache.
+type Class uint8
+
+const (
+	// ClassOther marks a non-control-flow instruction.
+	ClassOther Class = iota
+	// ClassCondDirect is a conditional branch with a static target.
+	ClassCondDirect
+	// ClassUncondDirect is an unconditional jump with a static target.
+	ClassUncondDirect
+	// ClassCall is a direct call (jump-to-subroutine). Its fall-through
+	// address is pushed on the return address stack.
+	ClassCall
+	// ClassReturn is a subroutine return; an indirect jump predicted by the
+	// return address stack, not the target cache.
+	ClassReturn
+	// ClassIndJump is an unconditional indirect jump (e.g. a jump-table
+	// dispatch). This is the class the target cache predicts.
+	ClassIndJump
+	// ClassIndCall is an indirect call (function-pointer or virtual call).
+	// Like ClassIndJump it is predicted by the target cache, but it also
+	// pushes a return address.
+	ClassIndCall
+
+	numClasses = int(ClassIndCall) + 1
+)
+
+// String returns the short human-readable name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOther:
+		return "other"
+	case ClassCondDirect:
+		return "cond-direct"
+	case ClassUncondDirect:
+		return "uncond-direct"
+	case ClassCall:
+		return "call"
+	case ClassReturn:
+		return "return"
+	case ClassIndJump:
+		return "ind-jump"
+	case ClassIndCall:
+		return "ind-call"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// IsBranch reports whether the class is any control-flow instruction.
+func (c Class) IsBranch() bool { return c != ClassOther }
+
+// IsIndirect reports whether the class has a dynamically computed target.
+func (c Class) IsIndirect() bool {
+	return c == ClassIndJump || c == ClassIndCall || c == ClassReturn
+}
+
+// IsTargetCachePredicted reports whether the class is predicted by the
+// target cache. Returns are excluded: "although return instructions
+// technically are indirect jumps, they are not handled with the target cache
+// because they are effectively handled with the return address stack".
+func (c Class) IsTargetCachePredicted() bool {
+	return c == ClassIndJump || c == ClassIndCall
+}
+
+// IsCall reports whether the class pushes a return address.
+func (c Class) IsCall() bool { return c == ClassCall || c == ClassIndCall }
+
+// OpClass categorises an instruction by the functional-unit class it
+// occupies in the timing model, matching Table 3 of the paper.
+type OpClass uint8
+
+const (
+	// OpInt covers integer add, subtract and logic operations (latency 1).
+	OpInt OpClass = iota
+	// OpFPAdd covers FP add, subtract and convert (latency 3).
+	OpFPAdd
+	// OpMul covers FP and integer multiply (latency 3).
+	OpMul
+	// OpDiv covers FP and integer divide (latency 8).
+	OpDiv
+	// OpLoad covers memory loads (latency 1 plus cache behaviour).
+	OpLoad
+	// OpStore covers memory stores (latency 1).
+	OpStore
+	// OpBitField covers shift and bit-testing operations (latency 1).
+	OpBitField
+	// OpBranch covers all control instructions (latency 1).
+	OpBranch
+
+	// NumOpClasses is the number of functional-unit classes.
+	NumOpClasses = int(OpBranch) + 1
+)
+
+// String returns the Table-3 name of the op class.
+func (o OpClass) String() string {
+	switch o {
+	case OpInt:
+		return "Integer"
+	case OpFPAdd:
+		return "FP Add"
+	case OpMul:
+		return "FP/INT Mul"
+	case OpDiv:
+		return "FP/INT Div"
+	case OpLoad:
+		return "Load"
+	case OpStore:
+		return "Store"
+	case OpBitField:
+		return "Bit Field"
+	case OpBranch:
+		return "Branch"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(o))
+	}
+}
+
+// Record describes one retired instruction.
+//
+// For control-flow instructions (Class != ClassOther), Taken reports whether
+// the instruction redirected the stream, Target is the address actually
+// jumped to when taken, and NextPC is the address of the following
+// instruction in program order (Target when taken, the fall-through
+// otherwise). For non-branches Taken is false and Target is zero.
+//
+// Dst, Src1 and Src2 are register operands encoded as register number plus
+// one, with zero meaning "none"; Addr is the effective address for loads and
+// stores. These fields feed the timing model's dependence tracking and data
+// cache and are ignored by the accuracy simulators.
+type Record struct {
+	PC     uint64
+	Target uint64
+	Addr   uint64
+	Class  Class
+	Op     OpClass
+	Taken  bool
+	Dst    uint8
+	Src1   uint8
+	Src2   uint8
+}
+
+// FallThrough returns the address of the next sequential instruction.
+// Instructions are word-sized and word-aligned, as assumed by the paper's
+// path-history discussion ("the least significant bits from each address are
+// ignored because instructions are aligned on word boundaries").
+func (r *Record) FallThrough() uint64 { return r.PC + 4 }
+
+// NextPC returns the address of the instruction that follows r in the
+// dynamic instruction stream.
+func (r *Record) NextPC() uint64 {
+	if r.Taken {
+		return r.Target
+	}
+	return r.FallThrough()
+}

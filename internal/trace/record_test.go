@@ -1,0 +1,68 @@
+package trace
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                                      Class
+		isBranch, isIndirect, isTCPred, isCall bool
+	}{
+		{ClassOther, false, false, false, false},
+		{ClassCondDirect, true, false, false, false},
+		{ClassUncondDirect, true, false, false, false},
+		{ClassCall, true, false, false, true},
+		{ClassReturn, true, true, false, false},
+		{ClassIndJump, true, true, true, false},
+		{ClassIndCall, true, true, true, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsBranch(); got != tc.isBranch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tc.c, got, tc.isBranch)
+		}
+		if got := tc.c.IsIndirect(); got != tc.isIndirect {
+			t.Errorf("%v.IsIndirect() = %v, want %v", tc.c, got, tc.isIndirect)
+		}
+		if got := tc.c.IsTargetCachePredicted(); got != tc.isTCPred {
+			t.Errorf("%v.IsTargetCachePredicted() = %v, want %v", tc.c, got, tc.isTCPred)
+		}
+		if got := tc.c.IsCall(); got != tc.isCall {
+			t.Errorf("%v.IsCall() = %v, want %v", tc.c, got, tc.isCall)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassOther; c <= ClassIndCall; c++ {
+		if s := c.String(); s == "" || s[0] == 'C' && s != "Class(7)" {
+			// All real classes have lowercase names.
+			if s[0] >= 'A' && s[0] <= 'Z' {
+				t.Errorf("class %d has unexpected name %q", c, s)
+			}
+		}
+	}
+	if got := Class(200).String(); got != "Class(200)" {
+		t.Errorf("unknown class name = %q", got)
+	}
+	if got := OpClass(200).String(); got != "OpClass(200)" {
+		t.Errorf("unknown op class name = %q", got)
+	}
+	for op := 0; op < NumOpClasses; op++ {
+		if OpClass(op).String() == "" {
+			t.Errorf("op class %d has empty name", op)
+		}
+	}
+}
+
+func TestRecordNextPC(t *testing.T) {
+	r := Record{PC: 0x1000, Target: 0x2000, Taken: true}
+	if got := r.NextPC(); got != 0x2000 {
+		t.Errorf("taken NextPC = %#x, want 0x2000", got)
+	}
+	r.Taken = false
+	if got := r.NextPC(); got != 0x1004 {
+		t.Errorf("not-taken NextPC = %#x, want 0x1004", got)
+	}
+	if got := r.FallThrough(); got != 0x1004 {
+		t.Errorf("FallThrough = %#x, want 0x1004", got)
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+// Source is a stream of instruction records in program order.
+//
+// Next fills *r and reports whether a record was produced; it returns false
+// at end of trace. Implementations are single-pass; use a Factory to obtain
+// fresh passes over the same (deterministic) trace.
+type Source interface {
+	Next(r *Record) bool
+}
+
+// Factory produces independent, identical passes over a trace. Workloads
+// are deterministic, so re-running the factory regenerates the same stream
+// without buffering it in memory.
+type Factory interface {
+	// Open starts a new pass over the trace from the beginning.
+	Open() Source
+}
+
+// FactoryFunc adapts a function to the Factory interface.
+type FactoryFunc func() Source
+
+// Open starts a new pass.
+func (f FactoryFunc) Open() Source { return f() }
+
+// SliceSource replays a trace held in memory. The zero value is an empty
+// trace.
+type SliceSource struct {
+	Records []Record
+	pos     int
+}
+
+// NewSliceSource returns a Source replaying recs.
+func NewSliceSource(recs []Record) *SliceSource {
+	return &SliceSource{Records: recs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(r *Record) bool {
+	if s.pos >= len(s.Records) {
+		return false
+	}
+	*r = s.Records[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the source to the start of the trace.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Collect drains src into a slice. Intended for tests and small traces.
+func Collect(src Source) []Record {
+	var out []Record
+	var r Record
+	for src.Next(&r) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Limit wraps a source, truncating it after n records.
+type Limit struct {
+	Src  Source
+	N    int64
+	seen int64
+}
+
+// NewLimit returns a Source producing at most n records from src.
+// A non-positive n produces an empty trace.
+func NewLimit(src Source, n int64) *Limit {
+	return &Limit{Src: src, N: n}
+}
+
+// Next implements Source.
+func (l *Limit) Next(r *Record) bool {
+	if l.seen >= l.N {
+		return false
+	}
+	if !l.Src.Next(r) {
+		return false
+	}
+	l.seen++
+	return true
+}
+
+// FilterBranches wraps a source, yielding only control-flow records. The
+// accuracy simulators use this to skip non-branch instructions cheaply.
+type FilterBranches struct {
+	Src Source
+}
+
+// Next implements Source.
+func (f FilterBranches) Next(r *Record) bool {
+	for f.Src.Next(r) {
+		if r.Class.IsBranch() {
+			return true
+		}
+	}
+	return false
+}
+
+// Concat chains sources end to end.
+type Concat struct {
+	Srcs []Source
+	idx  int
+}
+
+// Next implements Source.
+func (c *Concat) Next(r *Record) bool {
+	for c.idx < len(c.Srcs) {
+		if c.Srcs[c.idx].Next(r) {
+			return true
+		}
+		c.idx++
+	}
+	return false
+}

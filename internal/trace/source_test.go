@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{PC: uint64(0x1000 + 4*i), Op: OpInt}
+		if i%3 == 0 {
+			recs[i].Class = ClassCondDirect
+			recs[i].Taken = i%2 == 0
+			recs[i].Target = uint64(0x2000 + 4*i)
+		}
+	}
+	return recs
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := mkRecords(10)
+	src := NewSliceSource(recs)
+	got := Collect(src)
+	if len(got) != 10 {
+		t.Fatalf("collected %d records, want 10", len(got))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	var r Record
+	if src.Next(&r) {
+		t.Fatal("exhausted source produced a record")
+	}
+	src.Reset()
+	if !src.Next(&r) || r != recs[0] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	for _, n := range []int64{-1, 0, 3, 10, 20} {
+		src := NewLimit(NewSliceSource(mkRecords(10)), n)
+		got := int64(len(Collect(src)))
+		want := n
+		if want < 0 {
+			want = 0
+		}
+		if want > 10 {
+			want = 10
+		}
+		if got != want {
+			t.Errorf("Limit(%d) produced %d records, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFilterBranches(t *testing.T) {
+	src := FilterBranches{Src: NewSliceSource(mkRecords(12))}
+	got := Collect(src)
+	if len(got) != 4 {
+		t.Fatalf("filtered %d branches, want 4", len(got))
+	}
+	for _, r := range got {
+		if !r.Class.IsBranch() {
+			t.Fatalf("non-branch record passed filter: %+v", r)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := mkRecords(3)
+	b := mkRecords(2)
+	c := &Concat{Srcs: []Source{NewSliceSource(a), NewSliceSource(b)}}
+	got := Collect(c)
+	if len(got) != 5 {
+		t.Fatalf("concat produced %d records, want 5", len(got))
+	}
+	if got[3] != b[0] {
+		t.Fatalf("concat order wrong")
+	}
+}
+
+// Property: Limit(n) then Collect never yields more than n records and is a
+// prefix of the unlimited stream.
+func TestLimitPrefixProperty(t *testing.T) {
+	f := func(n uint8, size uint8) bool {
+		recs := mkRecords(int(size))
+		limited := Collect(NewLimit(NewSliceSource(recs), int64(n)))
+		if len(limited) > int(n) || len(limited) > len(recs) {
+			return false
+		}
+		for i := range limited {
+			if limited[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "testing"
+
+func indJump(pc, target uint64) Record {
+	return Record{PC: pc, Target: target, Class: ClassIndJump, Taken: true}
+}
+
+func TestStatsCounts(t *testing.T) {
+	st := NewStats()
+	recs := []Record{
+		{Class: ClassOther},
+		{Class: ClassCondDirect, Taken: true},
+		{Class: ClassUncondDirect, Taken: true},
+		{Class: ClassCall, Taken: true},
+		{Class: ClassReturn, Taken: true},
+		indJump(0x100, 0x200),
+		{PC: 0x104, Target: 0x300, Class: ClassIndCall, Taken: true},
+	}
+	for i := range recs {
+		st.Observe(&recs[i])
+	}
+	if st.Instructions != 7 || st.Branches != 6 {
+		t.Fatalf("instructions=%d branches=%d", st.Instructions, st.Branches)
+	}
+	if st.CondDirect != 1 || st.UncondDirect != 1 || st.Calls != 1 || st.Returns != 1 {
+		t.Fatalf("per-class counts wrong: %+v", st)
+	}
+	if st.IndJumps != 2 || st.StaticIndJumps() != 2 {
+		t.Fatalf("indirect counts wrong: dyn=%d static=%d", st.IndJumps, st.StaticIndJumps())
+	}
+}
+
+func TestStatsTargetHistogram(t *testing.T) {
+	st := NewStats()
+	// Site A: 1 target, executed 5 times. Site B: 3 targets, executed 6x.
+	for i := 0; i < 5; i++ {
+		r := indJump(0xa00, 0x1000)
+		st.Observe(&r)
+	}
+	for i := 0; i < 6; i++ {
+		r := indJump(0xb00, uint64(0x2000+4*(i%3)))
+		st.Observe(&r)
+	}
+	static := st.TargetHistogram(false)
+	if static[1] != 1 || static[3] != 1 {
+		t.Fatalf("static histogram wrong: %v", static[:5])
+	}
+	dyn := st.TargetHistogram(true)
+	if dyn[1] != 5 || dyn[3] != 6 {
+		t.Fatalf("dynamic histogram wrong: %v", dyn[:5])
+	}
+	if st.MaxTargets() != 3 {
+		t.Fatalf("MaxTargets = %d, want 3", st.MaxTargets())
+	}
+	poly := st.PolymorphicFraction()
+	if want := 6.0 / 11.0; poly < want-1e-9 || poly > want+1e-9 {
+		t.Fatalf("PolymorphicFraction = %v, want %v", poly, want)
+	}
+}
+
+func TestStatsHistogramCap(t *testing.T) {
+	st := NewStats()
+	for i := 0; i < TargetHistogramCap+10; i++ {
+		r := indJump(0xc00, uint64(0x4000+4*i))
+		st.Observe(&r)
+	}
+	h := st.TargetHistogram(false)
+	if h[TargetHistogramCap] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h[TargetHistogramCap])
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := NewStats()
+	if st.PolymorphicFraction() != 0 {
+		t.Fatal("empty stats should report 0 polymorphic fraction")
+	}
+	if st.MaxTargets() != 0 {
+		t.Fatal("empty stats should report 0 max targets")
+	}
+}

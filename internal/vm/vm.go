@@ -1,0 +1,383 @@
+// Package vm executes isa.Program values, emitting one trace.Record per
+// retired instruction. It is the functional half of the methodology: the
+// timing and prediction simulators consume its traces.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// VM is a running instance of a program. It implements trace.Source: each
+// Next call executes one instruction.
+//
+// The VM also supports speculative (wrong-path) execution for the timing
+// models: StartWrongPath snapshots architectural state and redirects the
+// machine to an arbitrary (usually mispredicted) address; subsequent Next
+// calls execute real wrong-path instructions — with real, register-derived
+// memory addresses — and EndWrongPath rolls everything back via an undo
+// log, exactly like a checkpoint-repair machine squashing its window.
+type VM struct {
+	prog      *isa.Program
+	regs      [isa.NumRegs]int64
+	mem       []int64
+	pc        int
+	callStack []int
+	halted    bool
+	err       error
+	steps     int64
+
+	// Speculative-execution state (StartWrongPath/EndWrongPath).
+	spec          bool
+	specDead      bool // wrong path ran off the rails (fault/halt)
+	specRegs      [isa.NumRegs]int64
+	specPC        int
+	specSteps     int64
+	specCallStack []int
+	specMemLen    int
+	specUndo      []memUndo
+}
+
+type memUndo struct {
+	index int64
+	old   int64
+}
+
+// New returns a VM at the program's entry point with a private copy of the
+// initial data memory.
+func New(p *isa.Program) *VM {
+	m := &VM{prog: p, pc: p.Entry}
+	m.mem = make([]int64, len(p.Data))
+	copy(m.mem, p.Data)
+	return m
+}
+
+// Err returns the fault that halted the machine, if any.
+func (m *VM) Err() error { return m.err }
+
+// Halted reports whether the machine has stopped (OpHalt or fault).
+func (m *VM) Halted() bool { return m.halted }
+
+// Steps returns the number of instructions retired so far.
+func (m *VM) Steps() int64 { return m.steps }
+
+// Reg returns the value of register r (for tests).
+func (m *VM) Reg(r isa.Reg) int64 { return m.regs[r] }
+
+func (m *VM) fault(format string, args ...any) bool {
+	if m.spec {
+		// Wrong-path execution ran into garbage; real hardware fetches on
+		// regardless, but there is nothing sensible left to model, so the
+		// wrong path simply ends. Architectural state is untouched.
+		m.specDead = true
+		return false
+	}
+	m.err = fmt.Errorf("vm: %s: pc=%d: %s", m.prog.Name, m.pc,
+		fmt.Sprintf(format, args...))
+	m.halted = true
+	return false
+}
+
+func (m *VM) loadWord(addr int64) (int64, bool) {
+	if addr < 0 || addr%8 != 0 {
+		return 0, false
+	}
+	i := addr / 8
+	if i >= int64(len(m.mem)) {
+		return 0, true // unwritten memory reads as zero
+	}
+	return m.mem[i], true
+}
+
+func (m *VM) storeWord(addr, v int64) bool {
+	if addr < 0 || addr%8 != 0 {
+		return false
+	}
+	i := addr / 8
+	for i >= int64(len(m.mem)) {
+		m.mem = append(m.mem, make([]int64, i-int64(len(m.mem))+1)...)
+	}
+	if m.spec && i < int64(m.specMemLen) {
+		m.specUndo = append(m.specUndo, memUndo{index: i, old: m.mem[i]})
+	}
+	m.mem[i] = v
+	return true
+}
+
+func aluOpClass(op isa.AluOp) trace.OpClass {
+	switch op {
+	case isa.AluMul:
+		return trace.OpMul
+	case isa.AluDiv:
+		return trace.OpDiv
+	case isa.AluSll, isa.AluSrl, isa.AluAnd, isa.AluOr, isa.AluXor:
+		return trace.OpBitField
+	default:
+		return trace.OpInt
+	}
+}
+
+func alu(op isa.AluOp, a, b int64) int64 {
+	switch op {
+	case isa.AluAdd:
+		return a + b
+	case isa.AluSub:
+		return a - b
+	case isa.AluAnd:
+		return a & b
+	case isa.AluOr:
+		return a | b
+	case isa.AluXor:
+		return a ^ b
+	case isa.AluMul:
+		return a * b
+	case isa.AluDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.AluSll:
+		return a << (uint64(b) & 63)
+	case isa.AluSrl:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	default:
+		return 0
+	}
+}
+
+// Next implements trace.Source, executing one instruction and describing it
+// in *r. It returns false once the machine halts or faults (or, during
+// wrong-path execution, when the wrong path dies).
+func (m *VM) Next(r *trace.Record) bool {
+	if m.halted || m.specDead {
+		return false
+	}
+	if m.pc < 0 || m.pc >= len(m.prog.Code) {
+		return m.fault("pc out of range")
+	}
+	in := &m.prog.Code[m.pc]
+	*r = trace.Record{PC: m.prog.AddrOf(m.pc)}
+	next := m.pc + 1
+
+	switch in.Op {
+	case isa.OpNop:
+		r.Op = trace.OpInt
+	case isa.OpALU:
+		r.Op = aluOpClass(in.Alu)
+		r.Dst, r.Src1, r.Src2 = uint8(in.Dst)+1, uint8(in.Src1)+1, uint8(in.Src2)+1
+		m.regs[in.Dst] = alu(in.Alu, m.regs[in.Src1], m.regs[in.Src2])
+	case isa.OpALUI:
+		r.Op = aluOpClass(in.Alu)
+		r.Dst, r.Src1 = uint8(in.Dst)+1, uint8(in.Src1)+1
+		m.regs[in.Dst] = alu(in.Alu, m.regs[in.Src1], in.Imm)
+	case isa.OpLoadImm:
+		r.Op = trace.OpInt
+		r.Dst = uint8(in.Dst) + 1
+		m.regs[in.Dst] = in.Imm
+	case isa.OpLoad:
+		r.Op = trace.OpLoad
+		r.Dst, r.Src1 = uint8(in.Dst)+1, uint8(in.Src1)+1
+		addr := m.regs[in.Src1] + in.Imm
+		v, ok := m.loadWord(addr)
+		if !ok {
+			return m.fault("bad load address %#x", addr)
+		}
+		r.Addr = uint64(addr)
+		m.regs[in.Dst] = v
+	case isa.OpStore:
+		r.Op = trace.OpStore
+		r.Src1, r.Src2 = uint8(in.Src1)+1, uint8(in.Src2)+1
+		addr := m.regs[in.Src1] + in.Imm
+		if !m.storeWord(addr, m.regs[in.Src2]) {
+			return m.fault("bad store address %#x", addr)
+		}
+		r.Addr = uint64(addr)
+	case isa.OpBr:
+		r.Op = trace.OpBranch
+		r.Class = trace.ClassCondDirect
+		r.Src1, r.Src2 = uint8(in.Src1)+1, uint8(in.Src2)+1
+		r.Target = m.prog.AddrOf(in.Target)
+		if in.Cond.Eval(m.regs[in.Src1], m.regs[in.Src2]) {
+			r.Taken = true
+			next = in.Target
+		}
+	case isa.OpJmp:
+		r.Op = trace.OpBranch
+		r.Class = trace.ClassUncondDirect
+		r.Taken = true
+		r.Target = m.prog.AddrOf(in.Target)
+		next = in.Target
+	case isa.OpCall:
+		r.Op = trace.OpBranch
+		r.Class = trace.ClassCall
+		r.Taken = true
+		r.Target = m.prog.AddrOf(in.Target)
+		m.callStack = append(m.callStack, m.pc+1)
+		next = in.Target
+	case isa.OpRet:
+		r.Op = trace.OpBranch
+		r.Class = trace.ClassReturn
+		r.Taken = true
+		if len(m.callStack) == 0 {
+			return m.fault("return with empty call stack")
+		}
+		next = m.callStack[len(m.callStack)-1]
+		m.callStack = m.callStack[:len(m.callStack)-1]
+		r.Target = m.prog.AddrOf(next)
+	case isa.OpJmpInd, isa.OpCallInd:
+		r.Op = trace.OpBranch
+		r.Taken = true
+		r.Src1 = uint8(in.Src1) + 1
+		tgt := uint64(m.regs[in.Src1])
+		idx, err := m.prog.IndexOf(tgt)
+		if err != nil {
+			return m.fault("indirect jump through r%d: %v", in.Src1, err)
+		}
+		r.Target = tgt
+		if in.Sel != 0 {
+			r.Addr = uint64(m.regs[in.Sel-1])
+		} else {
+			r.Addr = tgt
+		}
+		if in.Op == isa.OpCallInd {
+			r.Class = trace.ClassIndCall
+			m.callStack = append(m.callStack, m.pc+1)
+		} else {
+			r.Class = trace.ClassIndJump
+		}
+		next = idx
+	case isa.OpHalt:
+		if m.spec {
+			m.specDead = true
+			return false
+		}
+		r.Op = trace.OpInt
+		m.halted = true
+	default:
+		return m.fault("bad opcode %d", in.Op)
+	}
+
+	m.pc = next
+	m.steps++
+	return true
+}
+
+// InWrongPath reports whether the machine is executing speculatively.
+func (m *VM) InWrongPath() bool { return m.spec }
+
+// StartWrongPath snapshots architectural state and redirects execution to
+// addr (typically a mispredicted branch target). It reports whether addr
+// is a fetchable code address; on false the machine is unchanged. Nesting
+// is not supported: a second call before EndWrongPath returns false.
+func (m *VM) StartWrongPath(addr uint64) bool {
+	if m.spec || m.halted {
+		return false
+	}
+	idx, err := m.prog.IndexOf(addr)
+	if err != nil {
+		return false
+	}
+	m.spec = true
+	m.specDead = false
+	m.specRegs = m.regs
+	m.specPC = m.pc
+	m.specSteps = m.steps
+	m.specCallStack = append(m.specCallStack[:0], m.callStack...)
+	m.specMemLen = len(m.mem)
+	m.specUndo = m.specUndo[:0]
+	m.pc = idx
+	return true
+}
+
+// EndWrongPath squashes all speculative state: registers, PC, call stack,
+// step count and memory (via the undo log) return to their values at
+// StartWrongPath. It is a no-op if no wrong path is active.
+func (m *VM) EndWrongPath() {
+	if !m.spec {
+		return
+	}
+	m.regs = m.specRegs
+	m.pc = m.specPC
+	m.steps = m.specSteps
+	m.callStack = append(m.callStack[:0], m.specCallStack...)
+	// Undo in reverse so multiply-written words restore their oldest value.
+	for i := len(m.specUndo) - 1; i >= 0; i-- {
+		u := m.specUndo[i]
+		m.mem[u.index] = u.old
+	}
+	m.mem = m.mem[:m.specMemLen]
+	m.specUndo = m.specUndo[:0]
+	m.spec = false
+	m.specDead = false
+}
+
+// Run executes until halt or fault, discarding the trace, and returns the
+// number of instructions retired. Useful in tests.
+func (m *VM) Run(maxSteps int64) (int64, error) {
+	var r trace.Record
+	start := m.steps
+	for m.Next(&r) {
+		if m.steps-start >= maxSteps {
+			break
+		}
+	}
+	return m.steps - start, m.err
+}
+
+// Looping is a trace.Source that restarts the program whenever it halts,
+// producing an arbitrarily long stationary trace from a finite program.
+// Faults terminate the stream (visible via Err).
+type Looping struct {
+	Prog *isa.Program
+	cur  *VM
+	err  error
+}
+
+// NewLooping returns a looping source over p.
+func NewLooping(p *isa.Program) *Looping { return &Looping{Prog: p} }
+
+// Next implements trace.Source.
+func (l *Looping) Next(r *trace.Record) bool {
+	for {
+		if l.err != nil {
+			return false
+		}
+		if l.cur == nil {
+			l.cur = New(l.Prog)
+		}
+		if l.cur.Next(r) {
+			return true
+		}
+		if l.cur.InWrongPath() {
+			// The wrong path died; the architectural machine is intact and
+			// resumes after EndWrongPath. Never restart here.
+			return false
+		}
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			return false
+		}
+		l.cur = nil // clean halt: restart
+	}
+}
+
+// Err returns the fault that terminated the stream, if any.
+func (l *Looping) Err() error { return l.err }
+
+// StartWrongPath delegates to the current program instance; it fails when
+// the stream is between restarts.
+func (l *Looping) StartWrongPath(addr uint64) bool {
+	if l.cur == nil {
+		return false
+	}
+	return l.cur.StartWrongPath(addr)
+}
+
+// EndWrongPath delegates to the current program instance.
+func (l *Looping) EndWrongPath() {
+	if l.cur != nil {
+		l.cur.EndWrongPath()
+	}
+}

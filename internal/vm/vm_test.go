@@ -1,0 +1,255 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, p *isa.Program, maxSteps int64) *VM {
+	t.Helper()
+	m := New(p)
+	if _, err := m.Run(maxSteps); err != nil {
+		t.Fatalf("vm fault: %v", err)
+	}
+	return m
+}
+
+func TestALUOps(t *testing.T) {
+	b := isa.NewBuilder("alu", 0)
+	b.LoadImm(1, 20)
+	b.LoadImm(2, 6)
+	b.ALU(isa.AluAdd, 3, 1, 2)
+	b.ALU(isa.AluSub, 4, 1, 2)
+	b.ALU(isa.AluMul, 5, 1, 2)
+	b.ALU(isa.AluDiv, 6, 1, 2)
+	b.ALU(isa.AluAnd, 7, 1, 2)
+	b.ALU(isa.AluOr, 8, 1, 2)
+	b.ALU(isa.AluXor, 9, 1, 2)
+	b.ALUI(isa.AluSll, 10, 1, 2)
+	b.ALUI(isa.AluSrl, 11, 1, 2)
+	b.Halt()
+	m := run(t, b.MustBuild(), 100)
+	want := map[isa.Reg]int64{
+		3: 26, 4: 14, 5: 120, 6: 3, 7: 4, 8: 22, 9: 18, 10: 80, 11: 5,
+	}
+	for r, v := range want {
+		if got := m.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	b := isa.NewBuilder("div0", 0)
+	b.LoadImm(1, 7)
+	b.LoadImm(2, 0)
+	b.ALU(isa.AluDiv, 3, 1, 2)
+	b.Halt()
+	m := run(t, b.MustBuild(), 10)
+	if m.Reg(3) != 0 {
+		t.Fatalf("div by zero = %d, want 0", m.Reg(3))
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	b := isa.NewBuilder("mem", 0)
+	addr := b.Word(99)
+	b.LoadImm(1, addr)
+	b.Load(2, 1, 0)
+	b.ALUI(isa.AluAdd, 2, 2, 1)
+	b.Store(1, 8, 2) // one word past
+	b.Load(3, 1, 8)
+	b.Halt()
+	m := run(t, b.MustBuild(), 100)
+	if m.Reg(2) != 100 || m.Reg(3) != 100 {
+		t.Fatalf("r2=%d r3=%d, want 100", m.Reg(2), m.Reg(3))
+	}
+}
+
+func TestUnwrittenMemoryReadsZero(t *testing.T) {
+	b := isa.NewBuilder("zero", 0)
+	b.LoadImm(1, 8000)
+	b.Load(2, 1, 0)
+	b.Halt()
+	m := run(t, b.MustBuild(), 10)
+	if m.Reg(2) != 0 {
+		t.Fatalf("unwritten memory = %d", m.Reg(2))
+	}
+}
+
+func TestBranchRecords(t *testing.T) {
+	b := isa.NewBuilder("br", 0x100)
+	b.LoadImm(1, 1)
+	b.LoadImm(2, 2)
+	b.Br(isa.CondEQ, 1, 2, "skip") // not taken
+	b.Br(isa.CondNE, 1, 2, "skip") // taken
+	b.Nop()                        // skipped
+	b.Label("skip")
+	b.Halt()
+	m := New(b.MustBuild())
+	recs := trace.Collect(m)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// LoadImm, LoadImm, Br(NT), Br(T), Halt = 5 records.
+	if len(recs) != 5 {
+		t.Fatalf("got %d records: %+v", len(recs), recs)
+	}
+	nt, tk := recs[2], recs[3]
+	if nt.Class != trace.ClassCondDirect || nt.Taken {
+		t.Fatalf("record 2 = %+v, want not-taken conditional", nt)
+	}
+	if !tk.Taken || tk.Target != 0x100+5*4 {
+		t.Fatalf("record 3 = %+v, want taken to %#x", tk, 0x100+5*4)
+	}
+	if tk.NextPC() != recs[4].PC {
+		t.Fatal("trace PC discontinuity across taken branch")
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := isa.NewBuilder("call", 0)
+	b.Call("sub")
+	b.Halt()
+	b.Label("sub")
+	b.LoadImm(1, 42)
+	b.Ret()
+	m := New(b.MustBuild())
+	recs := trace.Collect(m)
+	if m.Reg(1) != 42 {
+		t.Fatal("subroutine did not run")
+	}
+	if recs[0].Class != trace.ClassCall || recs[0].Target != 8 {
+		t.Fatalf("call record = %+v", recs[0])
+	}
+	ret := recs[2]
+	if ret.Class != trace.ClassReturn || ret.Target != 4 {
+		t.Fatalf("return record = %+v", ret)
+	}
+}
+
+func TestIndirectJumpRecord(t *testing.T) {
+	b := isa.NewBuilder("ind", 0)
+	b.LoadImm(1, 4*4) // address of "dest"
+	b.LoadImm(2, 7)   // selector value
+	b.JmpIndSel(1, 2)
+	b.Nop() // skipped
+	b.Label("dest")
+	b.Halt()
+	m := New(b.MustBuild())
+	recs := trace.Collect(m)
+	j := recs[2]
+	if j.Class != trace.ClassIndJump || j.Target != 16 || j.Addr != 7 {
+		t.Fatalf("indirect record = %+v", j)
+	}
+}
+
+func TestIndirectCallPushesReturn(t *testing.T) {
+	b := isa.NewBuilder("indcall", 0)
+	b.LoadImm(1, 3*4)
+	b.CallInd(1)
+	b.Halt()
+	b.Label("f")
+	b.LoadImm(2, 9)
+	b.Ret()
+	m := New(b.MustBuild())
+	recs := trace.Collect(m)
+	if m.Reg(2) != 9 {
+		t.Fatal("indirect callee did not run")
+	}
+	if recs[1].Class != trace.ClassIndCall {
+		t.Fatalf("record = %+v", recs[1])
+	}
+	// Without a selector register, Addr falls back to the target.
+	if recs[1].Addr != recs[1].Target {
+		t.Fatalf("selector fallback wrong: %+v", recs[1])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *isa.Builder)
+		want  string
+	}{
+		{"ret-empty", func(b *isa.Builder) { b.Ret() }, "empty call stack"},
+		{"bad-ind", func(b *isa.Builder) {
+			b.LoadImm(1, 0x999999)
+			b.JmpInd(1)
+		}, "indirect jump"},
+		{"bad-load", func(b *isa.Builder) {
+			b.LoadImm(1, -16)
+			b.Load(2, 1, 0)
+		}, "bad load"},
+		{"bad-store", func(b *isa.Builder) {
+			b.LoadImm(1, 3) // unaligned
+			b.Store(1, 0, 2)
+		}, "bad store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := isa.NewBuilder(tc.name, 0)
+			tc.build(b)
+			b.Halt()
+			m := New(b.MustBuild())
+			var r trace.Record
+			for m.Next(&r) {
+			}
+			if m.Err() == nil || !strings.Contains(m.Err().Error(), tc.want) {
+				t.Fatalf("fault = %v, want %q", m.Err(), tc.want)
+			}
+		})
+	}
+}
+
+func TestLoopingRestarts(t *testing.T) {
+	b := isa.NewBuilder("short", 0)
+	b.LoadImm(1, 1)
+	b.Nop()
+	b.Halt()
+	l := NewLooping(b.MustBuild())
+	recs := trace.Collect(trace.NewLimit(l, 7))
+	if len(recs) != 7 {
+		t.Fatalf("looping produced %d records", len(recs))
+	}
+	// Halt emits a record; the stream restarts from PC 0 afterwards.
+	if recs[0].PC != recs[3].PC {
+		t.Fatalf("restart PC mismatch: %#x vs %#x", recs[0].PC, recs[3].PC)
+	}
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+}
+
+func TestLoopingPropagatesFault(t *testing.T) {
+	b := isa.NewBuilder("faulty", 0)
+	b.Ret() // immediate fault
+	l := NewLooping(b.MustBuild())
+	var r trace.Record
+	if l.Next(&r) {
+		t.Fatal("faulting program produced a record")
+	}
+	if l.Err() == nil {
+		t.Fatal("fault not propagated")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	b := isa.NewBuilder("inf", 0)
+	b.Label("l")
+	b.Jmp("l")
+	m := New(b.MustBuild())
+	n, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("ran %d steps, want 1000", n)
+	}
+	if m.Halted() {
+		t.Fatal("infinite loop halted")
+	}
+}

@@ -1,0 +1,156 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// wrongPathProg: a main path that stores to memory and a side function the
+// wrong path will wander into.
+func wrongPathProg() *isa.Program {
+	b := isa.NewBuilder("wp", 0)
+	b.LoadImm(1, 0)   // data address
+	b.LoadImm(2, 7)   // value
+	b.Store(1, 0, 2)  // mem[0] = 7
+	b.LoadImm(3, 100) // r3 = 100
+	b.Nop()
+	b.Halt()
+	b.Label("side")
+	b.LoadImm(3, 999)  // clobber r3
+	b.LoadImm(2, 55)   //
+	b.Store(1, 0, 2)   // clobber mem[0]
+	b.Store(1, 800, 2) // grow memory
+	b.ALUI(isa.AluAdd, 4, 3, 1)
+	b.Ret() // faults: empty call stack on the wrong path
+	b.Word(0)
+	return b.MustBuild()
+}
+
+func TestWrongPathRollback(t *testing.T) {
+	p := wrongPathProg()
+	m := New(p)
+	var r trace.Record
+	// Execute the first four instructions of the real path.
+	for i := 0; i < 4; i++ {
+		if !m.Next(&r) {
+			t.Fatal("main path ended early")
+		}
+	}
+	memLenBefore := len(m.mem)
+
+	addr := p.AddrOf(6) // "side" label
+	if !m.StartWrongPath(addr) {
+		t.Fatal("StartWrongPath rejected a valid code address")
+	}
+	if !m.InWrongPath() {
+		t.Fatal("InWrongPath false during speculation")
+	}
+	// Run the wrong path to its natural death (the stray ret).
+	n := 0
+	for m.Next(&r) {
+		n++
+		if n > 100 {
+			t.Fatal("wrong path did not terminate")
+		}
+	}
+	if n == 0 {
+		t.Fatal("wrong path executed nothing")
+	}
+	if m.Halted() || m.Err() != nil {
+		t.Fatalf("wrong-path fault leaked into architectural state: halted=%v err=%v",
+			m.Halted(), m.Err())
+	}
+	m.EndWrongPath()
+
+	// Architectural state must be exactly as before.
+	if got := m.Reg(3); got != 100 {
+		t.Errorf("r3 = %d, want 100", got)
+	}
+	if got := m.Reg(2); got != 7 {
+		t.Errorf("r2 = %d, want 7", got)
+	}
+	if got := m.mem[0]; got != 7 {
+		t.Errorf("mem[0] = %d, want 7", got)
+	}
+	if len(m.mem) != memLenBefore {
+		t.Errorf("memory grew across rollback: %d -> %d", memLenBefore, len(m.mem))
+	}
+	// The real path resumes where it left off (instruction 4: Nop).
+	if !m.Next(&r) || r.Op != trace.OpInt || r.PC != p.AddrOf(4) {
+		t.Fatalf("resume record = %+v, want the Nop at %#x", r, p.AddrOf(4))
+	}
+}
+
+func TestWrongPathRejectsBadAddress(t *testing.T) {
+	m := New(wrongPathProg())
+	if m.StartWrongPath(0x999999) {
+		t.Fatal("bad address accepted")
+	}
+	if m.InWrongPath() {
+		t.Fatal("machine entered speculation on failure")
+	}
+}
+
+func TestWrongPathNoNesting(t *testing.T) {
+	p := wrongPathProg()
+	m := New(p)
+	if !m.StartWrongPath(p.AddrOf(6)) {
+		t.Fatal("first StartWrongPath failed")
+	}
+	if m.StartWrongPath(p.AddrOf(0)) {
+		t.Fatal("nested StartWrongPath accepted")
+	}
+	m.EndWrongPath()
+	if m.InWrongPath() {
+		t.Fatal("EndWrongPath did not clear speculation")
+	}
+	m.EndWrongPath() // must be a safe no-op
+}
+
+func TestWrongPathStepsRestored(t *testing.T) {
+	p := wrongPathProg()
+	m := New(p)
+	var r trace.Record
+	m.Next(&r)
+	m.Next(&r)
+	before := m.Steps()
+	m.StartWrongPath(p.AddrOf(6))
+	m.Next(&r)
+	m.Next(&r)
+	m.EndWrongPath()
+	if m.Steps() != before {
+		t.Fatalf("steps = %d, want %d", m.Steps(), before)
+	}
+}
+
+func TestLoopingWrongPathDoesNotRestart(t *testing.T) {
+	p := wrongPathProg()
+	l := NewLooping(p)
+	var r trace.Record
+	for i := 0; i < 3; i++ {
+		if !l.Next(&r) {
+			t.Fatal("looping ended early")
+		}
+	}
+	if !l.StartWrongPath(p.AddrOf(6)) {
+		t.Fatal("StartWrongPath via Looping failed")
+	}
+	for l.Next(&r) {
+	}
+	if l.Err() != nil {
+		t.Fatalf("wrong-path death surfaced as error: %v", l.Err())
+	}
+	l.EndWrongPath()
+	// The stream resumes (and later restarts at halt) as usual.
+	count := 0
+	for i := 0; i < 20; i++ {
+		if l.Next(&r) {
+			count++
+		}
+	}
+	if count != 20 {
+		t.Fatalf("looping stream broken after wrong path: %d records", count)
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// allIncludingExtras returns the paper's eight plus the extras.
+func allIncludingExtras() []*Workload {
+	return append(All(), Extras()...)
+}
+
+// TestTraceControlFlowConsistency checks the fundamental invariant every
+// simulator relies on: the dynamic instruction stream is a valid walk of
+// the program — each record's successor starts at NextPC() (modulo program
+// restarts by the looping source, which re-enter at the entry point).
+func TestTraceControlFlowConsistency(t *testing.T) {
+	for _, w := range allIncludingExtras() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Program()
+			entry := prog.AddrOf(prog.Entry)
+			src := trace.NewLimit(w.Open(), 150_000)
+			var prev trace.Record
+			havePrev := false
+			var r trace.Record
+			for src.Next(&r) {
+				if havePrev {
+					want := prev.NextPC()
+					if r.PC != want && r.PC != entry {
+						t.Fatalf("discontinuity: %#x (%v) -> %#x, want %#x",
+							prev.PC, prev.Class, r.PC, want)
+					}
+				}
+				prev, havePrev = r, true
+			}
+		})
+	}
+}
+
+// TestTraceCallReturnBalance checks returns never outnumber calls and that
+// every return target is the fall-through of some earlier call.
+func TestTraceCallReturnBalance(t *testing.T) {
+	for _, w := range allIncludingExtras() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := trace.NewLimit(w.Open(), 150_000)
+			var depth int
+			expected := make([]uint64, 0, 64)
+			var r trace.Record
+			for src.Next(&r) {
+				switch {
+				case r.Class.IsCall():
+					expected = append(expected, r.FallThrough())
+					depth++
+				case r.Class == trace.ClassReturn:
+					if depth == 0 {
+						t.Fatal("return without a matching call")
+					}
+					want := expected[len(expected)-1]
+					expected = expected[:len(expected)-1]
+					depth--
+					if r.Target != want {
+						t.Fatalf("return to %#x, expected %#x", r.Target, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceBranchFields checks field hygiene: branches are taken with
+// valid word-aligned targets where required, non-branches carry no control
+// fields, and indirect jumps record a selector.
+func TestTraceBranchFields(t *testing.T) {
+	for _, w := range allIncludingExtras() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := trace.NewLimit(w.Open(), 150_000)
+			var r trace.Record
+			for src.Next(&r) {
+				if r.PC%4 != 0 {
+					t.Fatalf("unaligned PC %#x", r.PC)
+				}
+				switch {
+				case r.Class == trace.ClassOther:
+					if r.Taken || r.Target != 0 {
+						t.Fatalf("non-branch with control fields: %+v", r)
+					}
+				case r.Class.IsBranch() && r.Class != trace.ClassCondDirect:
+					if !r.Taken {
+						t.Fatalf("unconditional branch not taken: %+v", r)
+					}
+				}
+				if r.Class.IsBranch() && r.Taken {
+					if r.Target%4 != 0 || r.Target == 0 {
+						t.Fatalf("bad branch target: %+v", r)
+					}
+				}
+				if r.Class.IsBranch() && r.Op != trace.OpBranch {
+					t.Fatalf("branch with op class %v", r.Op)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadProfileShapes pins each workload's defining population
+// properties so calibration regressions are caught (values have slack;
+// they are structure checks, not golden numbers).
+func TestWorkloadProfileShapes(t *testing.T) {
+	type shape struct {
+		minStatic, maxStatic int
+		minTargets           int
+	}
+	shapes := map[string]shape{
+		"perl":     {2, 2, 20},   // one hot dispatch + MATCH sub-dispatch
+		"gcc":      {60, 70, 30}, // many switch sites + fn dispatch
+		"xlisp":    {2, 2, 8},    // eval dispatch + user-fn stubs
+		"m88ksim":  {3, 3, 16},   // opcode dispatch
+		"compress": {2, 6, 2},
+		"ijpeg":    {2, 4, 2},
+		"go":       {4, 6, 8},
+		"vortex":   {3, 5, 4},
+		"cxx":      {3, 3, 12}, // three virtual call sites, 12 classes
+		"gosearch": {2, 2, 8},  // move-kind switch + evaluator fn table
+	}
+	for _, w := range allIncludingExtras() {
+		w := w
+		want, ok := shapes[w.Name]
+		if !ok {
+			t.Errorf("no shape entry for workload %s", w.Name)
+			continue
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			st := trace.NewStats().Consume(trace.NewLimit(w.Open(), 400_000))
+			if got := st.StaticIndJumps(); got < want.minStatic || got > want.maxStatic {
+				t.Errorf("static indirect jumps = %d, want %d..%d",
+					got, want.minStatic, want.maxStatic)
+			}
+			if got := st.MaxTargets(); got < want.minTargets {
+				t.Errorf("max targets = %d, want >= %d", got, want.minTargets)
+			}
+		})
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// The cxx workload is the paper's future-work section made concrete: "for
+// object oriented programs where more indirect branches may be executed,
+// tagged caches should provide even greater performance benefits. In the
+// future, we will evaluate the performance benefit of target caches for
+// C++ benchmarks."
+//
+// It is a virtual-call-heavy program in the style Calder & Grunwald and
+// Driesen & Hölzle studied: a class hierarchy of shapes, objects laid out
+// in memory with a vtable pointer in their first word, and a driver that
+// walks heterogeneous containers invoking virtual methods. Every virtual
+// call site performs the real double load (object -> vtable -> method)
+// before its indirect call, so dispatch values flow through memory exactly
+// as compiled C++ does. Receiver class sequences have container locality
+// (runs) plus a polymorphic tail, the regime where BTBs do poorly and
+// history helps.
+
+const (
+	cxxClasses   = 12
+	cxxMethods   = 3 // update / area / describe
+	cxxObjects   = 2048
+	cxxRandWords = 4096
+)
+
+// cxx register conventions.
+const (
+	cZ   = isa.Reg(31)
+	cOB  = isa.Reg(1) // object-pointer array base
+	cOI  = isa.Reg(2) // object index
+	cObj = isa.Reg(3) // current object pointer (this)
+	cVT  = isa.Reg(4) // vtable pointer
+	cM   = isa.Reg(5) // method address
+	cAcc = isa.Reg(6)
+	cT1  = isa.Reg(7)
+	cRC  = isa.Reg(8)
+	cRB  = isa.Reg(9)
+	cT2  = isa.Reg(10)
+	cT3  = isa.Reg(11)
+	cCls = isa.Reg(12) // class id of the receiver (for trace selectors)
+	cT4  = isa.Reg(17)
+	cN   = isa.Reg(20) // object count
+)
+
+func cxxEmitRand(b *isa.Builder, dst isa.Reg) {
+	b.ALUI(isa.AluAdd, cRC, cRC, 1)
+	b.ALUI(isa.AluAnd, cRC, cRC, cxxRandWords-1)
+	b.ALUI(isa.AluSll, cT1, cRC, 3)
+	b.ALU(isa.AluAdd, cT1, cRB, cT1)
+	b.Load(dst, cT1, 0)
+}
+
+// cxxReceiverStream assigns a class to each container slot. Object graphs
+// are built from composite "group templates" — a Car is always Wheel,
+// Wheel, Body, Glass; a Paragraph is Run, Run, Run, Image — so the
+// container is a concatenation of template instances, chosen by a
+// mostly-deterministic successor chain with a random tail. Within a
+// template the class sequence (including its internal repeats) is fixed:
+// that is the regularity history-based predictors exploit in OO code and
+// a last-target BTB cannot.
+func cxxReceiverStream(rng *rand.Rand) []int {
+	const numTemplates = 12
+	templates := make([][]int, numTemplates)
+	for t := range templates {
+		n := 3 + rng.Intn(8)
+		seq := make([]int, 0, n)
+		cls := rng.Intn(cxxClasses)
+		for len(seq) < n {
+			// Composite parts repeat (two Wheels, three Runs).
+			rep := 1 + rng.Intn(3)
+			for r := 0; r < rep && len(seq) < n; r++ {
+				seq = append(seq, cls)
+			}
+			cls = rng.Intn(cxxClasses)
+		}
+		templates[t] = seq
+	}
+	succ := rng.Perm(numTemplates)
+
+	classes := make([]int, 0, cxxObjects)
+	cur := 0
+	for len(classes) < cxxObjects {
+		if rng.Float64() < 0.95 {
+			cur = succ[cur]
+		} else {
+			cur = rng.Intn(numTemplates)
+		}
+		classes = append(classes, templates[cur]...)
+	}
+	return classes[:cxxObjects]
+}
+
+func buildCxx() *isa.Program {
+	rng := rand.New(rand.NewSource(0xCC7) /* fixed: deterministic workload */)
+	b := isa.NewBuilder("cxx", 0x140000)
+
+	// vtables: one per class, cxxMethods slots each (patched after build).
+	vtables := make([]int64, cxxClasses)
+	for c := range vtables {
+		vtables[c] = b.Words(cxxMethods)
+	}
+	// Objects: [vtable, fieldA, fieldB], pointer array indexes them.
+	classes := cxxReceiverStream(rng)
+	objPtrs := b.Words(cxxObjects)
+	for i, cls := range classes {
+		obj := b.Words(3)
+		b.SetWord(obj, vtables[cls])
+		// Object state correlates with its class (shapes of one kind have
+		// similar data), so the driver's field tests expose class
+		// information the way real predicates do.
+		field := int64(rng.Intn(500))*2 + int64(cls&1)
+		b.SetWord(obj+8, field)
+		b.SetWord(obj+16, int64(cls))
+		b.SetWord(objPtrs+int64(i)*8, obj)
+	}
+	randBase := b.Words(cxxRandWords)
+	for i := 0; i < cxxRandWords; i++ {
+		b.SetWord(randBase+int64(i)*8, int64(rng.Uint64()>>1))
+	}
+
+	b.Label("init")
+	b.LoadImm(cZ, 0)
+	b.LoadImm(cOB, objPtrs)
+	b.LoadImm(cRB, randBase)
+	b.LoadImm(cRC, 0)
+	b.LoadImm(cAcc, 1)
+	b.LoadImm(cOI, 0)
+	b.LoadImm(cN, cxxObjects)
+
+	// virtualCall emits the compiled shape of obj->method(): load the
+	// vtable pointer, load the method slot, indirect call. The class id
+	// (object field 2) is recorded as the dispatch selector.
+	virtualCall := func(method int) {
+		b.Load(cVT, cObj, 0)
+		b.Load(cCls, cObj, 16)
+		b.Load(cM, cVT, int64(method)*8)
+		b.CallIndSel(cM, cCls)
+	}
+
+	// Driver: for each object, update it; for odd field values, also ask
+	// for its area — a second, less-frequent virtual site whose receiver
+	// correlates with the first's.
+	b.Label("loop")
+	b.Br(isa.CondGE, cOI, cN, "done")
+	b.ALUI(isa.AluSll, cT1, cOI, 3)
+	b.ALU(isa.AluAdd, cT1, cOB, cT1)
+	b.Load(cObj, cT1, 0)
+	b.ALUI(isa.AluAdd, cOI, cOI, 1)
+	// Per-object background work.
+	b.LoadImm(cT2, 2)
+	b.Label("work")
+	cxxEmitRand(b, cT4)
+	b.ALU(isa.AluAdd, cAcc, cAcc, cT4)
+	b.ALUI(isa.AluSub, cT2, cT2, 1)
+	b.Br(isa.CondNE, cT2, cZ, "work")
+	virtualCall(0) // obj->update()
+	b.Load(cT2, cObj, 8)
+	b.ALUI(isa.AluAnd, cT2, cT2, 1)
+	b.Br(isa.CondEQ, cT2, cZ, "noarea")
+	virtualCall(1) // obj->area()
+	b.Label("noarea")
+	// Every 64th object gets described (a cold third site).
+	b.ALUI(isa.AluAnd, cT2, cOI, 63)
+	b.Br(isa.CondNE, cT2, cZ, "nodesc")
+	virtualCall(2) // obj->describe()
+	b.Label("nodesc")
+	b.Jmp("loop")
+
+	b.Label("done")
+	b.Halt()
+
+	// Method bodies: one per (class, method); distinct lengths per class
+	// so targets are genuinely different code.
+	for cls := 0; cls < cxxClasses; cls++ {
+		for m := 0; m < cxxMethods; m++ {
+			b.Label(fmt.Sprintf("m%d_%d", cls, m))
+			b.Load(cT3, cObj, 8)
+			switch m {
+			case 0: // update: mutate the field, preserving its parity
+				// (the parity encodes the class; updates change magnitude,
+				// not kind).
+				b.ALUI(isa.AluAdd, cT3, cT3, int64(2*(cls+1)))
+				b.ALUI(isa.AluSrl, cT4, cT3, uint64Shift(cls))
+				b.ALUI(isa.AluSll, cT4, cT4, 1)
+				b.ALU(isa.AluAdd, cT3, cT3, cT4)
+				b.Store(cObj, 8, cT3)
+			case 1: // area: class-specific arithmetic
+				b.ALUI(isa.AluMul, cT4, cT3, int64(cls+2))
+				b.ALU(isa.AluAdd, cAcc, cAcc, cT4)
+				if cls%3 == 0 {
+					b.ALUI(isa.AluMul, cT4, cT4, 3)
+					b.ALU(isa.AluXor, cAcc, cAcc, cT4)
+				}
+			default: // describe: longer body
+				for i := 0; i < 4+cls%4; i++ {
+					b.ALUI(isa.AluAdd, cAcc, cAcc, int64(16*cls+i))
+				}
+			}
+			b.Ret()
+		}
+	}
+
+	prog := b.SetEntry("init").MustBuild()
+
+	for cls := 0; cls < cxxClasses; cls++ {
+		for m := 0; m < cxxMethods; m++ {
+			addr, ok := b.AddrOfLabel(fmt.Sprintf("m%d_%d", cls, m))
+			if !ok {
+				panic("cxx: missing method label")
+			}
+			prog.Data[(vtables[cls]+int64(m)*8)/8] = int64(addr)
+		}
+	}
+	return prog
+}
+
+// uint64Shift keeps per-class shift amounts in a sane range.
+func uint64Shift(cls int) int64 { return int64(cls%5 + 1) }
+
+var cxxWorkload = register(&Workload{
+	Name:        "cxx",
+	Description: "C++-style virtual-call workload (paper future work): 3 call sites x 12 classes via vtables",
+	Extra:       true,
+	build:       buildCxx,
+})

@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// The gcc workload is a compiler-like pass driver. Its defining property —
+// the opposite of perl's — is a *large number of static indirect jumps*:
+// a driver walks an IR node array, dispatching each node to one of many
+// small pass functions through a function table (one indirect call site),
+// and every pass function contains its own switch over node kinds with its
+// own jump table (one indirect jump site per function). Node kinds follow a
+// Markov chain over the node stream, and each function tests kind bits with
+// conditional branches before its switch, so global pattern history carries
+// real signal about the upcoming target, as it does for compilers walking
+// correlated trees.
+
+const (
+	gccFuncs     = 64
+	gccNodes     = 4096
+	gccRandWords = 4096
+)
+
+// gcc register conventions.
+const (
+	gZ     = isa.Reg(31)
+	gNB    = isa.Reg(1) // node array base
+	gNI    = isa.Reg(2) // node index
+	gKind  = isa.Reg(3) // current node kind
+	gFn    = isa.Reg(4) // current node pass-function index
+	gFlags = isa.Reg(5) // current node flags
+	gAcc   = isa.Reg(6)
+	gT1    = isa.Reg(7)
+	gRC    = isa.Reg(8) // random cursor
+	gRB    = isa.Reg(9) // random base
+	gT2    = isa.Reg(10)
+	gT3    = isa.Reg(11)
+	gFD    = isa.Reg(12) // function-dispatch table base
+	gT4    = isa.Reg(17)
+	gN     = isa.Reg(20) // node count
+)
+
+// gccKindCounts returns each pass function's switch size, spread like
+// Figure 2's histogram: many functions see only a couple of node kinds,
+// a few see dozens.
+func gccKindCounts(rng *rand.Rand) []int {
+	counts := make([]int, gccFuncs)
+	for i := range counts {
+		switch {
+		case i < 20:
+			counts[i] = 2
+		case i < 32:
+			counts[i] = 3 + rng.Intn(2) // 3-4
+		case i < 44:
+			counts[i] = 5 + rng.Intn(4) // 5-8
+		case i < 54:
+			counts[i] = 9 + rng.Intn(8) // 9-16
+		case i < 60:
+			counts[i] = 17 + rng.Intn(8) // 17-24
+		default:
+			counts[i] = 25 + rng.Intn(10) // 25-34
+		}
+	}
+	return counts
+}
+
+// gccNodeStream generates the IR node array. Both the pass-function index
+// and the node kind evolve as mostly-deterministic chains on the previous
+// node's (fn, kind) state — the local correlation a tree walk exhibits and
+// the signal history-based predictors learn — with a noise floor that keeps
+// prediction imperfect. Flags are derived from the kind (plus two random
+// bits), so the driver's flag tests expose kind information the way real
+// predicate checks do.
+func gccNodeStream(rng *rand.Rand, kindCounts []int) []int64 {
+	// fnMap[f][kbits] is the deterministic next pass function.
+	fnMap := make([][4]int, gccFuncs)
+	for f := range fnMap {
+		for kb := 0; kb < 4; kb++ {
+			fnMap[f][kb] = rng.Intn(gccFuncs)
+		}
+	}
+	// kindPerm[f] is function f's deterministic kind successor.
+	kindPerm := make([][]int, gccFuncs)
+	for f := range kindPerm {
+		kindPerm[f] = rng.Perm(kindCounts[f])
+	}
+	nodes := make([]int64, 0, gccNodes*3)
+	fn, kind := 0, 0
+	for i := 0; i < gccNodes; i++ {
+		if rng.Float64() < 0.94 {
+			fn = fnMap[fn][kind&3]
+		} else {
+			fn = rng.Intn(gccFuncs)
+		}
+		k := kindCounts[fn]
+		if rng.Float64() < 0.93 {
+			kind = kindPerm[fn][kind%k]
+		} else {
+			kind = rng.Intn(k)
+		}
+		flags := int64(kind)
+		if rng.Intn(8) == 0 { // rare uncorrelated predicate
+			flags |= 1 << 6
+		}
+		nodes = append(nodes, int64(kind), int64(fn), flags)
+	}
+	return nodes
+}
+
+func gccCaseLabel(fn, kind int) string { return fmt.Sprintf("f%d_k%d", fn, kind) }
+
+func buildGcc() *isa.Program {
+	rng := rand.New(rand.NewSource(0x6cc) /* fixed: deterministic workload */)
+	b := isa.NewBuilder("gcc", 0x40000)
+
+	kindCounts := gccKindCounts(rng)
+	nodes := gccNodeStream(rng, kindCounts)
+
+	nodesBase := b.Words(len(nodes))
+	for i, w := range nodes {
+		b.SetWord(nodesBase+int64(i)*8, w)
+	}
+	fdispBase := b.Words(gccFuncs)
+	ktabBase := make([]int64, gccFuncs)
+	for f := 0; f < gccFuncs; f++ {
+		ktabBase[f] = b.Words(kindCounts[f])
+	}
+	randBase := b.Words(gccRandWords)
+	for i := 0; i < gccRandWords; i++ {
+		b.SetWord(randBase+int64(i)*8, int64(rng.Uint64()>>1))
+	}
+
+	b.Label("init")
+	b.LoadImm(gZ, 0)
+	b.LoadImm(gNB, nodesBase)
+	b.LoadImm(gFD, fdispBase)
+	b.LoadImm(gRB, randBase)
+	b.LoadImm(gRC, 0)
+	b.LoadImm(gAcc, 1)
+	b.LoadImm(gNI, 0)
+	b.LoadImm(gN, gccNodes)
+
+	// Driver loop: fetch node fields, run data-dependent driver work, then
+	// dispatch to the node's pass function (indirect call, gccFuncs
+	// targets).
+	b.Label("loop")
+	b.Br(isa.CondGE, gNI, gN, "done")
+	b.ALUI(isa.AluMul, gT1, gNI, 24)
+	b.ALU(isa.AluAdd, gT1, gNB, gT1)
+	b.Load(gKind, gT1, 0)
+	b.Load(gFn, gT1, 8)
+	b.Load(gFlags, gT1, 16)
+	// Flag tests: flags carry kind bits (signal) plus two genuinely random
+	// bits (noise) — compilers test a mix of correlated and uncorrelated
+	// predicates between dispatches.
+	b.ALUI(isa.AluAnd, gT2, gFlags, 1)
+	b.Br(isa.CondEQ, gT2, gZ, "d1")
+	b.ALUI(isa.AluAdd, gAcc, gAcc, 1)
+	b.Label("d1")
+	b.ALUI(isa.AluAnd, gT2, gFlags, 0x40)
+	b.Br(isa.CondEQ, gT2, gZ, "d2")
+	b.ALUI(isa.AluXor, gAcc, gAcc, 5)
+	b.Label("d2")
+	// Per-node background work: fixed-trip loop over random data.
+	b.LoadImm(gT2, 3)
+	b.Label("dwork")
+	gccEmitRand(b, gT4)
+	b.ALU(isa.AluAdd, gAcc, gAcc, gT4)
+	b.ALUI(isa.AluSub, gT2, gT2, 1)
+	b.Br(isa.CondNE, gT2, gZ, "dwork")
+	// Pass-selection predicates: the driver tests properties that depend
+	// on which pass will run (fn bits), exposing them to pattern history
+	// before the dispatch.
+	b.ALUI(isa.AluAnd, gT2, gFn, 1)
+	b.Br(isa.CondEQ, gT2, gZ, "d3")
+	b.ALUI(isa.AluAdd, gAcc, gAcc, 2)
+	b.Label("d3")
+	b.ALUI(isa.AluAnd, gT2, gFn, 2)
+	b.Br(isa.CondEQ, gT2, gZ, "d4")
+	b.ALUI(isa.AluXor, gAcc, gAcc, 9)
+	b.Label("d4")
+	// Dispatch.
+	b.ALUI(isa.AluSll, gT1, gFn, 3)
+	b.ALU(isa.AluAdd, gT1, gFD, gT1)
+	b.Load(gT3, gT1, 0)
+	b.CallIndSel(gT3, gFn)
+	b.ALUI(isa.AluAdd, gNI, gNI, 1)
+	b.Jmp("loop")
+
+	b.Label("done")
+	b.Halt()
+
+	// Pass functions. Each tests kind bits (exposing the kind to pattern
+	// history), then switches on the kind through its own jump table — the
+	// per-function static indirect jump sites.
+	for f := 0; f < gccFuncs; f++ {
+		k := kindCounts[f]
+		b.Label(fmt.Sprintf("fn%d", f))
+		b.ALUI(isa.AluAnd, gT2, gKind, 1)
+		b.Br(isa.CondEQ, gT2, gZ, fmt.Sprintf("fa%d", f))
+		b.ALUI(isa.AluAdd, gAcc, gAcc, int64(f))
+		b.Label(fmt.Sprintf("fa%d", f))
+		if k > 4 {
+			b.ALUI(isa.AluAnd, gT2, gKind, 2)
+			b.Br(isa.CondEQ, gT2, gZ, fmt.Sprintf("fb%d", f))
+			b.ALUI(isa.AluXor, gAcc, gAcc, int64(f))
+			b.Label(fmt.Sprintf("fb%d", f))
+		}
+		if k > 8 {
+			b.ALUI(isa.AluAnd, gT2, gKind, 4)
+			b.Br(isa.CondEQ, gT2, gZ, fmt.Sprintf("fc%d", f))
+			b.ALUI(isa.AluAdd, gAcc, gAcc, int64(2*f+1))
+			b.Label(fmt.Sprintf("fc%d", f))
+		}
+		b.ALUI(isa.AluSll, gT1, gKind, 3)
+		b.ALUI(isa.AluAdd, gT1, gT1, ktabBase[f])
+		b.Load(gT3, gT1, 0)
+		b.JmpIndSel(gT3, gKind)
+		for kind := 0; kind < k; kind++ {
+			b.Label(gccCaseLabel(f, kind))
+			// Case-block work, varying by case so target blocks differ.
+			switch kind % 3 {
+			case 0:
+				b.ALUI(isa.AluAdd, gAcc, gAcc, int64(kind+1))
+				b.ALUI(isa.AluSll, gT2, gAcc, 1)
+				b.ALU(isa.AluXor, gAcc, gAcc, gT2)
+			case 1:
+				gccEmitRand(b, gT2)
+				b.ALU(isa.AluAdd, gAcc, gAcc, gT2)
+				b.ALUI(isa.AluSrl, gT2, gAcc, 2)
+				b.ALU(isa.AluOr, gAcc, gAcc, gT2)
+			default:
+				b.ALUI(isa.AluMul, gT2, gAcc, 3)
+				b.ALUI(isa.AluAdd, gAcc, gT2, int64(kind))
+			}
+			b.Jmp(fmt.Sprintf("fx%d", f))
+		}
+		b.Label(fmt.Sprintf("fx%d", f))
+		b.Ret()
+	}
+
+	prog := b.SetEntry("init").MustBuild()
+
+	// Patch dispatch tables.
+	for f := 0; f < gccFuncs; f++ {
+		addr, ok := b.AddrOfLabel(fmt.Sprintf("fn%d", f))
+		if !ok {
+			panic("gcc: missing function label")
+		}
+		prog.Data[(fdispBase+int64(f)*8)/8] = int64(addr)
+		for kind := 0; kind < kindCounts[f]; kind++ {
+			caddr, ok := b.AddrOfLabel(gccCaseLabel(f, kind))
+			if !ok {
+				panic("gcc: missing case label")
+			}
+			prog.Data[(ktabBase[f]+int64(kind)*8)/8] = int64(caddr)
+		}
+	}
+	return prog
+}
+
+// gccEmitRand advances the shared random cursor and loads a word into dst.
+func gccEmitRand(b *isa.Builder, dst isa.Reg) {
+	b.ALUI(isa.AluAdd, gRC, gRC, 1)
+	b.ALUI(isa.AluAnd, gRC, gRC, gccRandWords-1)
+	b.ALUI(isa.AluSll, gT1, gRC, 3)
+	b.ALU(isa.AluAdd, gT1, gRB, gT1)
+	b.Load(dst, gT1, 0)
+}
+
+var gccWorkload = register(&Workload{
+	Name:        "gcc",
+	Description: "compiler-like pass driver: 65 static indirect jump sites over Markov-correlated IR nodes",
+	build:       buildGcc,
+})

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// The gosearch workload (an extra, beyond the paper's benchmark set) is a
+// real recursive alpha-beta game-tree search written for the toy ISA. It
+// exists to stress the parts of the front end the event-loop workloads
+// barely touch: deep call/return recursion (return address stack pressure,
+// including overflow at small RAS depths), a move-kind switch inside the
+// recursion (an indirect jump whose history context is the search path),
+// and leaf evaluation through a function-pointer table (an indirect call).
+//
+// The game is abstract: a position is a 64-bit hash; each node offers
+// 2 + (hash & 3) moves; applying move m routes through one of eight
+// move-kind handlers that mix the hash differently; leaves are scored by
+// one of four evaluators selected by the position. Everything is
+// deterministic, so the trace is reproducible and the search tree is
+// effectively unbounded across restarts.
+
+// gosearch register conventions.
+const (
+	wZ     = isa.Reg(31)
+	wH     = isa.Reg(3)  // argument: position hash
+	wD     = isa.Reg(4)  // argument: remaining depth
+	wVal   = isa.Reg(6)  // return: position value
+	wT1    = isa.Reg(7)  // scratch
+	wT2    = isa.Reg(10) // scratch
+	wT3    = isa.Reg(11) // scratch
+	wM     = isa.Reg(12) // current move index
+	wN     = isa.Reg(13) // move count
+	wBest  = isa.Reg(14) // best value so far
+	wChild = isa.Reg(5)  // child hash under construction
+	wRoot  = isa.Reg(2)  // root counter
+	wSP    = isa.Reg(29) // software stack pointer
+	wCut   = isa.Reg(21) // cutoff threshold
+)
+
+const (
+	gosearchDepth = 5
+	gosearchRoots = 64
+)
+
+func buildGosearch() *isa.Program {
+	b := isa.NewBuilder("gosearch", 0x180000)
+
+	mtabBase := b.Words(8) // move-kind handler table
+	etabBase := b.Words(4) // evaluator table
+	stackWords := 8192
+	stackBase := b.Words(stackWords)
+	stackTop := stackBase + int64(stackWords)*8
+
+	b.Label("init")
+	b.LoadImm(wZ, 0)
+	b.LoadImm(wSP, stackTop)
+	b.LoadImm(wCut, 1<<30)
+	b.LoadImm(wRoot, 0)
+
+	// Driver: search a sequence of root positions at fixed depth.
+	b.Label("roots")
+	b.LoadImm(wT1, gosearchRoots)
+	b.Br(isa.CondGE, wRoot, wT1, "done")
+	// root hash = (root*2654435761 + 12345) | 1
+	b.ALUI(isa.AluMul, wH, wRoot, 2654435761)
+	b.ALUI(isa.AluAdd, wH, wH, 12345)
+	b.ALUI(isa.AluOr, wH, wH, 1)
+	b.LoadImm(wD, gosearchDepth)
+	b.Call("search")
+	b.ALUI(isa.AluAdd, wRoot, wRoot, 1)
+	b.Jmp("roots")
+	b.Label("done")
+	b.Halt()
+
+	// search(wH, wD) -> wVal: negamax with a cutoff.
+	b.Label("search")
+	b.Br(isa.CondNE, wD, wZ, "expand")
+	// Leaf: dispatch to an evaluator by position (indirect call site).
+	b.ALUI(isa.AluAnd, wT1, wH, 3)
+	b.ALUI(isa.AluSll, wT2, wT1, 3)
+	b.ALUI(isa.AluAdd, wT2, wT2, etabBase)
+	b.Load(wT3, wT2, 0)
+	b.CallIndSel(wT3, wT1)
+	b.Ret()
+
+	b.Label("expand")
+	b.ALUI(isa.AluAnd, wN, wH, 3)
+	b.ALUI(isa.AluAdd, wN, wN, 2) // 2..5 moves
+	b.LoadImm(wM, 0)
+	b.LoadImm(wBest, -(1 << 40))
+
+	b.Label("moves")
+	b.Br(isa.CondGE, wM, wN, "moves_done")
+	// Save live state across the recursive call.
+	b.ALUI(isa.AluSub, wSP, wSP, 40)
+	b.Store(wSP, 0, wH)
+	b.Store(wSP, 8, wD)
+	b.Store(wSP, 16, wM)
+	b.Store(wSP, 24, wN)
+	b.Store(wSP, 32, wBest)
+	// Move application: dispatch on the position's move kind (indirect
+	// jump site, 8 targets). Handlers compute the child hash in wChild.
+	b.ALUI(isa.AluSrl, wT1, wH, 2)
+	b.ALUI(isa.AluAnd, wT1, wT1, 7)
+	b.ALUI(isa.AluSll, wT2, wT1, 3)
+	b.ALUI(isa.AluAdd, wT2, wT2, mtabBase)
+	b.Load(wT3, wT2, 0)
+	b.JmpIndSel(wT3, wT1)
+	// Handlers jump here with wChild set.
+	b.Label("applied")
+	b.ALU(isa.AluAdd, wH, wChild, wZ)
+	b.ALUI(isa.AluSub, wD, wD, 1)
+	b.Call("search")
+	// Restore and fold: value = -child value (negamax).
+	b.Load(wH, wSP, 0)
+	b.Load(wD, wSP, 8)
+	b.Load(wM, wSP, 16)
+	b.Load(wN, wSP, 24)
+	b.Load(wBest, wSP, 32)
+	b.ALUI(isa.AluAdd, wSP, wSP, 40)
+	b.ALU(isa.AluSub, wVal, wZ, wVal)
+	b.Br(isa.CondGE, wBest, wVal, "no_improve")
+	b.ALU(isa.AluAdd, wBest, wVal, wZ)
+	b.Label("no_improve")
+	// Cutoff: a strong move ends the node early (data-dependent).
+	b.Br(isa.CondGE, wBest, wCut, "moves_done")
+	b.ALUI(isa.AluAdd, wM, wM, 1)
+	b.Jmp("moves")
+
+	b.Label("moves_done")
+	b.ALU(isa.AluAdd, wVal, wBest, wZ)
+	b.Ret()
+
+	// Move-kind handlers: mix the parent hash and the move index into a
+	// child hash; each kind mixes differently so targets are real code.
+	for k := 0; k < 8; k++ {
+		b.Label(fmt.Sprintf("mv%d", k))
+		b.ALUI(isa.AluMul, wChild, wH, int64(2*k+3))
+		b.ALUI(isa.AluAdd, wChild, wChild, int64(k+1))
+		b.ALU(isa.AluAdd, wChild, wChild, wM)
+		b.ALUI(isa.AluSrl, wT3, wChild, int64(k%3+7))
+		b.ALU(isa.AluXor, wChild, wChild, wT3)
+		b.ALUI(isa.AluSrl, wChild, wChild, 1) // keep it positive
+		b.Jmp("applied")
+	}
+
+	// Evaluators: distinct scoring functions (indirect call targets).
+	for e := 0; e < 4; e++ {
+		b.Label(fmt.Sprintf("ev%d", e))
+		b.ALUI(isa.AluSrl, wVal, wH, int64(3+e))
+		b.ALUI(isa.AluAnd, wVal, wVal, 1023)
+		if e%2 == 1 {
+			b.ALU(isa.AluSub, wVal, wZ, wVal)
+		}
+		b.ALUI(isa.AluAdd, wVal, wVal, int64(17*e))
+		b.Ret()
+	}
+
+	prog := b.SetEntry("init").MustBuild()
+	for k := 0; k < 8; k++ {
+		addr, ok := b.AddrOfLabel(fmt.Sprintf("mv%d", k))
+		if !ok {
+			panic("gosearch: missing move handler")
+		}
+		prog.Data[(mtabBase+int64(k)*8)/8] = int64(addr)
+	}
+	for e := 0; e < 4; e++ {
+		addr, ok := b.AddrOfLabel(fmt.Sprintf("ev%d", e))
+		if !ok {
+			panic("gosearch: missing evaluator")
+		}
+		prog.Data[(etabBase+int64(e)*8)/8] = int64(addr)
+	}
+	return prog
+}
+
+var gosearchWorkload = register(&Workload{
+	Name:        "gosearch",
+	Description: "recursive alpha-beta game-tree search: deep call/return recursion, move-kind switch, evaluator fn-pointers",
+	Extra:       true,
+	build:       buildGosearch,
+})

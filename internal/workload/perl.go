@@ -1,0 +1,421 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// The perl workload is a bytecode interpreter, the program shape the paper
+// singles out: "the main loop of the interpreter parses the perl script...
+// this parser consists of a set of indirect jumps whose targets are decided
+// by the tokens which make up the current line of the perl script", and the
+// script "contains a loop that executes for many iterations", so the
+// interpreter processes the same token sequence over and over. The dispatch
+// jump is one hot static indirect jump with ~24 targets whose sequence is
+// periodic — exactly the case where recording the recent indirect-jump
+// targets (path history) pins down the position in the script.
+//
+// Handlers do data-dependent work driven by an ever-advancing pseudo-random
+// table, so conditional-branch outcomes (pattern history) vary between
+// script-loop iterations while the token path stays stable.
+
+// Interpreter token opcodes.
+const (
+	tokNop = iota
+	tokAdd
+	tokSub
+	tokMul
+	tokDiv
+	tokLoadV
+	tokStoreV
+	tokPrint
+	tokIf
+	tokLoopStart
+	tokLoopEnd
+	tokMatch
+	tokConcat
+	tokIndex
+	tokSplit
+	tokChop
+	tokPush
+	tokPop
+	tokShift
+	tokJoin
+	tokSprintf
+	tokHex
+	tokOrd
+	tokEnd
+
+	numTokens
+)
+
+// Perl program register conventions.
+const (
+	pZ    = isa.Reg(31) // always zero
+	pScr  = isa.Reg(1)  // script base (byte address)
+	pTI   = isa.Reg(2)  // token index
+	pTok  = isa.Reg(3)  // current token
+	pJT   = isa.Reg(4)  // jump table base
+	pH    = isa.Reg(5)  // handler address
+	pAcc  = isa.Reg(6)  // interpreter accumulator
+	pT1   = isa.Reg(7)  // scratch
+	pRC   = isa.Reg(8)  // random cursor (word index)
+	pRB   = isa.Reg(9)  // random table base
+	pT2   = isa.Reg(10) // work-loop trip counter
+	pT3   = isa.Reg(11) // scratch
+	pArgB = isa.Reg(12) // token-argument table base
+	pAV   = isa.Reg(13) // argument value
+	pLSP  = isa.Reg(14) // loop-stack pointer (byte offset)
+	pLSB  = isa.Reg(15) // loop-stack base
+	pVar  = isa.Reg(16) // variable table base
+	pT4   = isa.Reg(17) // scratch
+	pT5   = isa.Reg(18) // scratch
+	pLen  = isa.Reg(20) // script length in tokens
+)
+
+const perlRandWords = 4096
+
+// perlEmitRand advances the random cursor and loads the next pseudo-random
+// word into dst. The cursor advances monotonically (mod table size) so
+// consecutive script-loop iterations observe different data.
+func perlEmitRand(b *isa.Builder, dst isa.Reg) {
+	b.ALUI(isa.AluAdd, pRC, pRC, 1)
+	b.ALUI(isa.AluAnd, pRC, pRC, perlRandWords-1)
+	b.ALUI(isa.AluSll, pT1, pRC, 3)
+	b.ALU(isa.AluAdd, pT1, pRB, pT1)
+	b.Load(dst, pT1, 0)
+}
+
+// perlEmitWork emits a fixed-trip work loop folding random *data* into the
+// accumulator. Trip counts are per-handler constants: the data varies
+// between script-loop iterations but the control flow does not, so the
+// handler contributes work and a learnable branch pattern rather than
+// history-polluting noise (data-dependent *branches* are injected
+// deliberately and sparingly by the IF and MATCH tokens).
+func perlEmitWork(b *isa.Builder, label string, flavor isa.AluOp, trips int64) {
+	b.LoadImm(pT2, trips)
+	b.Label(label)
+	perlEmitRand(b, pT4)
+	b.ALU(flavor, pAcc, pAcc, pT4)
+	b.ALUI(isa.AluSub, pT2, pT2, 1)
+	b.Br(isa.CondNE, pT2, pZ, label)
+}
+
+// perlScript generates the interpreted token program: a prologue, an outer
+// loop of many iterations over a fixed body (with one small nested loop),
+// and an epilogue.
+func perlScript(rng *rand.Rand) (tokens, args []int64) {
+	emit := func(tok, arg int64) {
+		tokens = append(tokens, tok)
+		args = append(args, arg)
+	}
+	// Tokens eligible for random positions, weighted roughly like an
+	// interpreter's opcode mix.
+	alphabet := []int64{
+		tokAdd, tokAdd, tokSub, tokMul, tokLoadV, tokLoadV, tokStoreV,
+		tokPrint, tokConcat, tokIndex, tokSplit, tokChop, tokPush, tokPop,
+		tokShift, tokJoin, tokSprintf, tokHex, tokOrd, tokNop, tokDiv,
+		tokMatch, tokMatch,
+	}
+	prev := int64(tokNop)
+	pick := func() int64 {
+		// Scripts repeat operations: ~22% of tokens continue a run, which
+		// is what gives the BTB its (few) correct indirect predictions.
+		if rng.Float64() < 0.22 {
+			return prev
+		}
+		prev = alphabet[rng.Intn(len(alphabet))]
+		return prev
+	}
+
+	for i := 0; i < 6; i++ {
+		emit(pick(), 0)
+	}
+	emit(tokLoopStart, 150) // the script's hot loop
+	body := 40
+	for i := 0; i < body; i++ {
+		switch i {
+		case 12:
+			// One IF whose data-dependent skip perturbs the token path.
+			emit(tokIf, 0)
+			emit(tokChop, 0) // skippable simple token
+		case 25:
+			// A nested loop, as scripts tend to have.
+			emit(tokLoopStart, 4)
+			for j := 0; j < 6; j++ {
+				emit(pick(), 0)
+			}
+			emit(tokLoopEnd, 0)
+		default:
+			emit(pick(), 0)
+		}
+	}
+	emit(tokLoopEnd, 0)
+	for i := 0; i < 4; i++ {
+		emit(pick(), 0)
+	}
+	emit(tokEnd, 0)
+	return tokens, args
+}
+
+func buildPerl() *isa.Program {
+	rng := rand.New(rand.NewSource(0x9e1) /* fixed: deterministic workload */)
+	b := isa.NewBuilder("perl", 0x10000)
+
+	tokens, args := perlScript(rng)
+	scriptBase := b.Word(tokens[0])
+	for _, t := range tokens[1:] {
+		b.Word(t)
+	}
+	argsBase := b.Word(args[0])
+	for _, a := range args[1:] {
+		b.Word(a)
+	}
+	jmptabBase := b.Words(numTokens)
+	mtabBase := b.Words(4) // MATCH sub-dispatch table
+	randBase := b.Words(perlRandWords)
+	for i := 0; i < perlRandWords; i++ {
+		b.SetWord(randBase+int64(i)*8, int64(rng.Uint64()>>1))
+	}
+	varBase := b.Words(16)
+	loopStackBase := b.Words(64)
+
+	// Initialisation.
+	b.Label("init")
+	b.LoadImm(pZ, 0)
+	b.LoadImm(pScr, scriptBase)
+	b.LoadImm(pArgB, argsBase)
+	b.LoadImm(pJT, jmptabBase)
+	b.LoadImm(pRB, randBase)
+	b.LoadImm(pVar, varBase)
+	b.LoadImm(pLSB, loopStackBase)
+	b.LoadImm(pLSP, 0)
+	b.LoadImm(pRC, 0)
+	b.LoadImm(pAcc, 1)
+	b.LoadImm(pTI, 0)
+	b.LoadImm(pLen, int64(len(tokens)))
+
+	// The interpreter's fetch-dispatch loop. The JmpIndSel below is the
+	// hot static indirect jump the paper's perl discussion is about.
+	b.Label("loop")
+	b.Br(isa.CondGE, pTI, pLen, "done")
+	b.ALUI(isa.AluSll, pT1, pTI, 3)
+	b.ALU(isa.AluAdd, pT1, pScr, pT1)
+	b.Load(pTok, pT1, 0)
+	// Token-class checks before dispatch (operator vs operand vs control),
+	// the guard tests an interpreter performs — and the mechanism that
+	// puts token bits into the global pattern history.
+	b.LoadImm(pT5, 4)
+	b.Br(isa.CondLT, pTok, pT5, "cls1")
+	b.ALUI(isa.AluAdd, pAcc, pAcc, 1)
+	b.Label("cls1")
+	b.LoadImm(pT5, 8)
+	b.Br(isa.CondLT, pTok, pT5, "cls2")
+	b.ALUI(isa.AluXor, pAcc, pAcc, 7)
+	b.Label("cls2")
+	b.LoadImm(pT5, 16)
+	b.Br(isa.CondLT, pTok, pT5, "cls3")
+	b.ALUI(isa.AluAdd, pAcc, pAcc, 3)
+	b.Label("cls3")
+	b.ALUI(isa.AluSll, pT1, pTok, 3)
+	b.ALU(isa.AluAdd, pT1, pJT, pT1)
+	b.Load(pH, pT1, 0)
+	b.ALUI(isa.AluAdd, pTI, pTI, 1)
+	b.JmpIndSel(pH, pTok)
+
+	b.Label("done")
+	b.Halt()
+
+	// Token handlers.
+	handler := func(name string, body func()) {
+		b.Label(name)
+		body()
+		b.Jmp("loop")
+	}
+
+	handler("h_nop", func() {
+		b.ALUI(isa.AluAdd, pAcc, pAcc, 1)
+	})
+	handler("h_add", func() { perlEmitWork(b, "w_add", isa.AluAdd, 4) })
+	handler("h_sub", func() { perlEmitWork(b, "w_sub", isa.AluSub, 4) })
+	handler("h_mul", func() {
+		perlEmitWork(b, "w_mul", isa.AluMul, 3)
+		b.ALUI(isa.AluAdd, pAcc, pAcc, 17)
+	})
+	handler("h_div", func() {
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluOr, pT3, pT3, 1) // avoid zero divisor
+		b.ALU(isa.AluDiv, pAcc, pAcc, pT3)
+		perlEmitWork(b, "w_div", isa.AluAdd, 2)
+	})
+	handler("h_loadv", func() {
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 15)
+		b.ALUI(isa.AluSll, pT3, pT3, 3)
+		b.ALU(isa.AluAdd, pT3, pVar, pT3)
+		b.Load(pT4, pT3, 0)
+		b.ALU(isa.AluAdd, pAcc, pAcc, pT4)
+		perlEmitWork(b, "w_loadv", isa.AluXor, 2)
+	})
+	handler("h_storev", func() {
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 15)
+		b.ALUI(isa.AluSll, pT3, pT3, 3)
+		b.ALU(isa.AluAdd, pT3, pVar, pT3)
+		b.Store(pT3, 0, pAcc)
+		perlEmitWork(b, "w_storev", isa.AluAdd, 2)
+	})
+	handler("h_print", func() {
+		perlEmitWork(b, "w_print1", isa.AluAdd, 4)
+		b.Call("fmtval") // shared formatting helper (RAS traffic)
+		perlEmitWork(b, "w_print2", isa.AluXor, 2)
+	})
+	handler("h_if", func() {
+		// Data-dependent skip of the next token (~25% of instances).
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 3)
+		b.Br(isa.CondNE, pT3, pZ, "if_noskip")
+		b.ALUI(isa.AluAdd, pTI, pTI, 1)
+		b.Label("if_noskip")
+		b.ALUI(isa.AluAdd, pAcc, pAcc, 3)
+	})
+	handler("h_loopstart", func() {
+		// args[pTI-1] is the trip count; push (resume pos, count).
+		b.ALUI(isa.AluSub, pT3, pTI, 1)
+		b.ALUI(isa.AluSll, pT3, pT3, 3)
+		b.ALU(isa.AluAdd, pT3, pArgB, pT3)
+		b.Load(pAV, pT3, 0)
+		b.ALU(isa.AluAdd, pT3, pLSB, pLSP)
+		b.Store(pT3, 0, pTI)
+		b.Store(pT3, 8, pAV)
+		b.ALUI(isa.AluAdd, pLSP, pLSP, 16)
+	})
+	handler("h_loopend", func() {
+		b.ALU(isa.AluAdd, pT3, pLSB, pLSP)
+		b.Load(pAV, pT3, -8)
+		b.ALUI(isa.AluSub, pAV, pAV, 1)
+		b.Br(isa.CondEQ, pAV, pZ, "le_done")
+		b.Store(pT3, -8, pAV)
+		b.Load(pTI, pT3, -16)
+		b.Jmp("loop")
+		b.Label("le_done")
+		b.ALUI(isa.AluSub, pLSP, pLSP, 16)
+	})
+	handler("h_match", func() {
+		// Regex-engine-like sub-dispatch: the second static indirect jump,
+		// four targets selected by data.
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 3)
+		b.ALUI(isa.AluSll, pT4, pT3, 3)
+		b.ALUI(isa.AluAdd, pT4, pT4, mtabBase)
+		b.Load(pH, pT4, 0)
+		b.JmpIndSel(pH, pT3)
+	})
+	// MATCH sub-handlers. All four run the same trip count so the
+	// (randomly selected) sub-handler does not shift pattern-history
+	// alignment for the tokens that follow.
+	for i, flavor := range []isa.AluOp{isa.AluAdd, isa.AluXor, isa.AluOr, isa.AluSub} {
+		b.Label(matchLabel(i))
+		perlEmitWork(b, "w_"+matchLabel(i), flavor, 2)
+		b.Jmp("loop")
+	}
+	handler("h_concat", func() { perlEmitWork(b, "w_concat", isa.AluOr, 3) })
+	handler("h_index", func() {
+		perlEmitWork(b, "w_index", isa.AluAnd, 3)
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 1)
+		b.Br(isa.CondEQ, pT3, pZ, "index_z")
+		b.ALUI(isa.AluAdd, pAcc, pAcc, 5)
+		b.Label("index_z")
+	})
+	handler("h_split", func() { perlEmitWork(b, "w_split", isa.AluAdd, 5) })
+	handler("h_chop", func() {
+		b.ALUI(isa.AluSrl, pAcc, pAcc, 1)
+		b.ALUI(isa.AluAdd, pAcc, pAcc, 2)
+	})
+	handler("h_push", func() {
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 15)
+		b.ALUI(isa.AluSll, pT3, pT3, 3)
+		b.ALU(isa.AluAdd, pT3, pVar, pT3)
+		b.Store(pT3, 0, pAcc)
+	})
+	handler("h_pop", func() {
+		perlEmitRand(b, pT3)
+		b.ALUI(isa.AluAnd, pT3, pT3, 15)
+		b.ALUI(isa.AluSll, pT3, pT3, 3)
+		b.ALU(isa.AluAdd, pT3, pVar, pT3)
+		b.Load(pAcc, pT3, 0)
+	})
+	handler("h_shift", func() {
+		b.ALUI(isa.AluSll, pT3, pAcc, 2)
+		b.ALU(isa.AluXor, pAcc, pAcc, pT3)
+		perlEmitWork(b, "w_shift", isa.AluXor, 2)
+	})
+	handler("h_join", func() { perlEmitWork(b, "w_join", isa.AluXor, 4) })
+	handler("h_sprintf", func() {
+		// Straight-line formatting plus the shared helper.
+		for i := int64(0); i < 6; i++ {
+			b.ALUI(isa.AluAdd, pT3, pAcc, i)
+			b.ALUI(isa.AluSll, pT4, pT3, 1)
+			b.ALU(isa.AluXor, pAcc, pAcc, pT4)
+		}
+		b.Call("fmtval")
+	})
+	handler("h_hex", func() {
+		b.ALUI(isa.AluSrl, pT3, pAcc, 4)
+		b.ALUI(isa.AluAnd, pT3, pT3, 0xff)
+		b.ALU(isa.AluAdd, pAcc, pAcc, pT3)
+	})
+	handler("h_ord", func() {
+		b.ALUI(isa.AluAnd, pT3, pAcc, 0x7f)
+		b.ALU(isa.AluAdd, pAcc, pAcc, pT3)
+	})
+	b.Label("h_end")
+	b.Halt()
+
+	// fmtval: shared value-formatting subroutine used by PRINT and SPRINTF.
+	b.Label("fmtval")
+	b.ALUI(isa.AluSrl, pT3, pAcc, 8)
+	b.ALUI(isa.AluAnd, pT3, pT3, 0xff)
+	b.ALU(isa.AluAdd, pAcc, pAcc, pT3)
+	b.ALUI(isa.AluSll, pT4, pAcc, 2)
+	b.ALU(isa.AluXor, pAcc, pAcc, pT4)
+	b.Ret()
+
+	prog := b.SetEntry("init").MustBuild()
+
+	// Patch the dispatch tables now that handler addresses are known.
+	handlers := []string{
+		"h_nop", "h_add", "h_sub", "h_mul", "h_div", "h_loadv", "h_storev",
+		"h_print", "h_if", "h_loopstart", "h_loopend", "h_match", "h_concat",
+		"h_index", "h_split", "h_chop", "h_push", "h_pop", "h_shift",
+		"h_join", "h_sprintf", "h_hex", "h_ord", "h_end",
+	}
+	for i, name := range handlers {
+		addr, ok := b.AddrOfLabel(name)
+		if !ok {
+			panic("perl: missing handler " + name)
+		}
+		prog.Data[(jmptabBase+int64(i)*8)/8] = int64(addr)
+	}
+	for i := 0; i < 4; i++ {
+		addr, ok := b.AddrOfLabel(matchLabel(i))
+		if !ok {
+			panic("perl: missing match handler")
+		}
+		prog.Data[(mtabBase+int64(i)*8)/8] = int64(addr)
+	}
+	return prog
+}
+
+func matchLabel(i int) string {
+	return "m_case" + string(rune('0'+i))
+}
+
+var perlWorkload = register(&Workload{
+	Name:        "perl",
+	Description: "bytecode interpreter: one hot jump-table dispatch over a looping token script",
+	build:       buildPerl,
+})

@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// The five remaining SPECint95 stand-ins (compress, go, ijpeg, m88ksim,
+// vortex) are generated from a common parameterised template: an event loop
+// over a long fixed script, where each event runs profile-sized background
+// work, occasionally calls helpers, then dispatches through one of a small
+// number of per-site jump tables. Each site's target sequence follows a
+// mostly-deterministic successor chain (the signal history-based predictors
+// learn) with per-profile noise at generation time and optional runtime
+// jitter drawn from the advancing random table (a floor no predictor can
+// learn). Profiles are tuned so static site counts, targets-per-site and
+// baseline BTB misprediction land near the paper's Table 1 / Figures 1-8.
+
+type synthSite struct {
+	targets int
+	weight  int
+}
+
+type synthProfile struct {
+	name        string
+	description string
+	seed        int64
+	sites       []synthSite
+	// runProb is the probability an event repeats its site's previous
+	// target — the consecutive-repeat structure that gives a BTB its hits.
+	runProb float64
+	// det is the probability a non-repeating event follows its site's
+	// deterministic successor chain rather than being random.
+	det float64
+	// domProb, when positive, replaces the successor chain with a
+	// dominant-target process: each non-repeating event picks target 0
+	// with probability domProb and a random other target otherwise (the
+	// mostly-monomorphic-with-excursions shape of compress and ijpeg that
+	// motivates Calder & Grunwald's 2-bit update strategy).
+	domProb float64
+	// jitterMask enables runtime target perturbation when
+	// rand & jitterMask == 0; negative disables it.
+	jitterMask int64
+	// workTrips is the fixed trip count of the per-event work loop. The
+	// loop folds random *data*; its control flow is deterministic so it
+	// contributes instructions, not history pollution.
+	workTrips int64
+	// noiseMask adds one data-dependent conditional branch per event,
+	// taken when rand & noiseMask == 0; negative disables it.
+	noiseMask int64
+	// extraStraight adds straight-line ALU instructions per event.
+	extraStraight int
+	// callMask: events with index & callMask == 0 call a helper
+	// (two helpers, chosen by another index bit, so call targets vary).
+	callMask int64
+	events   int
+}
+
+// synth register conventions.
+const (
+	sZ    = isa.Reg(31)
+	sEB   = isa.Reg(1) // script base
+	sEI   = isa.Reg(2) // event index
+	sSite = isa.Reg(3) // current site id
+	sTgt  = isa.Reg(4) // current target id
+	sAcc  = isa.Reg(6)
+	sT1   = isa.Reg(7)
+	sRC   = isa.Reg(8)
+	sRB   = isa.Reg(9)
+	sT2   = isa.Reg(10)
+	sT3   = isa.Reg(11)
+	sT4   = isa.Reg(17)
+	sNE   = isa.Reg(20) // event count
+)
+
+const synthRandWords = 4096
+
+func synthEmitRand(b *isa.Builder, dst isa.Reg) {
+	b.ALUI(isa.AluAdd, sRC, sRC, 1)
+	b.ALUI(isa.AluAnd, sRC, sRC, synthRandWords-1)
+	b.ALUI(isa.AluSll, sT1, sRC, 3)
+	b.ALU(isa.AluAdd, sT1, sRB, sT1)
+	b.Load(dst, sT1, 0)
+}
+
+// synthScript generates the event stream: (site, target) pairs.
+func (p *synthProfile) synthScript(rng *rand.Rand) []int64 {
+	totalWeight := 0
+	for _, s := range p.sites {
+		totalWeight += s.weight
+	}
+	// Per-site deterministic successor chains (random permutations).
+	succ := make([][]int, len(p.sites))
+	cur := make([]int, len(p.sites))
+	for i, s := range p.sites {
+		succ[i] = rng.Perm(s.targets)
+	}
+	script := make([]int64, 0, p.events*2)
+	for e := 0; e < p.events; e++ {
+		w := rng.Intn(totalWeight)
+		site := 0
+		for i, s := range p.sites {
+			if w < s.weight {
+				site = i
+				break
+			}
+			w -= s.weight
+		}
+		nt := p.sites[site].targets
+		switch r := rng.Float64(); {
+		case r < p.runProb:
+			// repeat the site's previous target
+		case p.domProb > 0:
+			if rng.Float64() < p.domProb || nt == 1 {
+				cur[site] = 0
+			} else {
+				cur[site] = 1 + rng.Intn(nt-1)
+			}
+		case r < p.runProb+(1-p.runProb)*p.det:
+			cur[site] = succ[site][cur[site]]
+		default:
+			cur[site] = rng.Intn(nt)
+		}
+		script = append(script, int64(site), int64(cur[site]))
+	}
+	return script
+}
+
+func (p *synthProfile) build() *isa.Program {
+	rng := rand.New(rand.NewSource(p.seed))
+	b := isa.NewBuilder(p.name, 0xc0000)
+
+	script := p.synthScript(rng)
+	scriptBase := b.Words(len(script))
+	for i, w := range script {
+		b.SetWord(scriptBase+int64(i)*8, w)
+	}
+	tabBase := make([]int64, len(p.sites))
+	for i, s := range p.sites {
+		tabBase[i] = b.Words(s.targets)
+	}
+	randBase := b.Words(synthRandWords)
+	for i := 0; i < synthRandWords; i++ {
+		b.SetWord(randBase+int64(i)*8, int64(rng.Uint64()>>1))
+	}
+
+	b.Label("init")
+	b.LoadImm(sZ, 0)
+	b.LoadImm(sEB, scriptBase)
+	b.LoadImm(sRB, randBase)
+	b.LoadImm(sRC, 0)
+	b.LoadImm(sAcc, 1)
+	b.LoadImm(sEI, 0)
+	b.LoadImm(sNE, int64(p.events))
+
+	b.Label("loop")
+	b.Br(isa.CondGE, sEI, sNE, "done")
+	b.ALUI(isa.AluSll, sT1, sEI, 4) // 2 words per event
+	b.ALU(isa.AluAdd, sT1, sEB, sT1)
+	b.Load(sSite, sT1, 0)
+	b.Load(sTgt, sT1, 8)
+	b.ALUI(isa.AluAdd, sEI, sEI, 1)
+
+	// Data-dependent noise branch (unlearnable, biased).
+	if p.noiseMask >= 0 {
+		synthEmitRand(b, sT2)
+		b.ALUI(isa.AluAnd, sT2, sT2, p.noiseMask)
+		b.Br(isa.CondNE, sT2, sZ, "nonoise")
+		b.ALUI(isa.AluAdd, sAcc, sAcc, 13)
+		b.Label("nonoise")
+	}
+
+	// Background work loop (fixed trips, random data).
+	b.LoadImm(sT2, p.workTrips)
+	b.Label("work")
+	synthEmitRand(b, sT4)
+	b.ALU(isa.AluAdd, sAcc, sAcc, sT4)
+	b.ALUI(isa.AluSub, sT2, sT2, 1)
+	b.Br(isa.CondNE, sT2, sZ, "work")
+	for i := 0; i < p.extraStraight; i++ {
+		switch i % 3 {
+		case 0:
+			b.ALUI(isa.AluAdd, sAcc, sAcc, int64(i+1))
+		case 1:
+			b.ALUI(isa.AluSll, sT4, sAcc, 1)
+		default:
+			b.ALU(isa.AluXor, sAcc, sAcc, sT4)
+		}
+	}
+
+	// Helper calls: two helpers picked by an event-index bit.
+	if p.callMask >= 0 {
+		b.ALUI(isa.AluAnd, sT2, sEI, p.callMask)
+		b.Br(isa.CondNE, sT2, sZ, "nocall")
+		b.ALUI(isa.AluAnd, sT2, sEI, p.callMask+1) // next bit up
+		b.Br(isa.CondNE, sT2, sZ, "call2")
+		b.Call("helper1")
+		b.Jmp("nocall")
+		b.Label("call2")
+		b.Call("helper2")
+		b.Label("nocall")
+	}
+
+	// Dispatch-value predicates, placed just before the dispatch so their
+	// outcomes sit inside a short pattern-history window — the way real
+	// code tests the value it is about to switch on.
+	b.ALUI(isa.AluAnd, sT2, sTgt, 1)
+	b.Br(isa.CondEQ, sT2, sZ, "sigA")
+	b.ALUI(isa.AluAdd, sAcc, sAcc, 1)
+	b.Label("sigA")
+	b.ALUI(isa.AluAnd, sT2, sTgt, 2)
+	b.Br(isa.CondEQ, sT2, sZ, "sigB")
+	b.ALUI(isa.AluXor, sAcc, sAcc, 3)
+	b.Label("sigB")
+	b.ALUI(isa.AluAnd, sT2, sTgt, 4)
+	b.Br(isa.CondEQ, sT2, sZ, "sigC")
+	b.ALUI(isa.AluAdd, sAcc, sAcc, 5)
+	b.Label("sigC")
+
+	// Site dispatch if-chain, then the per-site indirect jump.
+	for i := range p.sites {
+		b.LoadImm(sT3, int64(i))
+		b.Br(isa.CondEQ, sSite, sT3, fmt.Sprintf("site%d", i))
+	}
+	b.Jmp("cont") // unreachable guard
+
+	for i, s := range p.sites {
+		b.Label(fmt.Sprintf("site%d", i))
+		if p.jitterMask >= 0 && s.targets > 1 {
+			synthEmitRand(b, sT2)
+			b.ALUI(isa.AluAnd, sT2, sT2, p.jitterMask)
+			b.Br(isa.CondNE, sT2, sZ, fmt.Sprintf("nojit%d", i))
+			b.ALUI(isa.AluAdd, sTgt, sTgt, 1)
+			b.LoadImm(sT3, int64(s.targets))
+			b.Br(isa.CondLT, sTgt, sT3, fmt.Sprintf("nojit%d", i))
+			b.LoadImm(sTgt, 0)
+			b.Label(fmt.Sprintf("nojit%d", i))
+		}
+		b.ALUI(isa.AluSll, sT1, sTgt, 3)
+		b.ALUI(isa.AluAdd, sT1, sT1, tabBase[i])
+		b.Load(sT3, sT1, 0)
+		b.JmpIndSel(sT3, sTgt)
+		for t := 0; t < s.targets; t++ {
+			b.Label(fmt.Sprintf("t%d_%d", i, t))
+			// Target blocks: distinct small work.
+			b.ALUI(isa.AluAdd, sAcc, sAcc, int64(16*i+t+1))
+			b.ALUI(isa.AluSrl, sT4, sAcc, int64(t%5+1))
+			b.ALU(isa.AluXor, sAcc, sAcc, sT4)
+			b.Jmp("cont")
+		}
+	}
+	b.Label("cont")
+	b.Jmp("loop")
+
+	b.Label("done")
+	b.Halt()
+
+	// Helpers with internal branches and a return (RAS traffic).
+	for h := 1; h <= 2; h++ {
+		b.Label(fmt.Sprintf("helper%d", h))
+		synthEmitRand(b, sT2)
+		b.ALUI(isa.AluAnd, sT4, sT2, 1)
+		b.Br(isa.CondEQ, sT4, sZ, fmt.Sprintf("h%d_a", h))
+		b.ALU(isa.AluAdd, sAcc, sAcc, sT2)
+		b.Label(fmt.Sprintf("h%d_a", h))
+		b.ALUI(isa.AluMul, sT4, sAcc, int64(2*h+1))
+		b.ALU(isa.AluXor, sAcc, sAcc, sT4)
+		b.Ret()
+	}
+
+	prog := b.SetEntry("init").MustBuild()
+
+	for i, s := range p.sites {
+		for t := 0; t < s.targets; t++ {
+			addr, ok := b.AddrOfLabel(fmt.Sprintf("t%d_%d", i, t))
+			if !ok {
+				panic("synth: missing target label")
+			}
+			prog.Data[(tabBase[i]+int64(t)*8)/8] = int64(addr)
+		}
+	}
+	return prog
+}
+
+func registerSynth(p synthProfile) *Workload {
+	return register(&Workload{
+		Name:        p.name,
+		Description: p.description,
+		build:       p.build,
+	})
+}
+
+var (
+	compressWorkload = registerSynth(synthProfile{
+		name:        "compress",
+		description: "loop-dominated coder: rare, mostly monomorphic indirect jumps",
+		seed:        0xc0,
+		sites: []synthSite{
+			{targets: 1, weight: 5}, {targets: 1, weight: 3},
+			{targets: 2, weight: 2}, {targets: 3, weight: 1},
+		},
+		runProb: 0.1, domProb: 0.86, jitterMask: 63, noiseMask: 3,
+		workTrips: 14, extraStraight: 24, callMask: 3,
+		events: 4096,
+	})
+
+	goWorkload = registerSynth(synthProfile{
+		name:        "go",
+		description: "game-tree evaluator: several moderately polymorphic, weakly predictable jumps",
+		seed:        0x60,
+		sites: []synthSite{
+			{targets: 4, weight: 3}, {targets: 6, weight: 2},
+			{targets: 8, weight: 1}, {targets: 2, weight: 2},
+			{targets: 1, weight: 1},
+		},
+		runProb: 0.45, det: 0.75, jitterMask: 15, noiseMask: 1,
+		workTrips: 8, extraStraight: 12, callMask: 3,
+		events: 4096,
+	})
+
+	ijpegWorkload = registerSynth(synthProfile{
+		name:        "ijpeg",
+		description: "image coder: heavy inner loops, few lightly polymorphic jumps",
+		seed:        0x13e6,
+		sites: []synthSite{
+			{targets: 1, weight: 6}, {targets: 2, weight: 3},
+			{targets: 4, weight: 1},
+		},
+		runProb: 0.2, domProb: 0.97, jitterMask: 255, noiseMask: 7,
+		workTrips: 20, extraStraight: 30, callMask: 7,
+		events: 4096,
+	})
+
+	m88ksimWorkload = registerSynth(synthProfile{
+		name:        "m88ksim",
+		description: "CPU simulator: one hot 16-target opcode dispatch over a looping simulated program",
+		seed:        0x88,
+		sites: []synthSite{
+			{targets: 16, weight: 6}, {targets: 2, weight: 1},
+			{targets: 3, weight: 1},
+		},
+		runProb: 0.35, det: 0.93, jitterMask: 127, noiseMask: 7,
+		workTrips: 10, extraStraight: 16, callMask: 3,
+		events: 4096,
+	})
+
+	vortexWorkload = registerSynth(synthProfile{
+		name:        "vortex",
+		description: "OO database: call-heavy, highly skewed (predictable) indirect jumps",
+		seed:        0x70,
+		sites: []synthSite{
+			{targets: 2, weight: 4}, {targets: 3, weight: 2},
+			{targets: 4, weight: 1}, {targets: 1, weight: 2},
+		},
+		runProb: 0.85, det: 0.97, jitterMask: 511, noiseMask: 3,
+		workTrips: 10, extraStraight: 20, callMask: 1,
+		events: 4096,
+	})
+)

@@ -1,0 +1,127 @@
+// Package workload provides the eight SPECint95-like benchmark programs the
+// experiments run, standing in for the paper's compress, gcc, go, ijpeg,
+// m88ksim, perl, vortex and xlisp traces.
+//
+// Three workloads are real programs for the repository's toy ISA, built so
+// their indirect jumps arise exactly the way the originals' do:
+//
+//   - perl: a bytecode interpreter whose main loop dispatches on script
+//     tokens through a jump table — one hot static indirect jump whose
+//     target sequence is periodic because the interpreted script loops
+//     (Section 4.2.3 of the paper explains why path history excels here).
+//   - gcc: a compiler-like pass driver: many small functions, each with its
+//     own switch over IR node kinds (many static indirect jumps), nodes
+//     drawn from a Markov chain so pattern history carries signal.
+//   - xlisp: a recursive expression evaluator dispatching on cell type,
+//     heavy in calls/returns (return address stack traffic).
+//
+// The remaining five use the parameterised synthetic program generator in
+// synth.go, tuned per benchmark to the indirect-jump site counts, target
+// distributions and predictability the paper reports in Table 1 and
+// Figures 1-8.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Workload is one named benchmark.
+type Workload struct {
+	// Name is the benchmark the workload stands in for.
+	Name string
+	// Description summarises the program's structure.
+	Description string
+	// Extra marks workloads beyond the paper's SPECint95 set (e.g. the
+	// C++-style workload from the paper's future-work section); they are
+	// excluded from All() so the paper's tables keep their populations.
+	Extra bool
+
+	buildOnce sync.Once
+	build     func() *isa.Program
+	prog      *isa.Program
+}
+
+// Program returns the workload's program, building it on first use.
+func (w *Workload) Program() *isa.Program {
+	w.buildOnce.Do(func() { w.prog = w.build() })
+	return w.prog
+}
+
+// Open starts a fresh looping pass over the workload's trace.
+func (w *Workload) Open() trace.Source { return vm.NewLooping(w.Program()) }
+
+var _ trace.Factory = (*Workload)(nil)
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if _, dup := registry[w.Name]; dup {
+		panic("workload: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns all workload names (including extras) in alphabetical
+// order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the eight SPECint95-like workloads in paper (alphabetical)
+// order.
+func All() []*Workload {
+	var out []*Workload
+	for _, n := range Names() {
+		if w := registry[n]; !w.Extra {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Extras returns the workloads beyond the paper's benchmark set.
+func Extras() []*Workload {
+	var out []*Workload
+	for _, n := range Names() {
+		if w := registry[n]; w.Extra {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PerlGcc returns just the perl and gcc workloads, "the two benchmarks with
+// the largest number of indirect jumps", which the paper's Tables 4-9
+// concentrate on.
+func PerlGcc() []*Workload {
+	perl, err := ByName("perl")
+	if err != nil {
+		panic(err)
+	}
+	gcc, err := ByName("gcc")
+	if err != nil {
+		panic(err)
+	}
+	return []*Workload{perl, gcc}
+}

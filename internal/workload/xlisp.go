@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// The xlisp workload is a recursive expression evaluator over a forest of
+// fixed trees, the shape of a Lisp interpreter's eval: dispatch on cell
+// type through a jump table (one hot indirect jump with ~10 targets),
+// a second small indirect call site for user-defined functions, and heavy
+// call/return traffic exercising the return address stack. Symbol values
+// mutate between sweeps so IF-node branches vary while the tree structure
+// (and hence the dispatch sequence skeleton) repeats.
+
+// Cell types.
+const (
+	cellNum = iota
+	cellAdd
+	cellSub
+	cellMul
+	cellIf
+	cellNeg
+	cellSym
+	cellCall
+	cellArg
+	cellMax
+
+	numCellTypes
+)
+
+// xlisp register conventions.
+const (
+	xZ    = isa.Reg(31)
+	xRoot = isa.Reg(1)  // roots array base
+	xRI   = isa.Reg(2)  // root index
+	xNode = isa.Reg(3)  // eval argument: node byte address
+	xVal  = isa.Reg(6)  // eval result
+	xT1   = isa.Reg(7)  // scratch
+	xT2   = isa.Reg(10) // scratch
+	xT3   = isa.Reg(11) // scratch
+	xT4   = isa.Reg(12) // scratch
+	xVars = isa.Reg(16) // symbol table base
+	xNR   = isa.Reg(20) // number of roots
+	xSwp  = isa.Reg(21) // sweep counter
+	xSP   = isa.Reg(29) // software stack pointer (byte address, grows down)
+)
+
+const (
+	xlispRoots    = 48
+	xlispUserFns  = 4
+	xlispMaxDepth = 7
+)
+
+// xlispTreeGen builds expression trees into the data image. Each node is
+// three words: [type, a, b]; a and b hold child byte addresses or
+// immediates depending on type.
+type xlispTreeGen struct {
+	b         *isa.Builder
+	rng       *rand.Rand
+	allowCall bool
+	// spine is the operator type a chain in progress repeats, 0 if none.
+	spine int64
+}
+
+// gen emits one tree of at most the given depth and returns its byte
+// address.
+func (g *xlispTreeGen) gen(depth int) int64 {
+	leafP := 0.15 + 0.12*float64(xlispMaxDepth-depth)
+	if depth <= 0 || g.rng.Float64() < leafP {
+		if g.rng.Float64() < 0.35 {
+			addr := g.b.Words(3)
+			g.b.SetWord(addr, cellSym)
+			g.b.SetWord(addr+8, int64(g.rng.Intn(14))) // symbol index
+			return addr
+		}
+		addr := g.b.Words(3)
+		g.b.SetWord(addr, cellNum)
+		g.b.SetWord(addr+8, int64(g.rng.Intn(1000)+1))
+		return addr
+	}
+	types := []int64{cellAdd, cellAdd, cellSub, cellMul, cellMul, cellIf,
+		cellNeg, cellMax}
+	if g.allowCall && depth >= xlispMaxDepth-2 {
+		types = append(types, cellCall, cellCall)
+	}
+	t := types[g.rng.Intn(len(types))]
+	// Operator spines: arithmetic on lists compiles to chains of the same
+	// operator (a+(b+(c+...))), giving the dispatch its runs.
+	if g.spine != 0 && g.rng.Float64() < 0.62 {
+		t = g.spine
+	}
+	if t == cellAdd || t == cellMul {
+		g.spine = t
+	} else {
+		g.spine = 0
+	}
+	addr := g.b.Words(3)
+	g.b.SetWord(addr, t)
+	switch t {
+	case cellNeg:
+		g.b.SetWord(addr+8, g.gen(depth-1))
+	case cellCall:
+		g.b.SetWord(addr+8, int64(g.rng.Intn(xlispUserFns)))
+		g.b.SetWord(addr+16, g.gen(depth-1))
+	default:
+		g.b.SetWord(addr+8, g.gen(depth-1))
+		g.b.SetWord(addr+16, g.gen(depth-1))
+	}
+	return addr
+}
+
+func buildXlisp() *isa.Program {
+	rng := rand.New(rand.NewSource(0x115b) /* fixed: deterministic workload */)
+	b := isa.NewBuilder("xlisp", 0x80000)
+
+	varsBase := b.Words(16)
+	for i := 0; i < 16; i++ {
+		b.SetWord(varsBase+int64(i)*8, int64(rng.Intn(512)))
+	}
+	evtabBase := b.Words(numCellTypes)
+	fntabBase := b.Words(xlispUserFns) // code stubs for user functions
+	argVar := varsBase + 15*8          // vars[15] doubles as the argument slot
+
+	// User-function body trees (no nested calls).
+	g := &xlispTreeGen{b: b, rng: rng, allowCall: false}
+	fnBodies := make([]int64, xlispUserFns)
+	for i := range fnBodies {
+		// Bodies reference the argument via cellArg leaves: rewrite some
+		// Num leaves into Arg by generating with a dedicated marker pass.
+		fnBodies[i] = g.genWithArgs(4)
+	}
+	// The evaluated "program": a small pool of shared expression trees (a
+	// Lisp program's function bodies), referenced repeatedly — with runs —
+	// by the root script. Re-evaluating shared structure is what makes a
+	// Lisp interpreter's dispatch sequences learnable: the same node
+	// sequence recurs every time a body is evaluated.
+	g.allowCall = true
+	const poolSize = 12
+	pool := make([]int64, poolSize)
+	for i := range pool {
+		pool[i] = g.gen(xlispMaxDepth)
+	}
+	rootsBase := b.Words(xlispRoots)
+	cur := 0
+	for i := 0; i < xlispRoots; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.35:
+			// repeat the previous body (eval called in loops)
+		case r < 0.85:
+			cur = (cur + 1 + rng.Intn(2)) % poolSize
+		default:
+			cur = rng.Intn(poolSize)
+		}
+		b.SetWord(rootsBase+int64(i)*8, pool[cur])
+	}
+
+	stackWords := 4096
+	stackBase := b.Words(stackWords)
+	stackTop := stackBase + int64(stackWords)*8
+
+	b.Label("init")
+	b.LoadImm(xZ, 0)
+	b.LoadImm(xRoot, rootsBase)
+	b.LoadImm(xVars, varsBase)
+	b.LoadImm(xSP, stackTop)
+	b.LoadImm(xSwp, 0)
+	b.LoadImm(xRI, 0)
+	b.LoadImm(xNR, xlispRoots)
+
+	// Driver: evaluate every root, then perturb the symbol table so the
+	// next sweep's IF decisions differ, and halt (the looping source
+	// restarts for stationarity).
+	b.Label("sweep")
+	b.Br(isa.CondGE, xRI, xNR, "endsweep")
+	b.ALUI(isa.AluSll, xT1, xRI, 3)
+	b.ALU(isa.AluAdd, xT1, xRoot, xT1)
+	b.Load(xNode, xT1, 0)
+	b.Call("eval")
+	// Fold the result into a rotating symbol so values evolve.
+	b.ALUI(isa.AluAnd, xT1, xRI, 7)
+	b.ALUI(isa.AluSll, xT1, xT1, 3)
+	b.ALU(isa.AluAdd, xT1, xVars, xT1)
+	b.Load(xT2, xT1, 0)
+	b.ALU(isa.AluAdd, xT2, xT2, xVal)
+	b.ALUI(isa.AluSrl, xT3, xT2, 3)
+	b.ALU(isa.AluXor, xT2, xT2, xT3)
+	b.Store(xT1, 0, xT2)
+	b.ALUI(isa.AluAdd, xRI, xRI, 1)
+	b.Jmp("sweep")
+	b.Label("endsweep")
+	b.Halt()
+
+	// eval: xNode -> xVal. Dispatches on cell type — the hot indirect
+	// jump of the workload. The leaf/operator class checks before the
+	// dispatch are eval's fast-path guards; they also put type bits into
+	// the pattern history.
+	b.Label("eval")
+	b.Load(xT1, xNode, 0)
+	b.LoadImm(xT2, 1)
+	b.Br(isa.CondLT, xT1, xT2, "evc1") // numbers: the hot leaf
+	b.ALUI(isa.AluAdd, xT4, xT1, 1)
+	b.Label("evc1")
+	b.LoadImm(xT2, 4)
+	b.Br(isa.CondLT, xT1, xT2, "evc2") // arithmetic operators
+	b.ALUI(isa.AluXor, xT4, xT1, 2)
+	b.Label("evc2")
+	b.ALUI(isa.AluSll, xT2, xT1, 3)
+	b.ALUI(isa.AluAdd, xT2, xT2, evtabBase)
+	b.Load(xT3, xT2, 0)
+	b.JmpIndSel(xT3, xT1)
+
+	b.Label("ev_num")
+	b.Load(xVal, xNode, 8)
+	b.Ret()
+
+	binop := func(name string, combine func()) {
+		b.Label(name)
+		b.ALUI(isa.AluSub, xSP, xSP, 16)
+		b.Store(xSP, 0, xNode)
+		b.Load(xNode, xNode, 8)
+		b.Call("eval")
+		b.Load(xT1, xSP, 0)
+		b.Store(xSP, 8, xVal)
+		b.Load(xNode, xT1, 16)
+		b.Call("eval")
+		b.Load(xT1, xSP, 8)
+		combine()
+		b.ALUI(isa.AluAdd, xSP, xSP, 16)
+		b.Ret()
+	}
+	binop("ev_add", func() { b.ALU(isa.AluAdd, xVal, xT1, xVal) })
+	binop("ev_sub", func() { b.ALU(isa.AluSub, xVal, xT1, xVal) })
+	binop("ev_mul", func() {
+		b.ALU(isa.AluMul, xVal, xT1, xVal)
+		b.ALUI(isa.AluSrl, xVal, xVal, 1)
+	})
+	binop("ev_max", func() {
+		b.Br(isa.CondGE, xT1, xVal, "max_left")
+		b.Jmp("max_out")
+		b.Label("max_left")
+		b.ALU(isa.AluAdd, xVal, xT1, xZ)
+		b.Label("max_out")
+	})
+
+	b.Label("ev_if")
+	b.ALUI(isa.AluSub, xSP, xSP, 8)
+	b.Store(xSP, 0, xNode)
+	b.Load(xNode, xNode, 8)
+	b.Call("eval")
+	b.Load(xT1, xSP, 0)
+	b.ALUI(isa.AluAdd, xSP, xSP, 8)
+	b.ALUI(isa.AluAnd, xT2, xVal, 1)
+	b.Br(isa.CondEQ, xT2, xZ, "if_false")
+	b.Load(xNode, xT1, 16)
+	b.Call("eval")
+	b.Ret()
+	b.Label("if_false")
+	b.ALUI(isa.AluSrl, xVal, xVal, 1)
+	b.Ret()
+
+	b.Label("ev_neg")
+	b.ALUI(isa.AluSub, xSP, xSP, 8)
+	b.Store(xSP, 0, xNode)
+	b.Load(xNode, xNode, 8)
+	b.Call("eval")
+	b.ALUI(isa.AluAdd, xSP, xSP, 8)
+	b.ALU(isa.AluSub, xVal, xZ, xVal)
+	b.Ret()
+
+	b.Label("ev_sym")
+	b.Load(xT1, xNode, 8)
+	b.ALUI(isa.AluSll, xT1, xT1, 3)
+	b.ALU(isa.AluAdd, xT1, xVars, xT1)
+	b.Load(xVal, xT1, 0)
+	b.Ret()
+
+	b.Label("ev_call")
+	// Evaluate the argument, bind it, then dispatch to the user-function
+	// stub — the second indirect (call) site.
+	b.ALUI(isa.AluSub, xSP, xSP, 8)
+	b.Store(xSP, 0, xNode)
+	b.Load(xNode, xNode, 16)
+	b.Call("eval")
+	b.Load(xT1, xSP, 0)
+	b.ALUI(isa.AluAdd, xSP, xSP, 8)
+	b.LoadImm(xT2, argVar)
+	b.Store(xT2, 0, xVal)
+	b.Load(xT3, xT1, 8) // function index
+	b.ALUI(isa.AluSll, xT2, xT3, 3)
+	b.ALUI(isa.AluAdd, xT2, xT2, fntabBase)
+	b.Load(xT4, xT2, 0)
+	b.CallIndSel(xT4, xT3)
+	b.Ret()
+
+	b.Label("ev_arg")
+	b.LoadImm(xT1, argVar)
+	b.Load(xVal, xT1, 0)
+	b.Ret()
+
+	// User-function stubs: load the body tree root and evaluate it.
+	for i := 0; i < xlispUserFns; i++ {
+		b.Label(fmt.Sprintf("fnstub%d", i))
+		b.LoadImm(xNode, fnBodies[i])
+		b.Call("eval")
+		b.Ret()
+	}
+
+	prog := b.SetEntry("init").MustBuild()
+
+	evalHandlers := []string{
+		"ev_num", "ev_add", "ev_sub", "ev_mul", "ev_if", "ev_neg",
+		"ev_sym", "ev_call", "ev_arg", "ev_max",
+	}
+	for i, name := range evalHandlers {
+		addr, ok := b.AddrOfLabel(name)
+		if !ok {
+			panic("xlisp: missing handler " + name)
+		}
+		prog.Data[(evtabBase+int64(i)*8)/8] = int64(addr)
+	}
+	for i := 0; i < xlispUserFns; i++ {
+		addr, ok := b.AddrOfLabel(fmt.Sprintf("fnstub%d", i))
+		if !ok {
+			panic("xlisp: missing stub")
+		}
+		prog.Data[(fntabBase+int64(i)*8)/8] = int64(addr)
+	}
+	return prog
+}
+
+// genWithArgs emits a user-function body tree whose leaves are a mix of
+// numbers, symbols and argument references.
+func (g *xlispTreeGen) genWithArgs(depth int) int64 {
+	if depth <= 0 || g.rng.Float64() < 0.3 {
+		addr := g.b.Words(3)
+		switch g.rng.Intn(3) {
+		case 0:
+			g.b.SetWord(addr, cellArg)
+		case 1:
+			g.b.SetWord(addr, cellSym)
+			g.b.SetWord(addr+8, int64(g.rng.Intn(14)))
+		default:
+			g.b.SetWord(addr, cellNum)
+			g.b.SetWord(addr+8, int64(g.rng.Intn(100)+1))
+		}
+		return addr
+	}
+	types := []int64{cellAdd, cellSub, cellMul, cellIf, cellNeg, cellMax}
+	t := types[g.rng.Intn(len(types))]
+	addr := g.b.Words(3)
+	g.b.SetWord(addr, t)
+	if t == cellNeg {
+		g.b.SetWord(addr+8, g.genWithArgs(depth-1))
+	} else {
+		g.b.SetWord(addr+8, g.genWithArgs(depth-1))
+		g.b.SetWord(addr+16, g.genWithArgs(depth-1))
+	}
+	return addr
+}
+
+var xlispWorkload = register(&Workload{
+	Name:        "xlisp",
+	Description: "recursive expression evaluator: type-dispatch eval, user-fn stubs, call/return heavy",
+	build:       buildXlisp,
+})

@@ -1,0 +1,98 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quick-start does, and checks the paper's headline result end to end:
+// the target cache substantially reduces indirect-jump mispredictions and
+// execution time on perl and gcc.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulations")
+	}
+	const budget = 500_000
+
+	gshare := func() repro.TargetCache {
+		return repro.NewTagless(repro.TaglessConfig{
+			Entries: 512, Scheme: repro.SchemeGshare,
+		})
+	}
+	pat9 := func() repro.History { return repro.NewPatternHistory(9) }
+	machine := repro.DefaultMachine()
+
+	for _, name := range []string{"perl", "gcc"} {
+		w, err := repro.WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := repro.RunAccuracy(w, budget, repro.BaselineConfig())
+		tc := repro.RunAccuracy(w, budget, repro.BaselineConfig().WithTargetCache(gshare, pat9))
+		if tc.IndirectMispredictRate() >= base.IndirectMispredictRate() {
+			t.Errorf("%s: target cache (%.1f%%) did not beat BTB (%.1f%%)",
+				name, 100*tc.IndirectMispredictRate(), 100*base.IndirectMispredictRate())
+		}
+
+		baseT := repro.RunTiming(w, budget, repro.BaselineConfig(), machine)
+		tcT := repro.RunTiming(w, budget, repro.BaselineConfig().WithTargetCache(gshare, pat9), machine)
+		if tcT.Cycles >= baseT.Cycles {
+			t.Errorf("%s: no execution-time reduction (%d -> %d cycles)",
+				name, baseT.Cycles, tcT.Cycles)
+		}
+		if baseT.IPC() <= 0 || baseT.IPC() > float64(machine.Width) {
+			t.Errorf("%s: implausible IPC %.2f", name, baseT.IPC())
+		}
+	}
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if got := len(repro.Workloads()); got != 8 {
+		t.Fatalf("workloads = %d, want 8", got)
+	}
+	if got := len(repro.Experiments()); got < 11 {
+		t.Fatalf("experiments = %d, want >= 11", got)
+	}
+	if _, err := repro.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := repro.ExperimentByID("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	p := repro.DefaultExperimentParams()
+	if p.AccuracyBudget <= 0 || p.TimingBudget <= 0 {
+		t.Fatalf("bad default params %+v", p)
+	}
+}
+
+// TestPathHistoryWinsOnPerl pins the paper's Section 4.2.3 observation via
+// the public API: the Ind-jmp global path history beats pattern history on
+// the interpreter workload.
+func TestPathHistoryWinsOnPerl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulations")
+	}
+	const budget = 500_000
+	w, err := repro.WorkloadByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gshare := func() repro.TargetCache {
+		return repro.NewTagless(repro.TaglessConfig{Entries: 512, Scheme: repro.SchemeGshare})
+	}
+	pat := repro.RunAccuracy(w, budget, repro.BaselineConfig().WithTargetCache(
+		gshare, func() repro.History { return repro.NewPatternHistory(9) }))
+	path := repro.RunAccuracy(w, budget, repro.BaselineConfig().WithTargetCache(
+		gshare, func() repro.History {
+			return repro.NewPathHistory(repro.PathConfig{
+				Bits: 9, BitsPerTarget: 1, AddrBitOffset: 2,
+				Filter: repro.FilterIndJmp,
+			})
+		}))
+	if path.IndirectMispredictRate() >= pat.IndirectMispredictRate() {
+		t.Errorf("path history (%.1f%%) should beat pattern history (%.1f%%) on perl",
+			100*path.IndirectMispredictRate(), 100*pat.IndirectMispredictRate())
+	}
+}
