@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments fmt cover clean
+.PHONY: all build vet test test-short race bench bench-json experiments fmt cover clean
 
 all: build vet test
 
@@ -12,14 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The race pass runs the concurrency-sensitive packages in -short mode so
+# the heavy experiment sweeps are not repeated under the race detector;
+# the dedicated race tests in these packages do not skip on -short.
+test: race
 	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace
 
 test-short:
 	$(GO) test -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the per-experiment wall-time/work baseline used to track the
+# parallel runner's performance.
+bench-json:
+	$(GO) run ./cmd/tcsim -exp all -benchjson BENCH_baseline.json > /dev/null
 
 # Regenerate every paper table and figure at full budgets.
 experiments:
@@ -32,4 +43,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt cpu.prof mem.prof

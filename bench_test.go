@@ -110,3 +110,27 @@ func BenchmarkTimingSim(b *testing.B) {
 		repro.RunTiming(w, 100_000, repro.BaselineConfig(), machine)
 	}
 }
+
+// BenchmarkTable5Serial and BenchmarkTable5Parallel measure the cell
+// scheduler: the same experiment with its cells run one at a time versus
+// on an 8-worker pool over the shared memoized traces. On a multi-core
+// machine the parallel variant should approach a GOMAXPROCS-fold speedup;
+// outputs are byte-identical either way.
+func runExperimentParallel(b *testing.B, id string, parallel int) {
+	b.Helper()
+	e, err := repro.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams()
+	p.Parallel = parallel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tables := e.Run(p); len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTable5Serial(b *testing.B)   { runExperimentParallel(b, "table5", 1) }
+func BenchmarkTable5Parallel(b *testing.B) { runExperimentParallel(b, "table5", 8) }

@@ -5,7 +5,7 @@
 //
 //	tcsim -list
 //	tcsim -exp table4
-//	tcsim -exp all -n 5000000 -t 2000000
+//	tcsim -exp all -n 5000000 -t 2000000 -parallel 4
 package main
 
 import (
@@ -13,6 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/stats"
@@ -20,12 +23,17 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list), or \"all\"")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		nAcc   = flag.Int64("n", 0, "accuracy-simulation instruction budget (default 2M)")
-		nTime  = flag.Int64("t", 0, "timing-simulation instruction budget (default 1M)")
-		model  = flag.String("model", "fast", "timing model: fast | event")
-		format = flag.String("format", "text", "output format: text | json | csv")
+		exp        = flag.String("exp", "all", "experiment id (see -list), or \"all\"")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		nAcc       = flag.Int64("n", 0, "accuracy-simulation instruction budget (default 2M)")
+		nTime      = flag.Int64("t", 0, "timing-simulation instruction budget (default 1M)")
+		model      = flag.String("model", "fast", "timing model: fast | event")
+		format     = flag.String("format", "text", "output format: text | json | csv")
+		parallel   = flag.Int("parallel", 0, "simulation cells run concurrently per experiment (0 = one per CPU, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("benchjson", "", "write per-experiment wall time and work counters to this JSON file")
+		quiet      = flag.Bool("quiet", false, "suppress the per-experiment summary on stderr")
 	)
 	flag.Parse()
 
@@ -43,6 +51,9 @@ func main() {
 	if *nTime > 0 {
 		params.TimingBudget = *nTime
 	}
+	if *parallel > 0 {
+		params.Parallel = *parallel
+	}
 	switch *model {
 	case "fast":
 	case "event":
@@ -50,6 +61,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown timing model %q (want fast or event)\n", *model)
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var toRun []*bench.Experiment
@@ -71,8 +95,30 @@ func main() {
 	}
 	var jsonOut []jsonExperiment
 
+	// benchRecord is one entry of the -benchjson report, keyed by
+	// experiment id.
+	type benchRecord struct {
+		WallMS       float64 `json:"wall_ms"`
+		Cells        int64   `json:"cells"`
+		Instructions int64   `json:"instructions"`
+	}
+	benchOut := make(map[string]benchRecord, len(toRun))
+
 	for _, e := range toRun {
+		before := bench.SnapshotStats()
+		start := time.Now()
 		tables := e.Run(params)
+		wall := time.Since(start)
+		work := bench.SnapshotStats().Sub(before)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "tcsim: %-16s %8.1f ms  %4d cells  %12d instructions\n",
+				e.ID, float64(wall.Microseconds())/1000, work.Cells, work.Instructions)
+		}
+		benchOut[e.ID] = benchRecord{
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			Cells:        work.Cells,
+			Instructions: work.Instructions,
+		}
 		switch *format {
 		case "json":
 			jsonOut = append(jsonOut, jsonExperiment{e.ID, e.Title, tables})
@@ -99,6 +145,39 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(benchOut)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -7,7 +7,9 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -28,6 +30,19 @@ type Params struct {
 	// model to the event-driven validation model (slower, structurally
 	// explicit; the two agree on all reported orderings).
 	EventModel bool
+	// Parallel is the number of simulation cells each experiment runs
+	// concurrently: 0 means one worker per CPU, 1 runs serially. Results
+	// are gathered positionally, so rendered tables are byte-identical at
+	// every setting.
+	Parallel int
+}
+
+// workers resolves Parallel to a concrete worker count.
+func (p Params) workers() int {
+	if p.Parallel > 0 {
+		return p.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultParams returns budgets that run the full suite quickly while
@@ -104,34 +119,53 @@ func ByID(id string) (*Experiment, error) {
 // pct formats a fraction as a percentage.
 func pct(v float64) string { return stats.Percent(v) }
 
-// baselineCycles runs the BTB-only machine once per workload and caches
-// the result for the duration of one experiment.
+// timingContext runs the BTB-only machine at most once per workload and
+// caches the result for the duration of one experiment. It is safe for
+// concurrent use by parallel cells: the first cell needing a workload's
+// baseline computes it under a per-workload once while later cells block
+// on the same once, so no work is duplicated.
 type timingContext struct {
 	p      Params
-	base   map[string]int64
 	cpuCfg cpu.Config
+
+	mu   sync.Mutex
+	base map[string]*baselineCell
+}
+
+type baselineCell struct {
+	once   sync.Once
+	cycles int64
 }
 
 func newTimingContext(p Params) *timingContext {
-	return &timingContext{p: p, base: make(map[string]int64), cpuCfg: cpu.DefaultConfig()}
+	return &timingContext{p: p, base: make(map[string]*baselineCell), cpuCfg: cpu.DefaultConfig()}
 }
 
-// run executes one timing simulation on the configured model.
+// run executes one timing simulation on the configured model, reading the
+// workload's memoized trace replay rather than a live VM.
 func (tc *timingContext) run(w *workload.Workload, cfg sim.Config) cpu.Result {
 	engine := sim.NewEngine(cfg)
+	src := w.Replay(tc.p.TimingBudget).Open()
+	var res cpu.Result
 	if tc.p.EventModel {
-		return cpu.NewEvent(tc.cpuCfg, engine).Run(w.Open(), tc.p.TimingBudget)
+		res = cpu.NewEvent(tc.cpuCfg, engine).Run(src, tc.p.TimingBudget)
+	} else {
+		res = cpu.Run(src, tc.p.TimingBudget, engine, tc.cpuCfg)
 	}
-	return cpu.Run(w.Open(), tc.p.TimingBudget, engine, tc.cpuCfg)
+	instructionsSim.Add(res.Instructions)
+	return res
 }
 
 func (tc *timingContext) baseline(w *workload.Workload) int64 {
-	if c, ok := tc.base[w.Name]; ok {
-		return c
+	tc.mu.Lock()
+	c, ok := tc.base[w.Name]
+	if !ok {
+		c = &baselineCell{}
+		tc.base[w.Name] = c
 	}
-	res := tc.run(w, sim.DefaultConfig())
-	tc.base[w.Name] = res.Cycles
-	return res.Cycles
+	tc.mu.Unlock()
+	c.once.Do(func() { c.cycles = tc.run(w, sim.DefaultConfig()).Cycles })
+	return c.cycles
 }
 
 // reduction runs the machine with the given target-cache configuration and

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Cell scheduling: every experiment decomposes into independent simulation
+// cells — each a pure function of a memoized replay cursor and a predictor
+// configuration. Experiments enqueue cells into a cellGroup, each cell
+// writing its result into a pre-allocated slot; run executes them on a
+// bounded worker pool and the experiment then renders its tables from the
+// slots in enqueue order. Because rendering is serial and positional, the
+// output is byte-identical at any worker count, including 1.
+
+type cellGroup struct {
+	workers int
+	cells   []func()
+}
+
+func newCellGroup(p Params) *cellGroup { return &cellGroup{workers: p.workers()} }
+
+// add enqueues one cell. Cells must not depend on each other's slots.
+func (g *cellGroup) add(fn func()) { g.cells = append(g.cells, fn) }
+
+// cell enqueues fn and returns the slot its result lands in once run
+// returns.
+func cell[T any](g *cellGroup, fn func() T) *T {
+	out := new(T)
+	g.add(func() { *out = fn() })
+	return out
+}
+
+// run executes all enqueued cells, at most g.workers at a time, and clears
+// the queue. It returns only when every cell has finished.
+func (g *cellGroup) run() {
+	cells := g.cells
+	g.cells = nil
+	cellsExecuted.Add(int64(len(cells)))
+	if g.workers <= 1 || len(cells) <= 1 {
+		for _, fn := range cells {
+			fn()
+		}
+		return
+	}
+	workers := g.workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(cells)) {
+					return
+				}
+				cells[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ---- process-wide counters (the perf measurement hook) ----
+
+var (
+	cellsExecuted   atomic.Int64
+	instructionsSim atomic.Int64
+)
+
+// RunStats counts simulation work done process-wide; tcsim diffs snapshots
+// around each experiment for its stderr summary and BENCH_baseline.json.
+type RunStats struct {
+	// Cells is the number of simulation cells executed.
+	Cells int64
+	// Instructions is the number of instructions pushed through the
+	// accuracy and timing simulators.
+	Instructions int64
+}
+
+// SnapshotStats returns the current counter values.
+func SnapshotStats() RunStats {
+	return RunStats{Cells: cellsExecuted.Load(), Instructions: instructionsSim.Load()}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s RunStats) Sub(earlier RunStats) RunStats {
+	return RunStats{Cells: s.Cells - earlier.Cells, Instructions: s.Instructions - earlier.Instructions}
+}
+
+// ---- replay-backed simulation kernels ----
+//
+// All experiment cells go through these wrappers: they swap the live VM for
+// the workload's memoized trace replay (so the VM runs at most once per
+// (workload, budget) key across the whole suite) and account simulated
+// instructions.
+
+// runAccuracy is sim.RunAccuracy over the memoized replay.
+func runAccuracy(w *workload.Workload, p Params, cfg sim.Config) sim.AccuracyResult {
+	res := sim.RunAccuracy(w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
+	instructionsSim.Add(res.Instructions)
+	return res
+}
+
+// runAccuracyFlushes is sim.RunAccuracyWithFlushes over the memoized
+// replay.
+func runAccuracyFlushes(w *workload.Workload, p Params, interval int64, cfg sim.Config) sim.AccuracyResult {
+	res := sim.RunAccuracyWithFlushes(w.Replay(p.AccuracyBudget), p.AccuracyBudget, interval, cfg)
+	instructionsSim.Add(res.Instructions)
+	return res
+}
+
+// runTiming is cpu.Run (the fast one-pass model) over the memoized replay
+// with an explicit machine configuration.
+func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cpu.Result {
+	res := cpu.Run(w.Replay(p.TimingBudget).Open(), p.TimingBudget, sim.NewEngine(cfg), mc)
+	instructionsSim.Add(res.Instructions)
+	return res
+}
+
+// runTraceStats consumes the memoized replay into trace statistics.
+func runTraceStats(w *workload.Workload, p Params) *trace.Stats {
+	st := trace.NewStats().Consume(w.Replay(p.AccuracyBudget).Open())
+	instructionsSim.Add(p.AccuracyBudget)
+	return st
+}

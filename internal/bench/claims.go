@@ -25,9 +25,10 @@ type Claim struct {
 	Check func(p Params) (string, bool)
 }
 
-// mispredict measures the indirect misprediction rate of cfg on w.
+// mispredict measures the indirect misprediction rate of cfg on w over
+// the memoized trace replay.
 func mispredict(w *workload.Workload, p Params, cfg sim.Config) float64 {
-	return sim.RunAccuracy(w, p.AccuracyBudget, cfg).IndirectMispredictRate()
+	return runAccuracy(w, p, cfg).IndirectMispredictRate()
 }
 
 func mustWorkload(name string) *workload.Workload {
@@ -201,19 +202,33 @@ var verifyExperiment = registerExperiment(&Experiment{
 	ID:    "verify",
 	Title: "Verify the paper's qualitative claims against this reproduction",
 	Run: func(p Params) []*stats.Table {
+		claims := Claims()
+		type claimCell struct {
+			msg string
+			ok  bool
+		}
+		// One cell per claim; the simulations inside share memoized
+		// replays, so concurrent claims do not duplicate VM work.
+		g := newCellGroup(p)
+		cells := make([]*claimCell, len(claims))
+		for i, c := range claims {
+			cells[i] = cell(g, func() claimCell {
+				msg, ok := c.Check(p)
+				return claimCell{msg, ok}
+			})
+		}
+		g.run()
 		t := stats.NewTable("Paper claims verification",
 			"#", "claim", "measured", "verdict")
 		passed := 0
-		claims := Claims()
-		for _, c := range claims {
-			msg, ok := c.Check(p)
+		for i, c := range claims {
 			verdict := "PASS"
-			if ok {
+			if cells[i].ok {
 				passed++
 			} else {
 				verdict = "FAIL"
 			}
-			t.AddRow(fmt.Sprintf("%d", c.ID), c.Statement, msg, verdict)
+			t.AddRow(fmt.Sprintf("%d", c.ID), c.Statement, cells[i].msg, verdict)
 		}
 		t.AddNote("%d/%d claims reproduced", passed, len(claims))
 		return []*stats.Table{t}

@@ -13,24 +13,45 @@ import (
 	"repro/internal/workload"
 )
 
+// Every experiment below follows the same shape: enqueue one cell per
+// independent simulation (a pure function of a memoized trace replay and a
+// predictor config), run the group on the bounded worker pool, then render
+// the tables serially from the result slots in enqueue order — which keeps
+// the output byte-identical to serial execution.
+
 // Table 1: per-benchmark counts and the baseline BTB's indirect-jump
 // misprediction rate.
 var table1 = registerExperiment(&Experiment{
 	ID:    "table1",
 	Title: "Table 1: benchmark characteristics and BTB indirect-jump misprediction rates",
 	Run: func(p Params) []*stats.Table {
+		ws := workload.All()
+		type t1cell struct {
+			res    sim.AccuracyResult
+			static int
+		}
+		g := newCellGroup(p)
+		cells := make([]*t1cell, len(ws))
+		for i, w := range ws {
+			cells[i] = cell(g, func() t1cell {
+				return t1cell{
+					res:    runAccuracy(w, p, sim.DefaultConfig()),
+					static: runTraceStats(w, p).StaticIndJumps(),
+				}
+			})
+		}
+		g.run()
 		t := stats.NewTable(
 			"Table 1: 1K-entry 4-way BTB, default update strategy",
 			"Benchmark", "#Instructions", "#Branches", "#Ind Jumps",
 			"Static Ind", "Ind. Jump Mispred. Rate")
-		for _, w := range workload.All() {
-			res := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
-			st := trace.NewStats().Consume(trace.NewLimit(w.Open(), p.AccuracyBudget))
+		for i, w := range ws {
+			res := cells[i].res
 			t.AddRow(w.Name,
 				fmt.Sprintf("%d", res.Instructions),
 				fmt.Sprintf("%d", res.Branches),
 				fmt.Sprintf("%d", res.Indirect.Predictions),
-				fmt.Sprintf("%d", st.StaticIndJumps()),
+				fmt.Sprintf("%d", cells[i].static),
 				pct(res.IndirectMispredictRate()))
 		}
 		t.AddNote("paper: gcc 66.0%% and perl 76.4%% — the two benchmarks with significant indirect jumps")
@@ -43,9 +64,16 @@ var figures1to8 = registerExperiment(&Experiment{
 	ID:    "figures1-8",
 	Title: "Figures 1-8: number of targets per indirect jump",
 	Run: func(p Params) []*stats.Table {
+		ws := workload.All()
+		g := newCellGroup(p)
+		cells := make([]**trace.Stats, len(ws))
+		for i, w := range ws {
+			cells[i] = cell(g, func() *trace.Stats { return runTraceStats(w, p) })
+		}
+		g.run()
 		var out []*stats.Table
-		for i, w := range workload.All() {
-			st := trace.NewStats().Consume(trace.NewLimit(w.Open(), p.AccuracyBudget))
+		for i, w := range ws {
+			st := *cells[i]
 			static := st.TargetHistogram(false)
 			dynamic := st.TargetHistogram(true)
 			var nStatic, nDynamic int64
@@ -86,17 +114,26 @@ var table2 = registerExperiment(&Experiment{
 	ID:    "table2",
 	Title: "Table 2: performance of the 2-bit BTB update strategy",
 	Run: func(p Params) []*stats.Table {
+		ws := workload.All()
+		g := newCellGroup(p)
+		defs := make([]*float64, len(ws))
+		twos := make([]*float64, len(ws))
+		for i, w := range ws {
+			defs[i] = cell(g, func() float64 {
+				return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
+			})
+			twos[i] = cell(g, func() float64 {
+				cfg := sim.DefaultConfig()
+				cfg.BTB.Strategy = btb.StrategyTwoBit
+				return runAccuracy(w, p, cfg).IndirectMispredictRate()
+			})
+		}
+		g.run()
 		t := stats.NewTable(
 			"Table 2: indirect-jump misprediction rate by BTB update strategy",
 			"Benchmark", "BTB", "2-bit BTB")
-		for _, w := range workload.All() {
-			def := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
-			cfg := sim.DefaultConfig()
-			cfg.BTB.Strategy = btb.StrategyTwoBit
-			two := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
-			t.AddRow(w.Name,
-				pct(def.IndirectMispredictRate()),
-				pct(two.IndirectMispredictRate()))
+		for i, w := range ws {
+			t.AddRow(w.Name, pct(*defs[i]), pct(*twos[i]))
 		}
 		t.AddNote("paper: the 2-bit strategy helps compress, gcc, ijpeg and perl but hurts m88ksim, vortex and xlisp")
 		return []*stats.Table{t}
@@ -104,6 +141,7 @@ var table2 = registerExperiment(&Experiment{
 })
 
 // Table 3: instruction classes and latencies (machine configuration echo).
+// No simulation cells: the table echoes the configuration.
 var table3 = registerExperiment(&Experiment{
 	ID:    "table3",
 	Title: "Table 3: instruction classes and latencies",
@@ -131,25 +169,35 @@ var table4 = registerExperiment(&Experiment{
 			{Entries: 512, Scheme: core.SchemeGAs, HistBits: 7, AddrBits: 2},
 			{Entries: 512, Scheme: core.SchemeGshare},
 		}
+		ws := workload.PerlGcc()
+		g := newCellGroup(p)
+		rates := make([][]*float64, len(configs))
+		for i, tcCfg := range configs {
+			rates[i] = make([]*float64, len(ws))
+			for j, w := range ws {
+				rates[i][j] = cell(g, func() float64 {
+					histBits := 9
+					if tcCfg.Scheme == core.SchemeGAs {
+						histBits = tcCfg.HistBits
+					}
+					cfg := tcConfig(
+						func() core.TargetCache { return core.NewTagless(tcCfg) },
+						pattern(histBits))
+					return runAccuracy(w, p, cfg).IndirectMispredictRate()
+				})
+			}
+		}
+		g.run()
 		t := stats.NewTable(
 			"Table 4: indirect-jump misprediction rate, 512-entry tagless target caches",
 			"Scheme", "perl", "gcc")
-		for _, tcCfg := range configs {
-			tcCfg := tcCfg
+		for i, tcCfg := range configs {
 			row := []string{tcCfg.Name()}
-			for _, w := range workload.PerlGcc() {
-				histBits := 9
-				if tcCfg.Scheme == core.SchemeGAs {
-					histBits = tcCfg.HistBits
-				}
-				cfg := tcConfig(
-					func() core.TargetCache { return core.NewTagless(tcCfg) },
-					pattern(histBits))
-				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
-				row = append(row, pct(res.IndirectMispredictRate()))
-			}
 			// The table's column order is perl, gcc but PerlGcc returns
 			// perl first already.
+			for j := range ws {
+				row = append(row, pct(*rates[i][j]))
+			}
 			t.AddRow(row...)
 		}
 		t.AddNote("paper: gshare wins; a 512-entry target cache achieves 30.4%% (gcc) and 30.9%% (perl)")
@@ -157,22 +205,46 @@ var table4 = registerExperiment(&Experiment{
 	},
 })
 
+// warmBaselines enqueues one cell per workload that computes the BTB-only
+// timing baseline, so reduction cells spend no pool time blocked on it.
+func warmBaselines(g *cellGroup, tctx *timingContext, ws []*workload.Workload) {
+	for _, w := range ws {
+		g.add(func() { tctx.baseline(w) })
+	}
+}
+
 // Table 5: which target-address bits feed the path history register.
 var table5 = registerExperiment(&Experiment{
 	ID:    "table5",
 	Title: "Table 5: path history — address bit selection (execution-time reduction)",
 	Run: func(p Params) []*stats.Table {
 		tctx := newTimingContext(p)
+		ws := workload.PerlGcc()
+		offsets := []int{2, 3, 4, 5, 6, 8, 12}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		reds := make([][][]*float64, len(ws))
+		for i, w := range ws {
+			reds[i] = make([][]*float64, len(offsets))
+			for j, offset := range offsets {
+				for _, s := range pathSchemes(9, 1, offset) {
+					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
+					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+						return tctx.reduction(w, cfg)
+					}))
+				}
+			}
+		}
+		g.run()
 		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
+		for i, w := range ws {
 			t := stats.NewTable(
 				fmt.Sprintf("Table 5 (%s): reduction in execution time by path-history address bit", w.Name),
 				"addr bit", "Per-addr", "branch", "control", "ind jmp", "call/ret")
-			for _, offset := range []int{2, 3, 4, 5, 6, 8, 12} {
+			for j, offset := range offsets {
 				row := []string{fmt.Sprintf("%d", offset)}
-				for _, s := range pathSchemes(9, 1, offset) {
-					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					row = append(row, pct(tctx.reduction(w, cfg)))
+				for _, red := range reds[i][j] {
+					row = append(row, pct(*red))
 				}
 				t.AddRow(row...)
 			}
@@ -189,16 +261,32 @@ var table6 = registerExperiment(&Experiment{
 	Title: "Table 6: path history — address bits per branch (execution-time reduction)",
 	Run: func(p Params) []*stats.Table {
 		tctx := newTimingContext(p)
+		ws := workload.PerlGcc()
+		bitCounts := []int{1, 2, 3}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		reds := make([][][]*float64, len(ws))
+		for i, w := range ws {
+			reds[i] = make([][]*float64, len(bitCounts))
+			for j, bits := range bitCounts {
+				for _, s := range pathSchemes(9, bits, 2) {
+					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
+					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+						return tctx.reduction(w, cfg)
+					}))
+				}
+			}
+		}
+		g.run()
 		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
+		for i, w := range ws {
 			t := stats.NewTable(
 				fmt.Sprintf("Table 6 (%s): reduction in execution time by bits recorded per target", w.Name),
 				"bits per addr", "Per-addr", "branch", "control", "ind jmp", "call/ret")
-			for _, bits := range []int{1, 2, 3} {
+			for j, bits := range bitCounts {
 				row := []string{fmt.Sprintf("%d", bits)}
-				for _, s := range pathSchemes(9, bits, 2) {
-					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					row = append(row, pct(tctx.reduction(w, cfg)))
+				for _, red := range reds[i][j] {
+					row = append(row, pct(*red))
 				}
 				t.AddRow(row...)
 			}
@@ -218,22 +306,36 @@ var table7 = registerExperiment(&Experiment{
 		schemes := []core.TaggedScheme{
 			core.SchemeAddress, core.SchemeHistoryConcat, core.SchemeHistoryXor,
 		}
-		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
-			t := stats.NewTable(
-				fmt.Sprintf("Table 7 (%s): 256-entry tagged target cache, 9 pattern history bits", w.Name),
-				"set-assoc.", "Addr", "History Conc", "History Xor")
-			for _, ways := range []int{1, 2, 4, 8, 16, 32, 64} {
-				row := []string{fmt.Sprintf("%d", ways)}
+		ws := workload.PerlGcc()
+		wayCounts := []int{1, 2, 4, 8, 16, 32, 64}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		reds := make([][][]*float64, len(ws))
+		for i, w := range ws {
+			reds[i] = make([][]*float64, len(wayCounts))
+			for j, ways := range wayCounts {
 				for _, scheme := range schemes {
-					scheme := scheme
-					ways := ways
 					cfg := tcConfig(func() core.TargetCache {
 						return core.NewTagged(core.TaggedConfig{
 							Entries: 256, Ways: ways, Scheme: scheme, HistBits: 9,
 						})
 					}, pattern(9))
-					row = append(row, pct(tctx.reduction(w, cfg)))
+					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+						return tctx.reduction(w, cfg)
+					}))
+				}
+			}
+		}
+		g.run()
+		var out []*stats.Table
+		for i, w := range ws {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 7 (%s): 256-entry tagged target cache, 9 pattern history bits", w.Name),
+				"set-assoc.", "Addr", "History Conc", "History Xor")
+			for j, ways := range wayCounts {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, red := range reds[i][j] {
+					row = append(row, pct(*red))
 				}
 				t.AddRow(row...)
 			}
@@ -250,22 +352,36 @@ var table8 = registerExperiment(&Experiment{
 	Title: "Table 8: tagged target caches with 9 path history bits (execution-time reduction)",
 	Run: func(p Params) []*stats.Table {
 		tctx := newTimingContext(p)
-		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
-			t := stats.NewTable(
-				fmt.Sprintf("Table 8 (%s): 256-entry tagged target cache (History Xor), 9 path history bits, 1 bit per target", w.Name),
-				"set-assoc.", "Per-addr", "branch", "control", "ind jmp", "call/ret")
-			for _, ways := range []int{1, 2, 4, 8, 16} {
-				row := []string{fmt.Sprintf("%d", ways)}
+		ws := workload.PerlGcc()
+		wayCounts := []int{1, 2, 4, 8, 16}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		reds := make([][][]*float64, len(ws))
+		for i, w := range ws {
+			reds[i] = make([][]*float64, len(wayCounts))
+			for j, ways := range wayCounts {
 				for _, s := range pathSchemes(9, 1, 2) {
-					s := s
-					ways := ways
 					cfg := tcConfig(func() core.TargetCache {
 						return core.NewTagged(core.TaggedConfig{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 						})
 					}, path(s.Cfg))
-					row = append(row, pct(tctx.reduction(w, cfg)))
+					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+						return tctx.reduction(w, cfg)
+					}))
+				}
+			}
+		}
+		g.run()
+		var out []*stats.Table
+		for i, w := range ws {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 8 (%s): 256-entry tagged target cache (History Xor), 9 path history bits, 1 bit per target", w.Name),
+				"set-assoc.", "Per-addr", "branch", "control", "ind jmp", "call/ret")
+			for j, ways := range wayCounts {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, red := range reds[i][j] {
+					row = append(row, pct(*red))
 				}
 				t.AddRow(row...)
 			}
@@ -282,22 +398,37 @@ var table9 = registerExperiment(&Experiment{
 	Title: "Table 9: tagged target cache, 9 vs 16 pattern history bits (execution-time reduction)",
 	Run: func(p Params) []*stats.Table {
 		tctx := newTimingContext(p)
-		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
-			t := stats.NewTable(
-				fmt.Sprintf("Table 9 (%s): 256-entry tagged target cache (History Xor)", w.Name),
-				"set-assoc.", "9 bits", "16 bits")
-			for _, ways := range []int{1, 2, 4, 8, 16, 32} {
-				row := []string{fmt.Sprintf("%d", ways)}
-				for _, bits := range []int{9, 16} {
-					bits := bits
-					ways := ways
+		ws := workload.PerlGcc()
+		wayCounts := []int{1, 2, 4, 8, 16, 32}
+		histBits := []int{9, 16}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		reds := make([][][]*float64, len(ws))
+		for i, w := range ws {
+			reds[i] = make([][]*float64, len(wayCounts))
+			for j, ways := range wayCounts {
+				for _, bits := range histBits {
 					cfg := tcConfig(func() core.TargetCache {
 						return core.NewTagged(core.TaggedConfig{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: bits,
 						})
 					}, pattern(bits))
-					row = append(row, pct(tctx.reduction(w, cfg)))
+					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+						return tctx.reduction(w, cfg)
+					}))
+				}
+			}
+		}
+		g.run()
+		var out []*stats.Table
+		for i, w := range ws {
+			t := stats.NewTable(
+				fmt.Sprintf("Table 9 (%s): 256-entry tagged target cache (History Xor)", w.Name),
+				"set-assoc.", "9 bits", "16 bits")
+			for j, ways := range wayCounts {
+				row := []string{fmt.Sprintf("%d", ways)}
+				for _, red := range reds[i][j] {
+					row = append(row, pct(*red))
 				}
 				t.AddRow(row...)
 			}
@@ -315,23 +446,39 @@ var figures12and13 = registerExperiment(&Experiment{
 	Title: "Figures 12-13: tagged vs tagless target cache (execution-time reduction)",
 	Run: func(p Params) []*stats.Table {
 		tctx := newTimingContext(p)
-		var out []*stats.Table
-		for fi, w := range workload.PerlGcc() {
-			taglessCfg := tcConfig(taglessGshare(512), pattern(9))
-			taglessRed := tctx.reduction(w, taglessCfg)
-			t := stats.NewTable(
-				fmt.Sprintf("Figure %d (%s): execution-time reduction vs set-associativity", 12+fi, w.Name),
-				"set-assoc.", "w/o tags (512-entry)", "w/ tags (256-entry)")
-			var xs []string
-			var taglessYs, taggedYs []float64
-			for _, ways := range []int{1, 2, 4, 8, 16} {
-				ways := ways
+		ws := workload.PerlGcc()
+		wayCounts := []int{1, 2, 4, 8, 16}
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, ws)
+		taglessReds := make([]*float64, len(ws))
+		taggedReds := make([][]*float64, len(ws))
+		for i, w := range ws {
+			taglessReds[i] = cell(g, func() float64 {
+				return tctx.reduction(w, tcConfig(taglessGshare(512), pattern(9)))
+			})
+			taggedReds[i] = make([]*float64, len(wayCounts))
+			for j, ways := range wayCounts {
 				cfg := tcConfig(func() core.TargetCache {
 					return core.NewTagged(core.TaggedConfig{
 						Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 					})
 				}, pattern(9))
-				taggedRed := tctx.reduction(w, cfg)
+				taggedReds[i][j] = cell(g, func() float64 {
+					return tctx.reduction(w, cfg)
+				})
+			}
+		}
+		g.run()
+		var out []*stats.Table
+		for fi, w := range ws {
+			taglessRed := *taglessReds[fi]
+			t := stats.NewTable(
+				fmt.Sprintf("Figure %d (%s): execution-time reduction vs set-associativity", 12+fi, w.Name),
+				"set-assoc.", "w/o tags (512-entry)", "w/ tags (256-entry)")
+			var xs []string
+			var taglessYs, taggedYs []float64
+			for j, ways := range wayCounts {
+				taggedRed := *taggedReds[fi][j]
 				t.AddRow(fmt.Sprintf("%d", ways),
 					pct(taglessRed),
 					pct(taggedRed))
@@ -360,15 +507,27 @@ var ablationHistLen = registerExperiment(&Experiment{
 	ID:    "ablation-history",
 	Title: "Ablation: tagless gshare history length sweep (misprediction rate)",
 	Run: func(p Params) []*stats.Table {
+		bitCounts := []int{3, 6, 9, 12, 16}
+		ws := workload.PerlGcc()
+		g := newCellGroup(p)
+		rates := make([][]*float64, len(bitCounts))
+		for i, bits := range bitCounts {
+			rates[i] = make([]*float64, len(ws))
+			for j, w := range ws {
+				rates[i][j] = cell(g, func() float64 {
+					cfg := tcConfig(taglessGshare(512), pattern(bits))
+					return runAccuracy(w, p, cfg).IndirectMispredictRate()
+				})
+			}
+		}
+		g.run()
 		t := stats.NewTable(
 			"Ablation: 512-entry tagless gshare, pattern history length",
 			"history bits", "perl", "gcc")
-		for _, bits := range []int{3, 6, 9, 12, 16} {
+		for i, bits := range bitCounts {
 			row := []string{fmt.Sprintf("%d", bits)}
-			for _, w := range workload.PerlGcc() {
-				cfg := tcConfig(taglessGshare(512), pattern(bits))
-				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
-				row = append(row, pct(res.IndirectMispredictRate()))
+			for j := range ws {
+				row = append(row, pct(*rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
@@ -377,7 +536,7 @@ var ablationHistLen = registerExperiment(&Experiment{
 })
 
 // Ablation beyond the paper: predictor hardware budget accounting, the
-// paper's cost model (Section 4.2).
+// paper's cost model (Section 4.2). No simulation cells: pure arithmetic.
 var budgetTable = registerExperiment(&Experiment{
 	ID:    "budget",
 	Title: "Cost model: predictor hardware budgets (Section 4.2 accounting)",
@@ -409,31 +568,42 @@ var cbtComparison = registerExperiment(&Experiment{
 	ID:    "cbt",
 	Title: "Related work: case block table vs BTB vs target cache (misprediction rate)",
 	Run: func(p Params) []*stats.Table {
+		ws := workload.All()
+		type cbtCell struct{ base, stale, oracle, tc float64 }
+		g := newCellGroup(p)
+		cells := make([]*cbtCell, len(ws))
+		for i, w := range ws {
+			out := &cbtCell{}
+			cells[i] = out
+			g.add(func() { out.base = runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate() })
+			g.add(func() { out.stale = runCBT(w, p, false) })
+			g.add(func() { out.oracle = runCBT(w, p, true) })
+			g.add(func() {
+				out.tc = runAccuracy(w, p,
+					tcConfig(taglessGshare(512), pattern(9))).IndirectMispredictRate()
+			})
+		}
+		g.run()
 		t := stats.NewTable(
 			"Case block table comparison (indirect-jump misprediction rate)",
 			"Benchmark", "BTB", "CBT (stale value)", "CBT (oracle)", "target cache (gshare)")
-		for _, w := range workload.All() {
-			base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
-			stale := runCBT(w, p.AccuracyBudget, false)
-			oracle := runCBT(w, p.AccuracyBudget, true)
-			tc := sim.RunAccuracy(w, p.AccuracyBudget,
-				tcConfig(taglessGshare(512), pattern(9)))
-			t.AddRow(w.Name,
-				pct(base.IndirectMispredictRate()),
-				pct(stale),
-				pct(oracle),
-				pct(tc.IndirectMispredictRate()))
+		for i, w := range ws {
+			c := cells[i]
+			t.AddRow(w.Name, pct(c.base), pct(c.stale), pct(c.oracle), pct(c.tc))
 		}
 		t.AddNote("paper: the oracle CBT needs the dispatch value at fetch, which an out-of-order machine rarely has")
 		return []*stats.Table{t}
 	},
 })
 
-// runCBT returns the CBT's indirect-jump misprediction rate on w.
-func runCBT(w *workload.Workload, budget int64, oracle bool) float64 {
+// runCBT returns the CBT's indirect-jump misprediction rate on w, reading
+// the memoized replay.
+func runCBT(w *workload.Workload, p Params, oracle bool) float64 {
 	cfg := cbt.DefaultConfig()
 	cfg.Oracle = oracle
-	return sim.RunCBT(w, budget, cfg).MispredictRate()
+	rate := sim.RunCBT(w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg).MispredictRate()
+	instructionsSim.Add(p.AccuracyBudget)
+	return rate
 }
 
 func max64(a, b int64) int64 {

@@ -24,17 +24,7 @@ var cxxExperiment = registerExperiment(&Experiment{
 			panic(err)
 		}
 		tctx := newTimingContext(p)
-		base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
 
-		t := stats.NewTable(
-			"C++-style workload (virtual calls through vtables): misprediction and execution time",
-			"Predictor", "ind mispred", "time saved")
-		t.AddRow("BTB (1K, 4-way)", pct(base.IndirectMispredictRate()), "-")
-		add := func(name string, cfg sim.Config) {
-			acc := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
-			t.AddRow(name, pct(acc.IndirectMispredictRate()),
-				pct(tctx.reduction(w, cfg)))
-		}
 		// Virtual-call targets correlate with the *path* of recent call
 		// targets (composite object structure), so all variants here use
 		// ind-jmp path history; tagged caches can store history beyond
@@ -53,14 +43,42 @@ var cxxExperiment = registerExperiment(&Experiment{
 				})
 			}
 		}
-		add("tagless gshare (512), path 9x1", tcConfig(taglessGshare(512), mkPath(9, 1)))
-		add("tagless gshare (512), path 9x3", tcConfig(taglessGshare(512), mkPath(9, 3)))
-		add("tagged xor (256, 4-way), path 9x3", tcConfig(mkTagged(4, 9), mkPath(9, 3)))
-		add("tagged xor (256, 4-way), path 16x4", tcConfig(mkTagged(4, 16), mkPath(16, 4)))
-		add("tagged xor (256, 16-way), path 24x2", tcConfig(mkTagged(16, 24), mkPath(24, 2)))
-		add("ittage, path 64x4", tcConfig(func() core.TargetCache {
-			return core.NewITTAGE(core.DefaultITTAGEConfig())
-		}, mkPath(64, 4)))
+		variants := []struct {
+			name string
+			cfg  sim.Config
+		}{
+			{"tagless gshare (512), path 9x1", tcConfig(taglessGshare(512), mkPath(9, 1))},
+			{"tagless gshare (512), path 9x3", tcConfig(taglessGshare(512), mkPath(9, 3))},
+			{"tagged xor (256, 4-way), path 9x3", tcConfig(mkTagged(4, 9), mkPath(9, 3))},
+			{"tagged xor (256, 4-way), path 16x4", tcConfig(mkTagged(4, 16), mkPath(16, 4))},
+			{"tagged xor (256, 16-way), path 24x2", tcConfig(mkTagged(16, 24), mkPath(24, 2))},
+			{"ittage, path 64x4", tcConfig(func() core.TargetCache {
+				return core.NewITTAGE(core.DefaultITTAGEConfig())
+			}, mkPath(64, 4))},
+		}
+
+		g := newCellGroup(p)
+		warmBaselines(g, tctx, []*workload.Workload{w})
+		baseRate := cell(g, func() float64 {
+			return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
+		})
+		accs := make([]*float64, len(variants))
+		reds := make([]*float64, len(variants))
+		for i, v := range variants {
+			accs[i] = cell(g, func() float64 {
+				return runAccuracy(w, p, v.cfg).IndirectMispredictRate()
+			})
+			reds[i] = cell(g, func() float64 { return tctx.reduction(w, v.cfg) })
+		}
+		g.run()
+
+		t := stats.NewTable(
+			"C++-style workload (virtual calls through vtables): misprediction and execution time",
+			"Predictor", "ind mispred", "time saved")
+		t.AddRow("BTB (1K, 4-way)", pct(*baseRate), "-")
+		for i, v := range variants {
+			t.AddRow(v.name, pct(*accs[i]), pct(*reds[i]))
+		}
 		t.AddNote("paper conclusion: for OO programs, tagged caches should provide even greater benefits")
 		t.AddNote("tags hold history beyond the index width: the 16-way/24-bit tagged cache and ITTAGE exploit it")
 		return []*stats.Table{t}
@@ -74,9 +92,6 @@ var followupsExperiment = registerExperiment(&Experiment{
 	ID:    "followups",
 	Title: "Lineage: target cache vs cascaded predictor vs ITTAGE-style (misprediction rate)",
 	Run: func(p Params) []*stats.Table {
-		t := stats.NewTable(
-			"Indirect-jump misprediction rate (all with 1K 4-way BTB front end)",
-			"Benchmark", "BTB only", "target cache", "hybrid", "cascaded", "ittage")
 		tcCfg := tcConfig(func() core.TargetCache {
 			return core.NewTagged(core.TaggedConfig{
 				Entries: 256, Ways: 4, Scheme: core.SchemeHistoryXor, HistBits: 9,
@@ -97,18 +112,27 @@ var followupsExperiment = registerExperiment(&Experiment{
 
 		ws := workload.All()
 		ws = append(ws, workload.Extras()...)
-		for _, w := range ws {
-			base := sim.RunAccuracy(w, p.AccuracyBudget, sim.DefaultConfig())
-			tc := sim.RunAccuracy(w, p.AccuracyBudget, tcCfg)
-			hyb := sim.RunAccuracy(w, p.AccuracyBudget, hybridCfg)
-			casc := sim.RunAccuracy(w, p.AccuracyBudget, cascCfg)
-			itt := sim.RunAccuracy(w, p.AccuracyBudget, ittageCfg)
-			t.AddRow(w.Name,
-				pct(base.IndirectMispredictRate()),
-				pct(tc.IndirectMispredictRate()),
-				pct(hyb.IndirectMispredictRate()),
-				pct(casc.IndirectMispredictRate()),
-				pct(itt.IndirectMispredictRate()))
+		configs := []sim.Config{sim.DefaultConfig(), tcCfg, hybridCfg, cascCfg, ittageCfg}
+		g := newCellGroup(p)
+		rates := make([][]*float64, len(ws))
+		for i, w := range ws {
+			rates[i] = make([]*float64, len(configs))
+			for j, cfg := range configs {
+				rates[i][j] = cell(g, func() float64 {
+					return runAccuracy(w, p, cfg).IndirectMispredictRate()
+				})
+			}
+		}
+		g.run()
+		t := stats.NewTable(
+			"Indirect-jump misprediction rate (all with 1K 4-way BTB front end)",
+			"Benchmark", "BTB only", "target cache", "hybrid", "cascaded", "ittage")
+		for i, w := range ws {
+			row := []string{w.Name}
+			for j := range configs {
+				row = append(row, pct(*rates[i][j]))
+			}
+			t.AddRow(row...)
 		}
 		t.AddNote("hybrid = last-target + tagged cache with a 2-bit meta chooser; cascaded = filtered 2-stage (Driesen & Hölzle); ittage = geometric-history tables (Seznec)")
 		return []*stats.Table{t}
@@ -121,29 +145,46 @@ var followupsExperiment = registerExperiment(&Experiment{
 // the data cache. This experiment measures whether the paper's headline —
 // the target cache's execution-time reduction — survives that added
 // fidelity.
+//
+// These cells deliberately bypass the trace memo: wrong-path fetch needs a
+// live VM (checkpoint/rollback through cpu.WrongPathFetcher), which a
+// replay cursor cannot provide. Each cell opens its own VM instance, so
+// the cells stay independent and race-free.
 var wrongPathExperiment = registerExperiment(&Experiment{
 	ID:    "wrongpath",
 	Title: "Ablation: wrong-path fetch modeling (event-driven model)",
 	Run: func(p Params) []*stats.Table {
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		ws := workload.PerlGcc()
+		type wpCell struct{ baseClean, tcClean, baseWP, tcWP cpu.Result }
+		g := newCellGroup(p)
+		cells := make([]*wpCell, len(ws))
+		for i, w := range ws {
+			run := func(cfg sim.Config, wrongPath bool) cpu.Result {
+				mc := cpu.DefaultConfig()
+				mc.ModelWrongPath = wrongPath
+				res := cpu.NewEvent(mc, sim.NewEngine(cfg)).Run(w.Open(), p.TimingBudget)
+				instructionsSim.Add(res.Instructions)
+				return res
+			}
+			out := &wpCell{}
+			cells[i] = out
+			g.add(func() { out.baseClean = run(sim.DefaultConfig(), false) })
+			g.add(func() { out.tcClean = run(tcCfg, false) })
+			g.add(func() { out.baseWP = run(sim.DefaultConfig(), true) })
+			g.add(func() { out.tcWP = run(tcCfg, true) })
+		}
+		g.run()
 		t := stats.NewTable(
 			"Execution-time reduction with and without wrong-path fetch (event model)",
 			"Benchmark", "reduction (no wrong path)", "reduction (wrong path)",
 			"extra dcache accesses")
-		for _, w := range workload.PerlGcc() {
-			run := func(cfg sim.Config, wrongPath bool) cpu.Result {
-				mc := cpu.DefaultConfig()
-				mc.ModelWrongPath = wrongPath
-				return cpu.NewEvent(mc, sim.NewEngine(cfg)).Run(w.Open(), p.TimingBudget)
-			}
-			baseClean := run(sim.DefaultConfig(), false)
-			tcClean := run(tcCfg, false)
-			baseWP := run(sim.DefaultConfig(), true)
-			tcWP := run(tcCfg, true)
+		for i, w := range ws {
+			c := cells[i]
 			t.AddRow(w.Name,
-				pct(stats.Reduction(float64(baseClean.Cycles), float64(tcClean.Cycles))),
-				pct(stats.Reduction(float64(baseWP.Cycles), float64(tcWP.Cycles))),
-				pct(float64(baseWP.DCacheAccesses)/float64(baseClean.DCacheAccesses)-1))
+				pct(stats.Reduction(float64(c.baseClean.Cycles), float64(c.tcClean.Cycles))),
+				pct(stats.Reduction(float64(c.baseWP.Cycles), float64(c.tcWP.Cycles))),
+				pct(float64(c.baseWP.DCacheAccesses)/float64(c.baseClean.DCacheAccesses)-1))
 		}
 		t.AddNote("wrong-path loads use the speculative machine's real addresses (VM checkpoint/rollback)")
 		return []*stats.Table{t}
@@ -159,21 +200,36 @@ var contextSwitchExperiment = registerExperiment(&Experiment{
 	Title: "Ablation: predictor flush interval vs indirect misprediction rate",
 	Run: func(p Params) []*stats.Table {
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		ws := workload.PerlGcc()
+		intervals := []int64{0, 1_000_000, 100_000, 10_000, 1_000}
+		type csCell struct{ base, tc float64 }
+		g := newCellGroup(p)
+		cells := make([][]*csCell, len(ws))
+		for i, w := range ws {
+			cells[i] = make([]*csCell, len(intervals))
+			for j, interval := range intervals {
+				out := &csCell{}
+				cells[i][j] = out
+				g.add(func() {
+					out.base = runAccuracyFlushes(w, p, interval, sim.DefaultConfig()).IndirectMispredictRate()
+				})
+				g.add(func() {
+					out.tc = runAccuracyFlushes(w, p, interval, tcCfg).IndirectMispredictRate()
+				})
+			}
+		}
+		g.run()
 		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
+		for i, w := range ws {
 			t := stats.NewTable(
 				fmt.Sprintf("Context switches (%s): flush interval vs indirect misprediction", w.Name),
 				"flush every", "BTB", "target cache")
-			for _, interval := range []int64{0, 1_000_000, 100_000, 10_000, 1_000} {
+			for j, interval := range intervals {
 				label := "never"
 				if interval > 0 {
 					label = fmt.Sprintf("%d instr", interval)
 				}
-				base := sim.RunAccuracyWithFlushes(w, p.AccuracyBudget, interval, sim.DefaultConfig())
-				tc := sim.RunAccuracyWithFlushes(w, p.AccuracyBudget, interval, tcCfg)
-				t.AddRow(label,
-					pct(base.IndirectMispredictRate()),
-					pct(tc.IndirectMispredictRate()))
+				t.AddRow(label, pct(cells[i][j].base), pct(cells[i][j].tc))
 			}
 			t.AddNote("a history-indexed cache must re-learn one entry per (jump, history) pair after each flush")
 			out = append(out, t)
@@ -191,20 +247,31 @@ var rasExperiment = registerExperiment(&Experiment{
 	Title: "Ablation: return address stack depth vs return misprediction rate",
 	Run: func(p Params) []*stats.Table {
 		names := []string{"xlisp", "gosearch", "perl"}
-		t := stats.NewTable(
-			"Return misprediction rate by RAS depth",
-			append([]string{"RAS depth"}, names...)...)
-		for _, depth := range []int{1, 2, 4, 8, 16, 32, 64} {
-			row := []string{fmt.Sprintf("%d", depth)}
-			for _, name := range names {
+		depths := []int{1, 2, 4, 8, 16, 32, 64}
+		g := newCellGroup(p)
+		rates := make([][]*float64, len(depths))
+		for i, depth := range depths {
+			rates[i] = make([]*float64, len(names))
+			for j, name := range names {
 				w, err := workload.ByName(name)
 				if err != nil {
 					panic(err)
 				}
-				cfg := sim.DefaultConfig()
-				cfg.RASDepth = depth
-				res := sim.RunAccuracy(w, p.AccuracyBudget, cfg)
-				row = append(row, pct(res.Returns.MispredictRate()))
+				rates[i][j] = cell(g, func() float64 {
+					cfg := sim.DefaultConfig()
+					cfg.RASDepth = depth
+					return runAccuracy(w, p, cfg).Returns.MispredictRate()
+				})
+			}
+		}
+		g.run()
+		t := stats.NewTable(
+			"Return misprediction rate by RAS depth",
+			append([]string{"RAS depth"}, names...)...)
+		for i, depth := range depths {
+			row := []string{fmt.Sprintf("%d", depth)}
+			for j := range names {
+				row = append(row, pct(*rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
@@ -241,16 +308,29 @@ var sensitivityExperiment = registerExperiment(&Experiment{
 			}},
 		}
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
+		ws := workload.PerlGcc()
+		type sensCell struct{ base, tc cpu.Result }
+		g := newCellGroup(p)
+		cells := make([][]*sensCell, len(ws))
+		for i, w := range ws {
+			cells[i] = make([]*sensCell, len(machines))
+			for j, m := range machines {
+				machineCfg := cpu.DefaultConfig()
+				m.mutate(&machineCfg)
+				out := &sensCell{}
+				cells[i][j] = out
+				g.add(func() { out.base = runTiming(w, p, sim.DefaultConfig(), machineCfg) })
+				g.add(func() { out.tc = runTiming(w, p, tcCfg, machineCfg) })
+			}
+		}
+		g.run()
 		var out []*stats.Table
-		for _, w := range workload.PerlGcc() {
+		for i, w := range ws {
 			t := stats.NewTable(
 				fmt.Sprintf("Sensitivity (%s): target-cache benefit by machine", w.Name),
 				"machine", "base IPC", "tc IPC", "time saved", "mispredict stall share")
-			for _, m := range machines {
-				cfg := cpu.DefaultConfig()
-				m.mutate(&cfg)
-				base := cpu.Run(w.Open(), p.TimingBudget, sim.NewEngine(sim.DefaultConfig()), cfg)
-				tc := cpu.Run(w.Open(), p.TimingBudget, sim.NewEngine(tcCfg), cfg)
+			for j, m := range machines {
+				base, tc := cells[i][j].base, cells[i][j].tc
 				t.AddRow(m.name,
 					fmt.Sprintf("%.2f", base.IPC()),
 					fmt.Sprintf("%.2f", tc.IPC()),

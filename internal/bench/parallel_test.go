@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSerial is the cell scheduler's core contract: every
+// experiment must render byte-identical tables (text and JSON) whether its
+// cells run serially or on a worker pool. Two parameter sets guard against
+// a budget-dependent ordering sneaking in.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice per parameter set")
+	}
+	paramSets := []Params{
+		{AccuracyBudget: 60_000, TimingBudget: 40_000},
+		{AccuracyBudget: 90_000, TimingBudget: 50_000},
+	}
+	for _, base := range paramSets {
+		for _, e := range All() {
+			serial, parallel := base, base
+			serial.Parallel = 1
+			parallel.Parallel = 8
+			a := e.Run(serial)
+			b := e.Run(parallel)
+			if len(a) != len(b) {
+				t.Fatalf("%s: %d tables serial vs %d parallel", e.ID, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].String() != b[i].String() {
+					t.Errorf("%s (n=%d): table %d differs at -parallel 8:\n--- serial\n%s\n--- parallel\n%s",
+						e.ID, base.AccuracyBudget, i, a[i], b[i])
+				}
+				aj, err := json.Marshal(a[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				bj, err := json.Marshal(b[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(aj) != string(bj) {
+					t.Errorf("%s: table %d JSON differs at -parallel 8", e.ID, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceCapturedOncePerKey pins the memoization guarantee: across an
+// experiment's parallel cells the VM runs at most once per (workload,
+// budget) key, and a repeat run at the same budgets captures nothing new.
+func TestTraceCapturedOncePerKey(t *testing.T) {
+	workload.ResetMemo()
+	t.Cleanup(workload.ResetMemo)
+	base := workload.CaptureCount()
+
+	p := Params{AccuracyBudget: 60_000, TimingBudget: 40_000, Parallel: 8}
+
+	// table2 is accuracy-only over every workload: exactly one key per
+	// workload despite two configurations per workload racing for it.
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(p)
+	want := int64(len(workload.All()))
+	if got := workload.CaptureCount() - base; got != want {
+		t.Fatalf("table2 captured %d traces, want %d (one per workload)", got, want)
+	}
+
+	// table5 adds timing cells over perl and gcc: one extra key per
+	// workload for the timing budget, and nothing else may re-capture.
+	e, err = ByID("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(p)
+	want += int64(len(workload.PerlGcc()))
+	if got := workload.CaptureCount() - base; got != want {
+		t.Fatalf("after table5, %d traces captured, want %d (one timing key per perl/gcc)", got, want)
+	}
+
+	// Re-running both experiments must not execute any VM again.
+	mustRun(t, "table2", p)
+	mustRun(t, "table5", p)
+	if got := workload.CaptureCount() - base; got != want {
+		t.Fatalf("re-run captured %d traces, want still %d", got, want)
+	}
+
+	keys, bytes := workload.MemoStats()
+	if keys != int(want) || bytes <= 0 {
+		t.Fatalf("MemoStats() = %d keys, %d bytes; want %d keys and positive size", keys, bytes, want)
+	}
+}
+
+func mustRun(t *testing.T, id string, p Params) {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables := e.Run(p); len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+}

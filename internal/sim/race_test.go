@@ -1,0 +1,46 @@
+package sim_test
+
+// External test package: sim must not import workload (workloads depend on
+// the VM, the simulators depend only on traces), so the cross-package
+// concurrency check lives out here. It is the `go test -race` probe for the
+// parallel experiment runner's core assumption — many simulations reading
+// one shared immutable replay buffer at once.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestConcurrentAccuracyOverSharedReplay runs many accuracy simulations
+// concurrently against one memoized replay and requires every run to agree
+// with a serial reference run. Under -race this also proves the replay
+// cursors share no mutable state.
+func TestConcurrentAccuracyOverSharedReplay(t *testing.T) {
+	const budget = 50_000
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Replay(budget)
+	ref := sim.RunAccuracy(rep, budget, sim.DefaultConfig())
+
+	const goroutines = 8
+	results := make([]sim.AccuracyResult, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = sim.RunAccuracy(rep, budget, sim.DefaultConfig())
+		}()
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res != ref {
+			t.Errorf("goroutine %d: result %+v differs from serial reference %+v", i, res, ref)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trace memoization: the experiment suite replays each workload's
+// deterministic trace many times (once per predictor configuration), and
+// re-running the VM for every pass dominates wall-clock. A Recorder
+// captures one pass into a compact in-memory buffer — the v2 codec's
+// delta/varint record layout, without the file header — and the resulting
+// Replay hands out any number of independent, allocation-free Cursors over
+// it. The buffer is immutable once Finish returns, so concurrent cursors
+// are race-free by construction.
+
+// Recorder encodes records into an in-memory buffer in the v2 record
+// layout. Use Capture for the common drain-a-source case.
+type Recorder struct {
+	buf      []byte
+	n        int64
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{buf: make([]byte, 0, 1<<16)} }
+
+// Record appends one record.
+func (rec *Recorder) Record(r *Record) {
+	var flags byte
+	if r.Taken {
+		flags |= 1
+	}
+	hasTarget := r.Target != 0
+	if hasTarget {
+		flags |= 2
+	}
+	hasAddr := r.Addr != 0
+	if hasAddr {
+		flags |= 4
+	}
+	hasRegs := r.Dst != 0 || r.Src1 != 0 || r.Src2 != 0
+	if hasRegs {
+		flags |= 8
+	}
+	b := append(rec.buf, flags, byte(r.Class)|byte(r.Op)<<4)
+	b = binary.AppendUvarint(b, zigzag(int64(r.PC-rec.prevPC)))
+	if hasTarget {
+		b = binary.AppendUvarint(b, zigzag(int64(r.Target-r.PC)))
+	}
+	if hasAddr {
+		b = binary.AppendUvarint(b, zigzag(int64(r.Addr-rec.prevAddr)))
+		rec.prevAddr = r.Addr
+	}
+	if hasRegs {
+		b = append(b, r.Dst, r.Src1, r.Src2)
+	}
+	rec.prevPC = r.PC
+	rec.buf = b
+	rec.n++
+}
+
+// Finish seals the recorder into an immutable Replay. The recorder must
+// not be used afterwards.
+func (rec *Recorder) Finish() *Replay {
+	rep := &Replay{buf: rec.buf, n: rec.n}
+	rec.buf = nil
+	return rep
+}
+
+// Capture drains src into a new Replay.
+func Capture(src Source) *Replay {
+	rec := NewRecorder()
+	var r Record
+	for src.Next(&r) {
+		rec.Record(&r)
+	}
+	return rec.Finish()
+}
+
+// Replay is an immutable captured trace. It implements Factory: each Open
+// returns an independent cursor positioned at the first record, so one
+// capture serves any number of concurrent simulation passes.
+type Replay struct {
+	buf []byte
+	n   int64
+}
+
+// Len returns the number of records captured.
+func (rep *Replay) Len() int64 { return rep.n }
+
+// Size returns the encoded buffer size in bytes.
+func (rep *Replay) Size() int { return len(rep.buf) }
+
+// Open implements Factory, returning a fresh cursor over the capture.
+func (rep *Replay) Open() Source { return &Cursor{rep: rep} }
+
+var _ Factory = (*Replay)(nil)
+
+// Cursor is a read-only decoding position within a Replay. Next performs
+// no allocation; distinct cursors over one Replay may be advanced from
+// different goroutines concurrently.
+type Cursor struct {
+	rep      *Replay
+	pos      int
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// Reset rewinds the cursor to the start of the capture.
+func (c *Cursor) Reset() { c.pos, c.prevPC, c.prevAddr = 0, 0, 0 }
+
+func (c *Cursor) uvarint(buf []byte) uint64 {
+	v, n := binary.Uvarint(buf[c.pos:])
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: corrupt replay buffer at offset %d", c.pos))
+	}
+	c.pos += n
+	return v
+}
+
+// Next implements Source.
+func (c *Cursor) Next(r *Record) bool {
+	buf := c.rep.buf
+	if c.pos >= len(buf) {
+		return false
+	}
+	flags, classOp := buf[c.pos], buf[c.pos+1]
+	c.pos += 2
+	*r = Record{
+		Class: Class(classOp & 0xf),
+		Op:    OpClass(classOp >> 4),
+		Taken: flags&1 != 0,
+	}
+	r.PC = c.prevPC + uint64(unzig(c.uvarint(buf)))
+	c.prevPC = r.PC
+	if flags&2 != 0 {
+		r.Target = r.PC + uint64(unzig(c.uvarint(buf)))
+	}
+	if flags&4 != 0 {
+		r.Addr = c.prevAddr + uint64(unzig(c.uvarint(buf)))
+		c.prevAddr = r.Addr
+	}
+	if flags&8 != 0 {
+		r.Dst, r.Src1, r.Src2 = buf[c.pos], buf[c.pos+1], buf[c.pos+2]
+		c.pos += 3
+	}
+	return true
+}

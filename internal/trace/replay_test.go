@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	recs := randomRecords(5000, 42)
+	rep := Capture(NewSliceSource(recs))
+	if rep.Len() != int64(len(recs)) {
+		t.Fatalf("Len = %d, want %d", rep.Len(), len(recs))
+	}
+	got := Collect(rep.Open())
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestReplayMatchesCodecV2 pins the Recorder to the v2 codec's record
+// layout: the in-memory buffer must equal a v2 file minus its 8-byte
+// header.
+func TestReplayMatchesCodecV2(t *testing.T) {
+	recs := randomRecords(2000, 7)
+	var file bytes.Buffer
+	w := NewWriterV2(&file)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	for i := range recs {
+		rec.Record(&recs[i])
+	}
+	rep := rec.Finish()
+	if want := file.Bytes()[8:]; !bytes.Equal(rep.buf, want) {
+		t.Fatalf("replay buffer (%d bytes) differs from v2 stream body (%d bytes)",
+			len(rep.buf), len(want))
+	}
+}
+
+// TestConcurrentCursors advances many cursors over one Replay from
+// separate goroutines; run under -race this asserts the shared buffer is
+// read-only.
+func TestConcurrentCursors(t *testing.T) {
+	recs := randomRecords(3000, 99)
+	rep := Capture(NewSliceSource(recs))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := Collect(rep.Open())
+			if len(got) != len(recs) {
+				t.Errorf("decoded %d records, want %d", len(got), len(recs))
+				return
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					t.Errorf("record %d mismatch", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCursorReset(t *testing.T) {
+	recs := randomRecords(100, 3)
+	rep := Capture(NewSliceSource(recs))
+	c := rep.Open().(*Cursor)
+	first := Collect(c)
+	c.Reset()
+	second := Collect(c)
+	if len(first) != len(recs) || len(second) != len(recs) {
+		t.Fatalf("pass lengths %d/%d, want %d", len(first), len(second), len(recs))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("record %d differs after Reset", i)
+		}
+	}
+}
+
+func TestEmptyReplay(t *testing.T) {
+	rep := Capture(NewSliceSource(nil))
+	if rep.Len() != 0 || rep.Size() != 0 {
+		t.Fatalf("empty capture: Len=%d Size=%d", rep.Len(), rep.Size())
+	}
+	var r Record
+	if rep.Open().Next(&r) {
+		t.Fatal("empty replay produced a record")
+	}
+}
+
+func BenchmarkCursorNext(b *testing.B) {
+	rep := Capture(NewSliceSource(randomRecords(4096, 1)))
+	var r Record
+	src := rep.Open().(*Cursor)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !src.Next(&r) {
+			src.Reset()
+		}
+	}
+}

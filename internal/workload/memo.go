@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Trace memoization: every simulation cell in the experiment suite is a
+// pure function of (workload trace prefix, predictor config), and the
+// trace prefix depends only on (workload, budget) because workloads are
+// deterministic. Re-running the VM per cell therefore pays the toy
+// machine's interpretation cost dozens of times for byte-identical
+// streams. The memo below captures each (name, budget) prefix exactly once
+// process-wide into a compact trace.Replay and hands out independent
+// cursors, making concurrent cells race-free (the capture buffer is
+// immutable) and VM-execution-free after first touch.
+//
+// The memo never evicts: tcsim runs use at most two budgets per workload
+// (accuracy and timing), roughly 4 bytes per instruction. Library users
+// sweeping many budgets can call ResetMemo between sweeps.
+
+type memoKey struct {
+	name   string
+	budget int64
+}
+
+type memoEntry struct {
+	once sync.Once
+	rep  *trace.Replay
+}
+
+var (
+	memoMu   sync.Mutex
+	memos    = map[memoKey]*memoEntry{}
+	captures atomic.Int64
+)
+
+// Replay returns the workload's first budget instructions as an immutable
+// in-memory trace, capturing them from a fresh VM at most once per
+// (workload, budget) key for the life of the process. The result
+// implements trace.Factory; every Open returns an independent
+// allocation-free cursor, safe for concurrent use.
+func (w *Workload) Replay(budget int64) *trace.Replay {
+	key := memoKey{w.Name, budget}
+	memoMu.Lock()
+	e, ok := memos[key]
+	if !ok {
+		e = &memoEntry{}
+		memos[key] = e
+	}
+	memoMu.Unlock()
+	e.once.Do(func() {
+		captures.Add(1)
+		e.rep = trace.Capture(trace.NewLimit(w.Open(), budget))
+	})
+	return e.rep
+}
+
+// CaptureCount returns the number of VM trace captures performed so far;
+// tests assert its delta to prove each (workload, budget) key executes the
+// VM at most once.
+func CaptureCount() int64 { return captures.Load() }
+
+// MemoStats reports the number of memoized (workload, budget) keys and
+// their total encoded size in bytes.
+func MemoStats() (keys int, bytes int64) {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	for _, e := range memos {
+		keys++
+		if e.rep != nil {
+			bytes += int64(e.rep.Size())
+		}
+	}
+	return keys, bytes
+}
+
+// ResetMemo drops all memoized traces (tests; budget sweeps that would
+// otherwise accumulate unbounded captures). In-flight Replay calls holding
+// old entries are unaffected.
+func ResetMemo() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memos = map[memoKey]*memoEntry{}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestReplayCapturesOncePerKey hammers one (workload, budget) key from many
+// goroutines and asserts the VM ran exactly once and every caller saw the
+// same capture.
+func TestReplayCapturesOncePerKey(t *testing.T) {
+	ResetMemo()
+	w, err := ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 20_000
+	before := CaptureCount()
+	reps := make([]*trace.Replay, 16)
+	var wg sync.WaitGroup
+	for i := range reps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reps[i] = w.Replay(budget)
+		}()
+	}
+	wg.Wait()
+	if got := CaptureCount() - before; got != 1 {
+		t.Fatalf("capture count = %d, want 1", got)
+	}
+	for i, rep := range reps {
+		if rep != reps[0] {
+			t.Fatalf("goroutine %d got a different Replay pointer", i)
+		}
+	}
+	if reps[0].Len() != budget {
+		t.Fatalf("captured %d records, want %d", reps[0].Len(), budget)
+	}
+	// A different budget is a different key: one more capture.
+	w.Replay(budget / 2)
+	if got := CaptureCount() - before; got != 2 {
+		t.Fatalf("capture count after second key = %d, want 2", got)
+	}
+	keys, bytes := MemoStats()
+	if keys != 2 || bytes <= 0 {
+		t.Fatalf("MemoStats = %d keys, %d bytes; want 2 keys and nonzero bytes", keys, bytes)
+	}
+}
+
+// TestReplayMatchesLiveVM asserts the memoized capture is record-for-record
+// identical to a fresh VM pass — the invariant that makes replay-backed
+// experiment cells byte-identical to VM-backed ones.
+func TestReplayMatchesLiveVM(t *testing.T) {
+	for _, name := range []string{"perl", "gcc", "compress"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const budget = 10_000
+		live := trace.Collect(trace.NewLimit(w.Open(), budget))
+		replayed := trace.Collect(w.Replay(budget).Open())
+		if len(live) != len(replayed) {
+			t.Fatalf("%s: live %d records, replay %d", name, len(live), len(replayed))
+		}
+		for i := range live {
+			if live[i] != replayed[i] {
+				t.Fatalf("%s: record %d: live %+v, replay %+v", name, i, live[i], replayed[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentProgramBuild races Program/Open/Replay across all
+// workloads; under -race this is the audit that build-once program state
+// (including synth.go's post-build jump-table patching) is safely
+// published.
+func TestConcurrentProgramBuild(t *testing.T) {
+	ws := append(All(), Extras()...)
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if p := w.Program(); p == nil {
+					t.Error("nil program")
+				}
+				var r trace.Record
+				src := trace.NewLimit(w.Open(), 2_000)
+				for src.Next(&r) {
+				}
+				if rep := w.Replay(1_000); rep.Len() != 1_000 {
+					t.Errorf("%s: replay len %d", w.Name, rep.Len())
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
