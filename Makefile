@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json experiments fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-json experiments fmt cover clean
 
 all: build vet test
 
@@ -15,11 +15,27 @@ vet:
 # The race pass runs the concurrency-sensitive packages in -short mode so
 # the heavy experiment sweeps are not repeated under the race detector;
 # the dedicated race tests in these packages do not skip on -short.
-test: race
+test: race fault fuzz
 	$(GO) test ./...
 
 race:
 	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace
+
+# The fault-injection suite always runs under the race detector: it is the
+# one place panics, corrupted captures, and worker cancellation all cross
+# goroutine boundaries at once.
+fault:
+	$(GO) test -race ./internal/faultinject
+
+# Short mutation pass over every trace-decoder fuzz target (the seed
+# corpus alone is already replayed by plain `go test`). `go test -fuzz`
+# accepts one target at a time, hence the loop. Raise FUZZTIME for a real
+# fuzzing session.
+FUZZTIME ?= 2s
+fuzz:
+	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor; do \
+		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/trace || exit 1; \
+	done
 
 test-short:
 	$(GO) test -short ./...

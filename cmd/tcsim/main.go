@@ -6,22 +6,34 @@
 //	tcsim -list
 //	tcsim -exp table4
 //	tcsim -exp all -n 5000000 -t 2000000 -parallel 4
+//	tcsim -exp all -timeout 2m -resume run.json
+//
+// The suite is fault tolerant: a failing simulation cell marks only its
+// own rows as ERR, every other experiment still runs, and tcsim exits
+// non-zero with a failure digest on stderr. Ctrl-C drains gracefully
+// (partial results plus a summary; a second Ctrl-C kills immediately),
+// and -resume records completed experiments so a restarted run only
+// recomputes what is missing — byte-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"time"
 
 	"repro/internal/bench"
-	"repro/internal/stats"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment id (see -list), or \"all\"")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -30,6 +42,8 @@ func main() {
 		model      = flag.String("model", "fast", "timing model: fast | event")
 		format     = flag.String("format", "text", "output format: text | json | csv")
 		parallel   = flag.Int("parallel", 0, "simulation cells run concurrently per experiment (0 = one per CPU, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "per-experiment deadline (0 = none); timed-out cells render ERR")
+		resume     = flag.String("resume", "", "run manifest path: completed experiments are recorded there and replayed on restart")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall time and work counters to this JSON file")
@@ -37,11 +51,55 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		return 2
+	}
+
+	// Validate everything up front: a bad flag must fail before any
+	// simulation starts, not minutes into a run. Explicitly-set
+	// non-positive budgets are rejected rather than silently replaced by
+	// defaults.
+	var usageErr string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "n":
+			if *nAcc <= 0 {
+				usageErr = fmt.Sprintf("-n must be positive, got %d", *nAcc)
+			}
+		case "t":
+			if *nTime <= 0 {
+				usageErr = fmt.Sprintf("-t must be positive, got %d", *nTime)
+			}
+		case "parallel":
+			if *parallel <= 0 {
+				usageErr = fmt.Sprintf("-parallel must be positive, got %d", *parallel)
+			}
+		case "timeout":
+			if *timeout <= 0 {
+				usageErr = fmt.Sprintf("-timeout must be positive, got %v", *timeout)
+			}
+		}
+	})
+	if usageErr != "" {
+		return fail("tcsim: %s", usageErr)
+	}
+	switch *model {
+	case "fast", "event":
+	default:
+		return fail("tcsim: unknown timing model %q (want fast or event)", *model)
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		return fail("tcsim: unknown output format %q (want text, json or csv)", *format)
+	}
+
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	params := bench.DefaultParams()
@@ -54,27 +112,7 @@ func main() {
 	if *parallel > 0 {
 		params.Parallel = *parallel
 	}
-	switch *model {
-	case "fast":
-	case "event":
-		params.EventModel = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown timing model %q (want fast or event)\n", *model)
-		os.Exit(2)
-	}
-
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
+	params.EventModel = *model == "event"
 
 	var toRun []*bench.Experiment
 	if *exp == "all" {
@@ -82,95 +120,64 @@ func main() {
 	} else {
 		e, err := bench.ByID(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail("%v", err)
 		}
 		toRun = append(toRun, e)
 	}
 
-	type jsonExperiment struct {
-		ID     string         `json:"id"`
-		Title  string         `json:"title"`
-		Tables []*stats.Table `json:"tables"`
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	var jsonOut []jsonExperiment
 
-	// benchRecord is one entry of the -benchjson report, keyed by
-	// experiment id.
-	type benchRecord struct {
-		WallMS       float64 `json:"wall_ms"`
-		Cells        int64   `json:"cells"`
-		Instructions int64   `json:"instructions"`
-	}
-	benchOut := make(map[string]benchRecord, len(toRun))
+	// First Ctrl-C cancels the run context: in-flight kernels stop at
+	// their next poll, the suite renders what it has and summarises.
+	// Once the context fires, the handler is unregistered, so a second
+	// Ctrl-C terminates the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
-	for _, e := range toRun {
-		before := bench.SnapshotStats()
-		start := time.Now()
-		tables := e.Run(params)
-		wall := time.Since(start)
-		work := bench.SnapshotStats().Sub(before)
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "tcsim: %-16s %8.1f ms  %4d cells  %12d instructions\n",
-				e.ID, float64(wall.Microseconds())/1000, work.Cells, work.Instructions)
-		}
-		benchOut[e.ID] = benchRecord{
-			WallMS:       float64(wall.Microseconds()) / 1000,
-			Cells:        work.Cells,
-			Instructions: work.Instructions,
-		}
-		switch *format {
-		case "json":
-			jsonOut = append(jsonOut, jsonExperiment{e.ID, e.Title, tables})
-		case "csv":
-			for _, table := range tables {
-				fmt.Printf("# %s: %s\n", e.ID, table.Title)
-				if err := table.WriteCSV(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-			}
-		case "text":
-			fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
-			for _, table := range tables {
-				table.Render(os.Stdout)
-				fmt.Println()
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown output format %q\n", *format)
-			os.Exit(2)
-		}
+	benchOut := make(map[string]bench.ExperimentReport, len(toRun))
+	var logw *os.File
+	if !*quiet {
+		logw = os.Stderr
 	}
-	if *format == "json" {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	opts := bench.SuiteOptions{
+		Experiments:  toRun,
+		Params:       params,
+		Format:       *format,
+		Timeout:      *timeout,
+		ManifestPath: *resume,
+		Out:          os.Stdout,
+		OnExperiment: func(r bench.ExperimentReport) { benchOut[r.ID] = r },
 	}
+	if logw != nil {
+		opts.Log = logw
+	}
+	res, err := bench.RunSuite(ctx, opts)
+	if err != nil {
+		return fail("tcsim: %v", err)
+	}
+
 	if *benchJSON != "" {
-		f, err := os.Create(*benchJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		err = enc.Encode(benchOut)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeJSONFile(*benchJSON, benchOut); err != nil {
+			return fail("%v", err)
 		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		runtime.GC()
 		err = pprof.WriteHeapProfile(f)
@@ -178,8 +185,30 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 	}
+
+	if digest := res.Digest(); digest != "" {
+		fmt.Fprint(os.Stderr, "tcsim: "+digest)
+		if *resume != "" && (res.Interrupted || len(res.Failures) > 0) {
+			fmt.Fprintf(os.Stderr, "tcsim: rerun with -resume %s to finish the remaining experiments\n", *resume)
+		}
+		return 1
+	}
+	return 0
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -35,6 +36,16 @@ type Params struct {
 	// are gathered positionally, so rendered tables are byte-identical at
 	// every setting.
 	Parallel int
+
+	// ctx cancels in-flight simulation cells; nil means Background. Set
+	// it with WithContext so the zero Params stays usable.
+	ctx context.Context
+	// experiment labels cells for CellError reporting; the suite runner
+	// sets it per experiment via forExperiment.
+	experiment string
+	// fails, when non-nil, collects every CellError across experiments
+	// for the run-level exit digest.
+	fails *failureLog
 }
 
 // workers resolves Parallel to a concrete worker count.
@@ -43,6 +54,31 @@ func (p Params) workers() int {
 		return p.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// WithContext returns a copy of p whose simulation cells observe ctx:
+// cancellation stops in-flight kernels at the next poll boundary and marks
+// not-yet-started cells as cancelled, so experiments still render (with
+// ERR rows) and the run can summarise what completed.
+func (p Params) WithContext(ctx context.Context) Params {
+	p.ctx = ctx
+	return p
+}
+
+// Context returns the params' context, Background when unset.
+func (p Params) Context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
+}
+
+// forExperiment returns a copy of p labelled with the experiment id and
+// wired to the run-level failure log.
+func (p Params) forExperiment(id string, fails *failureLog) Params {
+	p.experiment = id
+	p.fails = fails
+	return p
 }
 
 // DefaultParams returns budgets that run the full suite quickly while
@@ -135,6 +171,7 @@ type timingContext struct {
 type baselineCell struct {
 	once   sync.Once
 	cycles int64
+	err    error
 }
 
 func newTimingContext(p Params) *timingContext {
@@ -142,15 +179,17 @@ func newTimingContext(p Params) *timingContext {
 }
 
 // run executes one timing simulation on the configured model, reading the
-// workload's memoized trace replay rather than a live VM.
+// workload's memoized trace replay rather than a live VM. Kernel errors
+// (corrupt replay, cancellation, deadlock guard) come back in Result.Err;
+// callers decide whether to abort their cell.
 func (tc *timingContext) run(w *workload.Workload, cfg sim.Config) cpu.Result {
 	engine := sim.NewEngine(cfg)
 	src := w.Replay(tc.p.TimingBudget).Open()
 	var res cpu.Result
 	if tc.p.EventModel {
-		res = cpu.NewEvent(tc.cpuCfg, engine).Run(src, tc.p.TimingBudget)
+		res = cpu.NewEvent(tc.cpuCfg, engine).RunCtx(tc.p.Context(), src, tc.p.TimingBudget)
 	} else {
-		res = cpu.Run(src, tc.p.TimingBudget, engine, tc.cpuCfg)
+		res = cpu.New(tc.cpuCfg, engine).RunCtx(tc.p.Context(), src, tc.p.TimingBudget)
 	}
 	instructionsSim.Add(res.Instructions)
 	return res
@@ -164,7 +203,25 @@ func (tc *timingContext) baseline(w *workload.Workload) int64 {
 		tc.base[w.Name] = c
 	}
 	tc.mu.Unlock()
-	c.once.Do(func() { c.cycles = tc.run(w, sim.DefaultConfig()).Cycles })
+	c.once.Do(func() {
+		// A panicking baseline must not leave later cells reading cycles=0
+		// as if it succeeded: capture the failure so every dependent cell
+		// aborts with it.
+		defer func() {
+			if v := recover(); v != nil {
+				c.err, _ = recoveredErr(v)
+			}
+		}()
+		res := tc.run(w, sim.DefaultConfig())
+		if res.Err != nil {
+			c.err = res.Err
+			return
+		}
+		c.cycles = res.Cycles
+	})
+	if c.err != nil {
+		abortCell(fmt.Errorf("BTB baseline for %s: %w", w.Name, c.err))
+	}
 	return c.cycles
 }
 
@@ -173,6 +230,9 @@ func (tc *timingContext) baseline(w *workload.Workload) int64 {
 func (tc *timingContext) reduction(w *workload.Workload, cfg sim.Config) float64 {
 	base := tc.baseline(w)
 	res := tc.run(w, cfg)
+	if res.Err != nil {
+		abortCell(res.Err)
+	}
 	return stats.Reduction(float64(base), float64(res.Cycles))
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -17,57 +18,192 @@ import (
 // bounded worker pool and the experiment then renders its tables from the
 // slots in enqueue order. Because rendering is serial and positional, the
 // output is byte-identical at any worker count, including 1.
+//
+// Cells are fault-isolated: a panic or an abortCell inside one cell marks
+// only that cell's slot with a CellError. The experiment renders the
+// affected rows as ERR, appends a failure footer, and every other cell's
+// output is unchanged. Failure footers list cells in enqueue order, so
+// they too are byte-identical at any worker count.
 
-type cellGroup struct {
-	workers int
-	cells   []func()
+// TestCellHook, when non-nil, runs at the start of every cell with the
+// cell's "experiment/workload/config" label. It exists for the
+// fault-injection harness (internal/faultinject), which uses it to panic,
+// delay, or block inside chosen cells. Set it only from tests, and only
+// while no experiments are running.
+var TestCellHook func(label string)
+
+// cellID labels one simulation cell within an experiment.
+type cellID struct {
+	Workload string
+	Config   string
 }
 
-func newCellGroup(p Params) *cellGroup { return &cellGroup{workers: p.workers()} }
+// cid builds a cellID for a workload/configuration pair.
+func cid(w *workload.Workload, config string) cellID {
+	return cellID{Workload: w.Name, Config: config}
+}
 
-// add enqueues one cell. Cells must not depend on each other's slots.
-func (g *cellGroup) add(fn func()) { g.cells = append(g.cells, fn) }
+func (id cellID) String() string {
+	switch {
+	case id.Workload == "":
+		return id.Config
+	case id.Config == "":
+		return id.Workload
+	default:
+		return id.Workload + "/" + id.Config
+	}
+}
 
-// cell enqueues fn and returns the slot its result lands in once run
-// returns.
-func cell[T any](g *cellGroup, fn func() T) *T {
-	out := new(T)
-	g.add(func() { *out = fn() })
-	return out
+// cellStatus records whether a cell completed; slots embed it so renderers
+// can ask any slot whether its value is trustworthy.
+type cellStatus struct {
+	cerr *CellError
+}
+
+// ok reports whether the cell completed without error.
+func (s *cellStatus) ok() bool { return s.cerr == nil }
+
+// slot holds one cell's result plus its completion status.
+type slot[T any] struct {
+	cellStatus
+	val T
+}
+
+type groupCell struct {
+	id cellID
+	st *cellStatus
+	fn func()
+}
+
+type cellGroup struct {
+	workers    int
+	experiment string
+	p          Params
+	cells      []groupCell
+	errs       []*CellError // failures from completed runs, enqueue order
+}
+
+func newCellGroup(p Params) *cellGroup {
+	return &cellGroup{workers: p.workers(), experiment: p.experiment, p: p}
+}
+
+// do enqueues one cell under id and returns its status. Cells must not
+// depend on each other's slots.
+func (g *cellGroup) do(id cellID, fn func()) *cellStatus {
+	st := &cellStatus{}
+	g.cells = append(g.cells, groupCell{id: id, st: st, fn: fn})
+	return st
+}
+
+// cell enqueues fn under id and returns the slot its result lands in once
+// run returns.
+func cell[T any](g *cellGroup, id cellID, fn func() T) *slot[T] {
+	s := &slot[T]{}
+	g.cells = append(g.cells, groupCell{id: id, st: &s.cellStatus, fn: func() { s.val = fn() }})
+	return s
+}
+
+// exec runs one cell, converting panics and aborts into a CellError on the
+// cell's status instead of unwinding the worker.
+func (g *cellGroup) exec(c *groupCell) {
+	defer func() {
+		if v := recover(); v != nil {
+			err, stack := recoveredErr(v)
+			c.st.cerr = &CellError{
+				Experiment: g.experiment,
+				Workload:   c.id.Workload,
+				Config:     c.id.Config,
+				Err:        err,
+				Stack:      stack,
+			}
+		}
+	}()
+	if err := g.p.Context().Err(); err != nil {
+		// Already cancelled: mark the cell without starting its simulation.
+		abortCell(err)
+	}
+	if hook := TestCellHook; hook != nil {
+		hook((&CellError{Experiment: g.experiment, Workload: c.id.Workload, Config: c.id.Config}).CellLabel())
+	}
+	c.fn()
 }
 
 // run executes all enqueued cells, at most g.workers at a time, and clears
-// the queue. It returns only when every cell has finished.
+// the queue. It returns only when every cell has finished; failures are
+// appended to g.errs in enqueue order.
 func (g *cellGroup) run() {
 	cells := g.cells
 	g.cells = nil
 	cellsExecuted.Add(int64(len(cells)))
 	if g.workers <= 1 || len(cells) <= 1 {
-		for _, fn := range cells {
-			fn()
+		for i := range cells {
+			g.exec(&cells[i])
 		}
-		return
-	}
-	workers := g.workers
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(cells)) {
-					return
+	} else {
+		workers := g.workers
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(len(cells)) {
+						return
+					}
+					g.exec(&cells[i])
 				}
-				cells[i]()
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	for i := range cells {
+		if ce := cells[i].st.cerr; ce != nil {
+			g.errs = append(g.errs, ce)
+		}
+	}
+	if g.p.fails != nil {
+		g.p.fails.add(g.errs...)
+	}
+}
+
+// finish appends the experiment's failure footer (as notes on the last
+// table, so it survives text and JSON rendering) and returns the tables.
+// With no failures it is the identity, so healthy experiments render
+// exactly as before.
+func (g *cellGroup) finish(tables []*stats.Table) []*stats.Table {
+	if len(g.errs) == 0 || len(tables) == 0 {
+		return tables
+	}
+	t := tables[len(tables)-1]
+	t.AddNote("%d cell(s) failed; affected entries render as ERR", len(g.errs))
+	for _, ce := range g.errs {
+		t.AddNote("ERR %s: %v", ce.CellLabel(), ce.Err)
+	}
+	return tables
+}
+
+// ---- ERR-aware render helpers ----
+
+// pctCell renders a percentage slot, or ERR when its cell failed.
+func pctCell(s *slot[float64]) string {
+	if !s.ok() {
+		return "ERR"
+	}
+	return pct(s.val)
+}
+
+// errRow returns n "ERR" columns for a row whose backing cell failed.
+func errRow(n int) []string {
+	row := make([]string, n)
+	for i := range row {
+		row[i] = "ERR"
+	}
+	return row
 }
 
 // ---- process-wide counters (the perf measurement hook) ----
@@ -101,35 +237,50 @@ func (s RunStats) Sub(earlier RunStats) RunStats {
 //
 // All experiment cells go through these wrappers: they swap the live VM for
 // the workload's memoized trace replay (so the VM runs at most once per
-// (workload, budget) key across the whole suite) and account simulated
-// instructions.
+// (workload, budget) key across the whole suite), account simulated
+// instructions, and abort the cell on kernel errors (corrupt replay,
+// cancellation) so the failure lands in the cell's slot rather than
+// propagating garbage into rendered tables.
 
 // runAccuracy is sim.RunAccuracy over the memoized replay.
 func runAccuracy(w *workload.Workload, p Params, cfg sim.Config) sim.AccuracyResult {
-	res := sim.RunAccuracy(w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
+	res := sim.RunAccuracyCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
 	instructionsSim.Add(res.Instructions)
+	if res.Err != nil {
+		abortCell(res.Err)
+	}
 	return res
 }
 
 // runAccuracyFlushes is sim.RunAccuracyWithFlushes over the memoized
 // replay.
 func runAccuracyFlushes(w *workload.Workload, p Params, interval int64, cfg sim.Config) sim.AccuracyResult {
-	res := sim.RunAccuracyWithFlushes(w.Replay(p.AccuracyBudget), p.AccuracyBudget, interval, cfg)
+	res := sim.RunAccuracyWithFlushesCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, interval, cfg)
 	instructionsSim.Add(res.Instructions)
+	if res.Err != nil {
+		abortCell(res.Err)
+	}
 	return res
 }
 
-// runTiming is cpu.Run (the fast one-pass model) over the memoized replay
+// runTiming is the fast one-pass timing model over the memoized replay
 // with an explicit machine configuration.
 func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cpu.Result {
-	res := cpu.Run(w.Replay(p.TimingBudget).Open(), p.TimingBudget, sim.NewEngine(cfg), mc)
+	res := cpu.New(mc, sim.NewEngine(cfg)).RunCtx(p.Context(), w.Replay(p.TimingBudget).Open(), p.TimingBudget)
 	instructionsSim.Add(res.Instructions)
+	if res.Err != nil {
+		abortCell(res.Err)
+	}
 	return res
 }
 
 // runTraceStats consumes the memoized replay into trace statistics.
 func runTraceStats(w *workload.Workload, p Params) *trace.Stats {
-	st := trace.NewStats().Consume(w.Replay(p.AccuracyBudget).Open())
+	src := w.Replay(p.AccuracyBudget).Open()
+	st := trace.NewStats().Consume(src)
 	instructionsSim.Add(p.AccuracyBudget)
+	if err := trace.SourceErr(src); err != nil {
+		abortCell(err)
+	}
 	return st
 }

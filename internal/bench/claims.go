@@ -210,9 +210,9 @@ var verifyExperiment = registerExperiment(&Experiment{
 		// One cell per claim; the simulations inside share memoized
 		// replays, so concurrent claims do not duplicate VM work.
 		g := newCellGroup(p)
-		cells := make([]*claimCell, len(claims))
+		cells := make([]*slot[claimCell], len(claims))
 		for i, c := range claims {
-			cells[i] = cell(g, func() claimCell {
+			cells[i] = cell(g, cellID{Config: fmt.Sprintf("claim-%d", c.ID)}, func() claimCell {
 				msg, ok := c.Check(p)
 				return claimCell{msg, ok}
 			})
@@ -222,15 +222,19 @@ var verifyExperiment = registerExperiment(&Experiment{
 			"#", "claim", "measured", "verdict")
 		passed := 0
 		for i, c := range claims {
+			if !cells[i].ok() {
+				t.AddRow(fmt.Sprintf("%d", c.ID), c.Statement, "ERR", "ERR")
+				continue
+			}
 			verdict := "PASS"
-			if cells[i].ok {
+			if cells[i].val.ok {
 				passed++
 			} else {
 				verdict = "FAIL"
 			}
-			t.AddRow(fmt.Sprintf("%d", c.ID), c.Statement, cells[i].msg, verdict)
+			t.AddRow(fmt.Sprintf("%d", c.ID), c.Statement, cells[i].val.msg, verdict)
 		}
 		t.AddNote("%d/%d claims reproduced", passed, len(claims))
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// CellError describes one failed simulation cell: which experiment,
+// workload and predictor configuration it belonged to, the underlying
+// error, and — for raw panics only — the goroutine stack at the point of
+// failure. Cells fail without taking down the run: the experiment renders
+// their rows as ERR and the suite runner exits non-zero with a digest
+// after every experiment has finished.
+type CellError struct {
+	// Experiment is the owning experiment's id ("table4"); empty when the
+	// experiment ran outside the suite runner.
+	Experiment string
+	// Workload names the benchmark the cell simulated, if any.
+	Workload string
+	// Config describes the predictor/machine configuration the cell ran.
+	Config string
+	// Err is the underlying failure: a corrupt-trace error (wrapping
+	// trace.ErrCorrupt), a cancelled context, a model liveness error, or a
+	// wrapped panic value.
+	Err error
+	// Stack is the goroutine stack for raw panics; empty for structured
+	// errors raised with abortCell.
+	Stack string
+}
+
+// CellLabel returns the cell's "experiment/workload/config" label, the
+// same label TestCellHook receives.
+func (e *CellError) CellLabel() string {
+	parts := make([]string, 0, 3)
+	for _, p := range []string{e.Experiment, e.Workload, e.Config} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("bench: cell %s: %v", e.CellLabel(), e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// cellAbort carries an expected, structured error (corrupt trace,
+// cancellation, model deadlock) out of a cell body. The cell executor
+// converts it into a CellError without recording a stack trace, keeping
+// rendered failure footers deterministic.
+type cellAbort struct{ err error }
+
+// abortCell stops the current simulation cell with err. It must only be
+// called from inside a cell body (or a helper the cell calls).
+func abortCell(err error) { panic(cellAbort{err}) }
+
+// recoveredErr normalises a recovered panic value into an error.
+func recoveredErr(v any) (err error, stack string) {
+	switch x := v.(type) {
+	case cellAbort:
+		return x.err, ""
+	case error:
+		return x, string(debug.Stack())
+	default:
+		return fmt.Errorf("panic: %v", x), string(debug.Stack())
+	}
+}
+
+// failureLog collects CellErrors across an entire run; the suite runner
+// attaches one to Params so every experiment's failures end up in the exit
+// digest.
+type failureLog struct {
+	mu   sync.Mutex
+	errs []*CellError
+}
+
+func (l *failureLog) add(errs ...*CellError) {
+	if l == nil || len(errs) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.errs = append(l.errs, errs...)
+	l.mu.Unlock()
+}
+
+func (l *failureLog) all() []*CellError {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*CellError(nil), l.errs...)
+}

@@ -31,9 +31,9 @@ var table1 = registerExperiment(&Experiment{
 			static int
 		}
 		g := newCellGroup(p)
-		cells := make([]*t1cell, len(ws))
+		cells := make([]*slot[t1cell], len(ws))
 		for i, w := range ws {
-			cells[i] = cell(g, func() t1cell {
+			cells[i] = cell(g, cid(w, "btb"), func() t1cell {
 				return t1cell{
 					res:    runAccuracy(w, p, sim.DefaultConfig()),
 					static: runTraceStats(w, p).StaticIndJumps(),
@@ -46,16 +46,20 @@ var table1 = registerExperiment(&Experiment{
 			"Benchmark", "#Instructions", "#Branches", "#Ind Jumps",
 			"Static Ind", "Ind. Jump Mispred. Rate")
 		for i, w := range ws {
-			res := cells[i].res
+			if !cells[i].ok() {
+				t.AddRow(append([]string{w.Name}, errRow(5)...)...)
+				continue
+			}
+			res := cells[i].val.res
 			t.AddRow(w.Name,
 				fmt.Sprintf("%d", res.Instructions),
 				fmt.Sprintf("%d", res.Branches),
 				fmt.Sprintf("%d", res.Indirect.Predictions),
-				fmt.Sprintf("%d", cells[i].static),
+				fmt.Sprintf("%d", cells[i].val.static),
 				pct(res.IndirectMispredictRate()))
 		}
 		t.AddNote("paper: gcc 66.0%% and perl 76.4%% — the two benchmarks with significant indirect jumps")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -66,14 +70,22 @@ var figures1to8 = registerExperiment(&Experiment{
 	Run: func(p Params) []*stats.Table {
 		ws := workload.All()
 		g := newCellGroup(p)
-		cells := make([]**trace.Stats, len(ws))
+		cells := make([]*slot[*trace.Stats], len(ws))
 		for i, w := range ws {
-			cells[i] = cell(g, func() *trace.Stats { return runTraceStats(w, p) })
+			cells[i] = cell(g, cid(w, "trace-stats"), func() *trace.Stats { return runTraceStats(w, p) })
 		}
 		g.run()
 		var out []*stats.Table
 		for i, w := range ws {
-			st := *cells[i]
+			if !cells[i].ok() {
+				t := stats.NewTable(
+					fmt.Sprintf("Figure %d: targets per indirect jump (%s)", i+1, w.Name),
+					"#Targets", "% of static jumps", "% of dynamic jumps")
+				t.AddRow(errRow(3)...)
+				out = append(out, t)
+				continue
+			}
+			st := cells[i].val
 			static := st.TargetHistogram(false)
 			dynamic := st.TargetHistogram(true)
 			var nStatic, nDynamic int64
@@ -104,7 +116,7 @@ var figures1to8 = registerExperiment(&Experiment{
 			t.Trailer = bar.String()
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -116,13 +128,13 @@ var table2 = registerExperiment(&Experiment{
 	Run: func(p Params) []*stats.Table {
 		ws := workload.All()
 		g := newCellGroup(p)
-		defs := make([]*float64, len(ws))
-		twos := make([]*float64, len(ws))
+		defs := make([]*slot[float64], len(ws))
+		twos := make([]*slot[float64], len(ws))
 		for i, w := range ws {
-			defs[i] = cell(g, func() float64 {
+			defs[i] = cell(g, cid(w, "btb-default"), func() float64 {
 				return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
 			})
-			twos[i] = cell(g, func() float64 {
+			twos[i] = cell(g, cid(w, "btb-2bit"), func() float64 {
 				cfg := sim.DefaultConfig()
 				cfg.BTB.Strategy = btb.StrategyTwoBit
 				return runAccuracy(w, p, cfg).IndirectMispredictRate()
@@ -133,10 +145,10 @@ var table2 = registerExperiment(&Experiment{
 			"Table 2: indirect-jump misprediction rate by BTB update strategy",
 			"Benchmark", "BTB", "2-bit BTB")
 		for i, w := range ws {
-			t.AddRow(w.Name, pct(*defs[i]), pct(*twos[i]))
+			t.AddRow(w.Name, pctCell(defs[i]), pctCell(twos[i]))
 		}
 		t.AddNote("paper: the 2-bit strategy helps compress, gcc, ijpeg and perl but hurts m88ksim, vortex and xlisp")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -171,11 +183,11 @@ var table4 = registerExperiment(&Experiment{
 		}
 		ws := workload.PerlGcc()
 		g := newCellGroup(p)
-		rates := make([][]*float64, len(configs))
+		rates := make([][]*slot[float64], len(configs))
 		for i, tcCfg := range configs {
-			rates[i] = make([]*float64, len(ws))
+			rates[i] = make([]*slot[float64], len(ws))
 			for j, w := range ws {
-				rates[i][j] = cell(g, func() float64 {
+				rates[i][j] = cell(g, cid(w, tcCfg.Name()), func() float64 {
 					histBits := 9
 					if tcCfg.Scheme == core.SchemeGAs {
 						histBits = tcCfg.HistBits
@@ -196,12 +208,12 @@ var table4 = registerExperiment(&Experiment{
 			// The table's column order is perl, gcc but PerlGcc returns
 			// perl first already.
 			for j := range ws {
-				row = append(row, pct(*rates[i][j]))
+				row = append(row, pctCell(rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
 		t.AddNote("paper: gshare wins; a 512-entry target cache achieves 30.4%% (gcc) and 30.9%% (perl)")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -209,7 +221,7 @@ var table4 = registerExperiment(&Experiment{
 // timing baseline, so reduction cells spend no pool time blocked on it.
 func warmBaselines(g *cellGroup, tctx *timingContext, ws []*workload.Workload) {
 	for _, w := range ws {
-		g.add(func() { tctx.baseline(w) })
+		g.do(cid(w, "btb-baseline"), func() { tctx.baseline(w) })
 	}
 }
 
@@ -223,13 +235,13 @@ var table5 = registerExperiment(&Experiment{
 		offsets := []int{2, 3, 4, 5, 6, 8, 12}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		reds := make([][][]*float64, len(ws))
+		reds := make([][][]*slot[float64], len(ws))
 		for i, w := range ws {
-			reds[i] = make([][]*float64, len(offsets))
+			reds[i] = make([][]*slot[float64], len(offsets))
 			for j, offset := range offsets {
 				for _, s := range pathSchemes(9, 1, offset) {
 					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("bit%d/%s", offset, s.Name)), func() float64 {
 						return tctx.reduction(w, cfg)
 					}))
 				}
@@ -244,14 +256,14 @@ var table5 = registerExperiment(&Experiment{
 			for j, offset := range offsets {
 				row := []string{fmt.Sprintf("%d", offset)}
 				for _, red := range reds[i][j] {
-					row = append(row, pct(*red))
+					row = append(row, pctCell(red))
 				}
 				t.AddRow(row...)
 			}
 			t.AddNote("paper: the lower address bits provide more information than the higher bits")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -265,13 +277,13 @@ var table6 = registerExperiment(&Experiment{
 		bitCounts := []int{1, 2, 3}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		reds := make([][][]*float64, len(ws))
+		reds := make([][][]*slot[float64], len(ws))
 		for i, w := range ws {
-			reds[i] = make([][]*float64, len(bitCounts))
+			reds[i] = make([][]*slot[float64], len(bitCounts))
 			for j, bits := range bitCounts {
 				for _, s := range pathSchemes(9, bits, 2) {
 					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dbit/%s", bits, s.Name)), func() float64 {
 						return tctx.reduction(w, cfg)
 					}))
 				}
@@ -286,14 +298,14 @@ var table6 = registerExperiment(&Experiment{
 			for j, bits := range bitCounts {
 				row := []string{fmt.Sprintf("%d", bits)}
 				for _, red := range reds[i][j] {
-					row = append(row, pct(*red))
+					row = append(row, pctCell(red))
 				}
 				t.AddRow(row...)
 			}
 			t.AddNote("paper: with nine history bits, recording more bits per target generally hurts (fewer branches remembered)")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -310,9 +322,9 @@ var table7 = registerExperiment(&Experiment{
 		wayCounts := []int{1, 2, 4, 8, 16, 32, 64}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		reds := make([][][]*float64, len(ws))
+		reds := make([][][]*slot[float64], len(ws))
 		for i, w := range ws {
-			reds[i] = make([][]*float64, len(wayCounts))
+			reds[i] = make([][]*slot[float64], len(wayCounts))
 			for j, ways := range wayCounts {
 				for _, scheme := range schemes {
 					cfg := tcConfig(func() core.TargetCache {
@@ -320,7 +332,7 @@ var table7 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: scheme, HistBits: 9,
 						})
 					}, pattern(9))
-					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/scheme%d", ways, scheme)), func() float64 {
 						return tctx.reduction(w, cfg)
 					}))
 				}
@@ -335,14 +347,14 @@ var table7 = registerExperiment(&Experiment{
 			for j, ways := range wayCounts {
 				row := []string{fmt.Sprintf("%d", ways)}
 				for _, red := range reds[i][j] {
-					row = append(row, pct(*red))
+					row = append(row, pctCell(red))
 				}
 				t.AddRow(row...)
 			}
 			t.AddNote("paper: Address indexing needs high associativity (conflict misses); History Xor does not")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -356,9 +368,9 @@ var table8 = registerExperiment(&Experiment{
 		wayCounts := []int{1, 2, 4, 8, 16}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		reds := make([][][]*float64, len(ws))
+		reds := make([][][]*slot[float64], len(ws))
 		for i, w := range ws {
-			reds[i] = make([][]*float64, len(wayCounts))
+			reds[i] = make([][]*slot[float64], len(wayCounts))
 			for j, ways := range wayCounts {
 				for _, s := range pathSchemes(9, 1, 2) {
 					cfg := tcConfig(func() core.TargetCache {
@@ -366,7 +378,7 @@ var table8 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 						})
 					}, path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%s", ways, s.Name)), func() float64 {
 						return tctx.reduction(w, cfg)
 					}))
 				}
@@ -381,14 +393,14 @@ var table8 = registerExperiment(&Experiment{
 			for j, ways := range wayCounts {
 				row := []string{fmt.Sprintf("%d", ways)}
 				for _, red := range reds[i][j] {
-					row = append(row, pct(*red))
+					row = append(row, pctCell(red))
 				}
 				t.AddRow(row...)
 			}
 			t.AddNote("paper: pattern history wins for gcc, global path history for perl (perl is an interpreter)")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -403,9 +415,9 @@ var table9 = registerExperiment(&Experiment{
 		histBits := []int{9, 16}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		reds := make([][][]*float64, len(ws))
+		reds := make([][][]*slot[float64], len(ws))
 		for i, w := range ws {
-			reds[i] = make([][]*float64, len(wayCounts))
+			reds[i] = make([][]*slot[float64], len(wayCounts))
 			for j, ways := range wayCounts {
 				for _, bits := range histBits {
 					cfg := tcConfig(func() core.TargetCache {
@@ -413,7 +425,7 @@ var table9 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: bits,
 						})
 					}, pattern(bits))
-					reds[i][j] = append(reds[i][j], cell(g, func() float64 {
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%dbits", ways, bits)), func() float64 {
 						return tctx.reduction(w, cfg)
 					}))
 				}
@@ -428,14 +440,14 @@ var table9 = registerExperiment(&Experiment{
 			for j, ways := range wayCounts {
 				row := []string{fmt.Sprintf("%d", ways)}
 				for _, red := range reds[i][j] {
-					row = append(row, pct(*red))
+					row = append(row, pctCell(red))
 				}
 				t.AddRow(row...)
 			}
 			t.AddNote("paper: more history bits help high-associativity caches and hurt low-associativity ones")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -450,20 +462,20 @@ var figures12and13 = registerExperiment(&Experiment{
 		wayCounts := []int{1, 2, 4, 8, 16}
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, ws)
-		taglessReds := make([]*float64, len(ws))
-		taggedReds := make([][]*float64, len(ws))
+		taglessReds := make([]*slot[float64], len(ws))
+		taggedReds := make([][]*slot[float64], len(ws))
 		for i, w := range ws {
-			taglessReds[i] = cell(g, func() float64 {
+			taglessReds[i] = cell(g, cid(w, "tagless-512"), func() float64 {
 				return tctx.reduction(w, tcConfig(taglessGshare(512), pattern(9)))
 			})
-			taggedReds[i] = make([]*float64, len(wayCounts))
+			taggedReds[i] = make([]*slot[float64], len(wayCounts))
 			for j, ways := range wayCounts {
 				cfg := tcConfig(func() core.TargetCache {
 					return core.NewTagged(core.TaggedConfig{
 						Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 					})
 				}, pattern(9))
-				taggedReds[i][j] = cell(g, func() float64 {
+				taggedReds[i][j] = cell(g, cid(w, fmt.Sprintf("tagged-256/%dway", ways)), func() float64 {
 					return tctx.reduction(w, cfg)
 				})
 			}
@@ -471,32 +483,39 @@ var figures12and13 = registerExperiment(&Experiment{
 		g.run()
 		var out []*stats.Table
 		for fi, w := range ws {
-			taglessRed := *taglessReds[fi]
 			t := stats.NewTable(
 				fmt.Sprintf("Figure %d (%s): execution-time reduction vs set-associativity", 12+fi, w.Name),
 				"set-assoc.", "w/o tags (512-entry)", "w/ tags (256-entry)")
+			healthy := taglessReds[fi].ok()
 			var xs []string
 			var taglessYs, taggedYs []float64
 			for j, ways := range wayCounts {
-				taggedRed := *taggedReds[fi][j]
 				t.AddRow(fmt.Sprintf("%d", ways),
-					pct(taglessRed),
-					pct(taggedRed))
+					pctCell(taglessReds[fi]),
+					pctCell(taggedReds[fi][j]))
+				if !taggedReds[fi][j].ok() {
+					healthy = false
+					continue
+				}
 				xs = append(xs, fmt.Sprintf("%d", ways))
-				taglessYs = append(taglessYs, 100*taglessRed)
-				taggedYs = append(taggedYs, 100*taggedRed)
+				taglessYs = append(taglessYs, 100*taglessReds[fi].val)
+				taggedYs = append(taggedYs, 100*taggedReds[fi][j].val)
 			}
 			t.AddNote("paper: tagless beats low-associativity tagged; tagged with >=4 ways beats tagless")
-			plot := &stats.Plot{
-				Title:  fmt.Sprintf("Figure %d (%s): %% execution-time reduction", 12+fi, w.Name),
-				XLabel: "set-associativity",
+			// The ASCII plot only renders when every point exists; with
+			// failed cells the ERR rows above carry the information.
+			if healthy {
+				plot := &stats.Plot{
+					Title:  fmt.Sprintf("Figure %d (%s): %% execution-time reduction", 12+fi, w.Name),
+					XLabel: "set-associativity",
+				}
+				plot.AddSeries("w/o tags (512-entry)", xs, taglessYs)
+				plot.AddSeries("w/ tags (256-entry)", xs, taggedYs)
+				t.Trailer = plot.String()
 			}
-			plot.AddSeries("w/o tags (512-entry)", xs, taglessYs)
-			plot.AddSeries("w/ tags (256-entry)", xs, taggedYs)
-			t.Trailer = plot.String()
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -510,11 +529,11 @@ var ablationHistLen = registerExperiment(&Experiment{
 		bitCounts := []int{3, 6, 9, 12, 16}
 		ws := workload.PerlGcc()
 		g := newCellGroup(p)
-		rates := make([][]*float64, len(bitCounts))
+		rates := make([][]*slot[float64], len(bitCounts))
 		for i, bits := range bitCounts {
-			rates[i] = make([]*float64, len(ws))
+			rates[i] = make([]*slot[float64], len(ws))
 			for j, w := range ws {
-				rates[i][j] = cell(g, func() float64 {
+				rates[i][j] = cell(g, cid(w, fmt.Sprintf("gshare-%dbits", bits)), func() float64 {
 					cfg := tcConfig(taglessGshare(512), pattern(bits))
 					return runAccuracy(w, p, cfg).IndirectMispredictRate()
 				})
@@ -527,11 +546,11 @@ var ablationHistLen = registerExperiment(&Experiment{
 		for i, bits := range bitCounts {
 			row := []string{fmt.Sprintf("%d", bits)}
 			for j := range ws {
-				row = append(row, pct(*rates[i][j]))
+				row = append(row, pctCell(rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -569,19 +588,25 @@ var cbtComparison = registerExperiment(&Experiment{
 	Title: "Related work: case block table vs BTB vs target cache (misprediction rate)",
 	Run: func(p Params) []*stats.Table {
 		ws := workload.All()
-		type cbtCell struct{ base, stale, oracle, tc float64 }
+		type cbtCell struct{ base, stale, oracle, tc *slot[float64] }
 		g := newCellGroup(p)
-		cells := make([]*cbtCell, len(ws))
+		cells := make([]cbtCell, len(ws))
 		for i, w := range ws {
-			out := &cbtCell{}
-			cells[i] = out
-			g.add(func() { out.base = runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate() })
-			g.add(func() { out.stale = runCBT(w, p, false) })
-			g.add(func() { out.oracle = runCBT(w, p, true) })
-			g.add(func() {
-				out.tc = runAccuracy(w, p,
-					tcConfig(taglessGshare(512), pattern(9))).IndirectMispredictRate()
-			})
+			cells[i] = cbtCell{
+				base: cell(g, cid(w, "btb"), func() float64 {
+					return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
+				}),
+				stale: cell(g, cid(w, "cbt-stale"), func() float64 {
+					return runCBT(w, p, false)
+				}),
+				oracle: cell(g, cid(w, "cbt-oracle"), func() float64 {
+					return runCBT(w, p, true)
+				}),
+				tc: cell(g, cid(w, "target-cache"), func() float64 {
+					return runAccuracy(w, p,
+						tcConfig(taglessGshare(512), pattern(9))).IndirectMispredictRate()
+				}),
+			}
 		}
 		g.run()
 		t := stats.NewTable(
@@ -589,10 +614,10 @@ var cbtComparison = registerExperiment(&Experiment{
 			"Benchmark", "BTB", "CBT (stale value)", "CBT (oracle)", "target cache (gshare)")
 		for i, w := range ws {
 			c := cells[i]
-			t.AddRow(w.Name, pct(c.base), pct(c.stale), pct(c.oracle), pct(c.tc))
+			t.AddRow(w.Name, pctCell(c.base), pctCell(c.stale), pctCell(c.oracle), pctCell(c.tc))
 		}
 		t.AddNote("paper: the oracle CBT needs the dispatch value at fetch, which an out-of-order machine rarely has")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -601,9 +626,12 @@ var cbtComparison = registerExperiment(&Experiment{
 func runCBT(w *workload.Workload, p Params, oracle bool) float64 {
 	cfg := cbt.DefaultConfig()
 	cfg.Oracle = oracle
-	rate := sim.RunCBT(w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg).MispredictRate()
+	c, err := sim.RunCBTCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
 	instructionsSim.Add(p.AccuracyBudget)
-	return rate
+	if err != nil {
+		abortCell(err)
+	}
+	return c.MispredictRate()
 }
 
 func max64(a, b int64) int64 {

@@ -59,29 +59,29 @@ var cxxExperiment = registerExperiment(&Experiment{
 
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, []*workload.Workload{w})
-		baseRate := cell(g, func() float64 {
+		baseRate := cell(g, cid(w, "btb"), func() float64 {
 			return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
 		})
-		accs := make([]*float64, len(variants))
-		reds := make([]*float64, len(variants))
+		accs := make([]*slot[float64], len(variants))
+		reds := make([]*slot[float64], len(variants))
 		for i, v := range variants {
-			accs[i] = cell(g, func() float64 {
+			accs[i] = cell(g, cid(w, v.name+"/accuracy"), func() float64 {
 				return runAccuracy(w, p, v.cfg).IndirectMispredictRate()
 			})
-			reds[i] = cell(g, func() float64 { return tctx.reduction(w, v.cfg) })
+			reds[i] = cell(g, cid(w, v.name+"/timing"), func() float64 { return tctx.reduction(w, v.cfg) })
 		}
 		g.run()
 
 		t := stats.NewTable(
 			"C++-style workload (virtual calls through vtables): misprediction and execution time",
 			"Predictor", "ind mispred", "time saved")
-		t.AddRow("BTB (1K, 4-way)", pct(*baseRate), "-")
+		t.AddRow("BTB (1K, 4-way)", pctCell(baseRate), "-")
 		for i, v := range variants {
-			t.AddRow(v.name, pct(*accs[i]), pct(*reds[i]))
+			t.AddRow(v.name, pctCell(accs[i]), pctCell(reds[i]))
 		}
 		t.AddNote("paper conclusion: for OO programs, tagged caches should provide even greater benefits")
 		t.AddNote("tags hold history beyond the index width: the 16-way/24-bit tagged cache and ITTAGE exploit it")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -113,12 +113,13 @@ var followupsExperiment = registerExperiment(&Experiment{
 		ws := workload.All()
 		ws = append(ws, workload.Extras()...)
 		configs := []sim.Config{sim.DefaultConfig(), tcCfg, hybridCfg, cascCfg, ittageCfg}
+		cfgNames := []string{"btb", "target-cache", "hybrid", "cascaded", "ittage"}
 		g := newCellGroup(p)
-		rates := make([][]*float64, len(ws))
+		rates := make([][]*slot[float64], len(ws))
 		for i, w := range ws {
-			rates[i] = make([]*float64, len(configs))
+			rates[i] = make([]*slot[float64], len(configs))
 			for j, cfg := range configs {
-				rates[i][j] = cell(g, func() float64 {
+				rates[i][j] = cell(g, cid(w, cfgNames[j]), func() float64 {
 					return runAccuracy(w, p, cfg).IndirectMispredictRate()
 				})
 			}
@@ -130,12 +131,12 @@ var followupsExperiment = registerExperiment(&Experiment{
 		for i, w := range ws {
 			row := []string{w.Name}
 			for j := range configs {
-				row = append(row, pct(*rates[i][j]))
+				row = append(row, pctCell(rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
 		t.AddNote("hybrid = last-target + tagged cache with a 2-bit meta chooser; cascaded = filtered 2-stage (Driesen & Hölzle); ittage = geometric-history tables (Seznec)")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -156,38 +157,53 @@ var wrongPathExperiment = registerExperiment(&Experiment{
 	Run: func(p Params) []*stats.Table {
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
 		ws := workload.PerlGcc()
-		type wpCell struct{ baseClean, tcClean, baseWP, tcWP cpu.Result }
+		type wpCell struct{ baseClean, tcClean, baseWP, tcWP *slot[cpu.Result] }
 		g := newCellGroup(p)
-		cells := make([]*wpCell, len(ws))
+		cells := make([]wpCell, len(ws))
 		for i, w := range ws {
 			run := func(cfg sim.Config, wrongPath bool) cpu.Result {
 				mc := cpu.DefaultConfig()
 				mc.ModelWrongPath = wrongPath
-				res := cpu.NewEvent(mc, sim.NewEngine(cfg)).Run(w.Open(), p.TimingBudget)
+				res := cpu.NewEvent(mc, sim.NewEngine(cfg)).RunCtx(p.Context(), w.Open(), p.TimingBudget)
 				instructionsSim.Add(res.Instructions)
+				if res.Err != nil {
+					abortCell(res.Err)
+				}
 				return res
 			}
-			out := &wpCell{}
-			cells[i] = out
-			g.add(func() { out.baseClean = run(sim.DefaultConfig(), false) })
-			g.add(func() { out.tcClean = run(tcCfg, false) })
-			g.add(func() { out.baseWP = run(sim.DefaultConfig(), true) })
-			g.add(func() { out.tcWP = run(tcCfg, true) })
+			cells[i] = wpCell{
+				baseClean: cell(g, cid(w, "btb"), func() cpu.Result { return run(sim.DefaultConfig(), false) }),
+				tcClean:   cell(g, cid(w, "tc"), func() cpu.Result { return run(tcCfg, false) }),
+				baseWP:    cell(g, cid(w, "btb-wrongpath"), func() cpu.Result { return run(sim.DefaultConfig(), true) }),
+				tcWP:      cell(g, cid(w, "tc-wrongpath"), func() cpu.Result { return run(tcCfg, true) }),
+			}
 		}
 		g.run()
+		// Each column needs two cells; an ERR in either blanks just that
+		// column.
+		redCol := func(a, b *slot[cpu.Result]) string {
+			if !a.ok() || !b.ok() {
+				return "ERR"
+			}
+			return pct(stats.Reduction(float64(a.val.Cycles), float64(b.val.Cycles)))
+		}
 		t := stats.NewTable(
 			"Execution-time reduction with and without wrong-path fetch (event model)",
 			"Benchmark", "reduction (no wrong path)", "reduction (wrong path)",
 			"extra dcache accesses")
 		for i, w := range ws {
 			c := cells[i]
+			extra := "ERR"
+			if c.baseWP.ok() && c.baseClean.ok() {
+				extra = pct(float64(c.baseWP.val.DCacheAccesses)/float64(c.baseClean.val.DCacheAccesses) - 1)
+			}
 			t.AddRow(w.Name,
-				pct(stats.Reduction(float64(c.baseClean.Cycles), float64(c.tcClean.Cycles))),
-				pct(stats.Reduction(float64(c.baseWP.Cycles), float64(c.tcWP.Cycles))),
-				pct(float64(c.baseWP.DCacheAccesses)/float64(c.baseClean.DCacheAccesses)-1))
+				redCol(c.baseClean, c.tcClean),
+				redCol(c.baseWP, c.tcWP),
+				extra)
 		}
 		t.AddNote("wrong-path loads use the speculative machine's real addresses (VM checkpoint/rollback)")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -202,20 +218,20 @@ var contextSwitchExperiment = registerExperiment(&Experiment{
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
 		ws := workload.PerlGcc()
 		intervals := []int64{0, 1_000_000, 100_000, 10_000, 1_000}
-		type csCell struct{ base, tc float64 }
+		type csCell struct{ base, tc *slot[float64] }
 		g := newCellGroup(p)
-		cells := make([][]*csCell, len(ws))
+		cells := make([][]csCell, len(ws))
 		for i, w := range ws {
-			cells[i] = make([]*csCell, len(intervals))
+			cells[i] = make([]csCell, len(intervals))
 			for j, interval := range intervals {
-				out := &csCell{}
-				cells[i][j] = out
-				g.add(func() {
-					out.base = runAccuracyFlushes(w, p, interval, sim.DefaultConfig()).IndirectMispredictRate()
-				})
-				g.add(func() {
-					out.tc = runAccuracyFlushes(w, p, interval, tcCfg).IndirectMispredictRate()
-				})
+				cells[i][j] = csCell{
+					base: cell(g, cid(w, fmt.Sprintf("btb/flush-%d", interval)), func() float64 {
+						return runAccuracyFlushes(w, p, interval, sim.DefaultConfig()).IndirectMispredictRate()
+					}),
+					tc: cell(g, cid(w, fmt.Sprintf("tc/flush-%d", interval)), func() float64 {
+						return runAccuracyFlushes(w, p, interval, tcCfg).IndirectMispredictRate()
+					}),
+				}
 			}
 		}
 		g.run()
@@ -229,12 +245,12 @@ var contextSwitchExperiment = registerExperiment(&Experiment{
 				if interval > 0 {
 					label = fmt.Sprintf("%d instr", interval)
 				}
-				t.AddRow(label, pct(cells[i][j].base), pct(cells[i][j].tc))
+				t.AddRow(label, pctCell(cells[i][j].base), pctCell(cells[i][j].tc))
 			}
 			t.AddNote("a history-indexed cache must re-learn one entry per (jump, history) pair after each flush")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })
 
@@ -249,15 +265,15 @@ var rasExperiment = registerExperiment(&Experiment{
 		names := []string{"xlisp", "gosearch", "perl"}
 		depths := []int{1, 2, 4, 8, 16, 32, 64}
 		g := newCellGroup(p)
-		rates := make([][]*float64, len(depths))
+		rates := make([][]*slot[float64], len(depths))
 		for i, depth := range depths {
-			rates[i] = make([]*float64, len(names))
+			rates[i] = make([]*slot[float64], len(names))
 			for j, name := range names {
 				w, err := workload.ByName(name)
 				if err != nil {
 					panic(err)
 				}
-				rates[i][j] = cell(g, func() float64 {
+				rates[i][j] = cell(g, cid(w, fmt.Sprintf("ras-%d", depth)), func() float64 {
 					cfg := sim.DefaultConfig()
 					cfg.RASDepth = depth
 					return runAccuracy(w, p, cfg).Returns.MispredictRate()
@@ -271,12 +287,12 @@ var rasExperiment = registerExperiment(&Experiment{
 		for i, depth := range depths {
 			row := []string{fmt.Sprintf("%d", depth)}
 			for j := range names {
-				row = append(row, pct(*rates[i][j]))
+				row = append(row, pctCell(rates[i][j]))
 			}
 			t.AddRow(row...)
 		}
 		t.AddNote("the paper's decision to exclude returns from the target cache presumes a deep-enough RAS")
-		return []*stats.Table{t}
+		return g.finish([]*stats.Table{t})
 	},
 })
 
@@ -309,18 +325,22 @@ var sensitivityExperiment = registerExperiment(&Experiment{
 		}
 		tcCfg := tcConfig(taglessGshare(512), pattern(9))
 		ws := workload.PerlGcc()
-		type sensCell struct{ base, tc cpu.Result }
+		type sensCell struct{ base, tc *slot[cpu.Result] }
 		g := newCellGroup(p)
-		cells := make([][]*sensCell, len(ws))
+		cells := make([][]sensCell, len(ws))
 		for i, w := range ws {
-			cells[i] = make([]*sensCell, len(machines))
+			cells[i] = make([]sensCell, len(machines))
 			for j, m := range machines {
 				machineCfg := cpu.DefaultConfig()
 				m.mutate(&machineCfg)
-				out := &sensCell{}
-				cells[i][j] = out
-				g.add(func() { out.base = runTiming(w, p, sim.DefaultConfig(), machineCfg) })
-				g.add(func() { out.tc = runTiming(w, p, tcCfg, machineCfg) })
+				cells[i][j] = sensCell{
+					base: cell(g, cid(w, fmt.Sprintf("machine%d/btb", j)), func() cpu.Result {
+						return runTiming(w, p, sim.DefaultConfig(), machineCfg)
+					}),
+					tc: cell(g, cid(w, fmt.Sprintf("machine%d/tc", j)), func() cpu.Result {
+						return runTiming(w, p, tcCfg, machineCfg)
+					}),
+				}
 			}
 		}
 		g.run()
@@ -330,7 +350,19 @@ var sensitivityExperiment = registerExperiment(&Experiment{
 				fmt.Sprintf("Sensitivity (%s): target-cache benefit by machine", w.Name),
 				"machine", "base IPC", "tc IPC", "time saved", "mispredict stall share")
 			for j, m := range machines {
-				base, tc := cells[i][j].base, cells[i][j].tc
+				c := cells[i][j]
+				if !c.base.ok() || !c.tc.ok() {
+					row := append([]string{m.name}, errRow(4)...)
+					if c.base.ok() {
+						row[1] = fmt.Sprintf("%.2f", c.base.val.IPC())
+						row[4] = pct(float64(c.base.val.MispredictStallCycles) / float64(c.base.val.Cycles))
+					} else if c.tc.ok() {
+						row[2] = fmt.Sprintf("%.2f", c.tc.val.IPC())
+					}
+					t.AddRow(row...)
+					continue
+				}
+				base, tc := c.base.val, c.tc.val
 				t.AddRow(m.name,
 					fmt.Sprintf("%.2f", base.IPC()),
 					fmt.Sprintf("%.2f", tc.IPC()),
@@ -340,6 +372,6 @@ var sensitivityExperiment = registerExperiment(&Experiment{
 			t.AddNote("paper intro: wider/deeper machines lose more to indirect-jump mispredictions")
 			out = append(out, t)
 		}
-		return out
+		return g.finish(out)
 	},
 })

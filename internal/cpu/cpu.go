@@ -16,6 +16,7 @@
 package cpu
 
 import (
+	"context"
 	"strconv"
 
 	"repro/internal/cache"
@@ -49,7 +50,14 @@ type Config struct {
 	// speculative machine's actual addresses, then is squashed at
 	// resolution. The fast model ignores this flag.
 	ModelWrongPath bool
+	// DeadlockCycles is the event model's liveness guard: if no
+	// instruction retires for this many consecutive cycles the run stops
+	// with Result.Err describing the stall. 0 uses DefaultDeadlockCycles.
+	DeadlockCycles int64
 }
+
+// DefaultDeadlockCycles is the event model's default liveness threshold.
+const DefaultDeadlockCycles = 1_000_000
 
 // DefaultConfig returns the paper's machine: 8-wide, 128-entry window,
 // Table 3 latencies, 16KB 4-way data cache with a 10-cycle memory latency.
@@ -108,6 +116,12 @@ type Result struct {
 	// "reduction in execution time" results.
 	MispredictStallCycles int64
 	WindowStallCycles     int64
+
+	// Err is non-nil when the run stopped early: a corrupt trace source
+	// (wrapping trace.ErrCorrupt), a cancelled context, or the event
+	// model's deadlock guard. The counters above cover the work done
+	// before the stop.
+	Err error
 }
 
 // IPC returns retired instructions per cycle.
@@ -163,6 +177,17 @@ func New(cfg Config, engine *sim.Engine) *Machine {
 // Run simulates up to budget instructions from src and returns the timing
 // result. It may be called once per Machine.
 func (m *Machine) Run(src trace.Source, budget int64) Result {
+	return m.RunCtx(context.Background(), src, budget)
+}
+
+// ctxCheckMask sets how often the timing loop polls ctx.Err: every 8192
+// instructions.
+const ctxCheckMask = 1<<13 - 1
+
+// RunCtx is Run under a context: the loop polls ctx on instruction-count
+// boundaries and stops early with Err set to ctx.Err() when cancelled,
+// returning the partial result accumulated so far.
+func (m *Machine) RunCtx(ctx context.Context, src trace.Source, budget int64) Result {
 	cfg := m.cfg
 	var res Result
 
@@ -184,6 +209,12 @@ func (m *Machine) Run(src trace.Source, budget int64) Result {
 	}
 
 	for idx < budget && src.Next(&r) {
+		if idx&ctxCheckMask == ctxCheckMask {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
 		// Fetch: width and window constraints.
 		if fetchedThis >= cfg.Width {
 			fetchCycle++
@@ -304,6 +335,9 @@ func (m *Machine) Run(src trace.Source, budget int64) Result {
 
 	res.Instructions = idx
 	res.Cycles = lastRetire + 1
+	if res.Err == nil {
+		res.Err = trace.SourceErr(src)
+	}
 	return res
 }
 

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -51,8 +52,19 @@ type robEntry struct {
 
 // Run simulates up to budget instructions and returns the timing result.
 func (m *EventMachine) Run(src trace.Source, budget int64) Result {
+	return m.RunCtx(context.Background(), src, budget)
+}
+
+// RunCtx is Run under a context: the cycle loop polls ctx periodically and
+// stops early with Err set to ctx.Err() when cancelled, returning the
+// partial result accumulated so far.
+func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int64) Result {
 	cfg := m.cfg
 	var res Result
+	deadlockAfter := cfg.DeadlockCycles
+	if deadlockAfter <= 0 {
+		deadlockAfter = DefaultDeadlockCycles
+	}
 
 	rob := make([]robEntry, cfg.Window)
 	head, tail, occupancy := 0, 0, 0
@@ -256,13 +268,26 @@ func (m *EventMachine) Run(src trace.Source, budget int64) Result {
 			break
 		}
 		cycle++
-		if cycle-lastProgress > 1_000_000 {
-			panic(fmt.Sprintf("cpu: event model deadlock at cycle %d (occupancy %d)",
-				cycle, occupancy))
+		if cycle&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
+		if cycle-lastProgress > deadlockAfter {
+			// A liveness failure is a model bug, not a crash: report it as
+			// an error with enough machine state to debug, keeping the
+			// partial counts.
+			res.Err = fmt.Errorf("cpu: event model deadlock at cycle %d (occupancy %d, %d retired, window %d)",
+				cycle, occupancy, res.Instructions, cfg.Window)
+			break
 		}
 	}
 
 	res.Cycles = cycle
+	if res.Err == nil {
+		res.Err = trace.SourceErr(src)
+	}
 	return res
 }
 

@@ -1,0 +1,118 @@
+// Package faultinject is the test harness that proves the experiment
+// suite's fault tolerance: it corrupts or truncates memoized replay
+// captures, and panics or delays inside chosen simulation cells, all
+// through the test hooks the bench and workload packages expose. It is
+// ordinary always-compiled code (no build tags): a Plan is inert until
+// Install is called, and Install is only reachable from tests.
+//
+// The invariants its tests pin down:
+//
+//   - the suite survives every fault class and still runs to completion;
+//   - exactly the affected rows render as ERR, with a failure digest;
+//   - healthy cells' output is byte-identical to a fault-free run, at
+//     any worker count.
+package faultinject
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Corruption overwrites Length bytes at Offset of a captured replay with
+// 0xFF. The replay cursor's structural validation (reserved flag bits,
+// class ranges, varint overflow) turns the damage into a trace.ErrCorrupt
+// at decode time, mid-simulation.
+type Corruption struct {
+	Offset int
+	Length int
+}
+
+// Plan describes the faults to inject into one run. The zero value
+// injects nothing.
+type Plan struct {
+	// PanicCells panics on entry to each listed cell; keys are full cell
+	// labels ("experiment/workload/config"), values the panic message.
+	PanicCells map[string]string
+	// DelayCells sleeps before each listed cell runs, reshuffling worker
+	// scheduling without changing results.
+	DelayCells map[string]time.Duration
+	// CorruptReplays damages the named workloads' captured replays.
+	CorruptReplays map[string]Corruption
+	// TruncateReplays drops the given number of trailing bytes from the
+	// named workloads' captures; the cursor reports a truncated-replay
+	// trace.ErrCorrupt when the records run out early.
+	TruncateReplays map[string]int
+
+	mu   sync.Mutex
+	hits []string
+}
+
+// Triggered returns the labels and workload names whose faults actually
+// fired, in firing order; tests assert on it so a plan that never
+// triggers cannot pass silently.
+func (p *Plan) Triggered() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.hits...)
+}
+
+func (p *Plan) hit(what string) {
+	p.mu.Lock()
+	p.hits = append(p.hits, what)
+	p.mu.Unlock()
+}
+
+// Install activates the plan: cell faults through bench.TestCellHook,
+// capture faults through workload.TestCaptureTransform. It resets the
+// workload memo so already-captured healthy replays are re-captured under
+// the transform. The returned restore function removes the hooks and
+// resets the memo again, so no corrupted capture outlives the plan.
+// Plans must not be installed concurrently.
+func (p *Plan) Install() (restore func()) {
+	prevHook := bench.TestCellHook
+	prevTransform := workload.TestCaptureTransform
+
+	bench.TestCellHook = func(label string) {
+		if msg, ok := p.PanicCells[label]; ok {
+			p.hit(label)
+			panic(msg)
+		}
+		if d, ok := p.DelayCells[label]; ok {
+			p.hit(label)
+			time.Sleep(d)
+		}
+	}
+	workload.TestCaptureTransform = func(name string, budget int64, rep *trace.Replay) *trace.Replay {
+		c, corrupt := p.CorruptReplays[name]
+		cut, truncate := p.TruncateReplays[name]
+		if !corrupt && !truncate {
+			return rep
+		}
+		buf := rep.Bytes()
+		if corrupt {
+			p.hit("corrupt:" + name)
+			for i := c.Offset; i < c.Offset+c.Length && i < len(buf); i++ {
+				buf[i] = 0xFF
+			}
+		}
+		if truncate {
+			p.hit("truncate:" + name)
+			if cut > len(buf) {
+				cut = len(buf)
+			}
+			buf = buf[:len(buf)-cut]
+		}
+		return trace.NewReplayBytes(buf, rep.Len())
+	}
+	workload.ResetMemo()
+
+	return func() {
+		bench.TestCellHook = prevHook
+		workload.TestCaptureTransform = prevTransform
+		workload.ResetMemo()
+	}
+}

@@ -1,9 +1,16 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// ctxCheckMask sets how often the accuracy drivers poll ctx.Err: every
+// 16384 instructions, cheap enough to be invisible in profiles while
+// keeping cancellation latency well under a millisecond.
+const ctxCheckMask = 1<<14 - 1
 
 // AccuracyResult reports prediction accuracy over one trace, split by
 // branch class. Indirect is the paper's headline population: indirect
@@ -21,6 +28,11 @@ type AccuracyResult struct {
 	// the prediction (vs falling back to the BTB), a coverage diagnostic
 	// for tagged caches.
 	TCCovered int64
+
+	// Err is non-nil when the run stopped early: a corrupt trace source
+	// (wrapping trace.ErrCorrupt) or a cancelled context. The counters
+	// above cover the instructions processed before the stop.
+	Err error
 }
 
 // IndirectMispredictRate returns the indirect-jump misprediction rate, the
@@ -32,12 +44,25 @@ func (r AccuracyResult) IndirectMispredictRate() float64 {
 // RunAccuracy drives up to budget instructions from factory through a fresh
 // engine built from cfg, counting per-class mispredictions.
 func RunAccuracy(factory trace.Factory, budget int64, cfg Config) AccuracyResult {
+	return RunAccuracyCtx(context.Background(), factory, budget, cfg)
+}
+
+// RunAccuracyCtx is RunAccuracy under a context: the loop polls ctx on
+// instruction-count boundaries and stops early with Err set to ctx.Err()
+// when cancelled, returning the partial counts accumulated so far.
+func RunAccuracyCtx(ctx context.Context, factory trace.Factory, budget int64, cfg Config) AccuracyResult {
 	engine := NewEngine(cfg)
 	var res AccuracyResult
 	src := trace.NewLimit(factory.Open(), budget)
 	var r trace.Record
 	for src.Next(&r) {
 		res.Instructions++
+		if res.Instructions&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return res
+			}
+		}
 		if !r.Class.IsBranch() {
 			continue
 		}
@@ -60,5 +85,6 @@ func RunAccuracy(factory trace.Factory, budget int64, cfg Config) AccuracyResult
 		res.Overall.Record(correct)
 		engine.Resolve(&r, p)
 	}
+	res.Err = trace.SourceErr(src)
 	return res
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/cbt"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -11,11 +13,26 @@ import (
 // CBT miss counts as a misprediction (no BTB fallback), isolating the
 // mechanism itself as the paper's Section 2 discussion does.
 func RunCBT(factory trace.Factory, budget int64, cfg cbt.Config) stats.Counter {
+	c, _ := RunCBTCtx(context.Background(), factory, budget, cfg)
+	return c
+}
+
+// RunCBTCtx is RunCBT under a context. The returned error is non-nil when
+// the run stopped early on cancellation or a corrupt trace source; the
+// counter covers the records processed before the stop.
+func RunCBTCtx(ctx context.Context, factory trace.Factory, budget int64, cfg cbt.Config) (stats.Counter, error) {
 	table := cbt.New(cfg)
 	var c stats.Counter
 	src := trace.NewLimit(factory.Open(), budget)
 	var r trace.Record
+	var n int64
 	for src.Next(&r) {
+		n++
+		if n&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return c, err
+			}
+		}
 		if !r.Class.IsTargetCachePredicted() {
 			continue
 		}
@@ -23,5 +40,5 @@ func RunCBT(factory trace.Factory, budget int64, cfg cbt.Config) stats.Counter {
 		c.Record(ok && tgt == r.Target)
 		table.Update(&r)
 	}
-	return c
+	return c, trace.SourceErr(src)
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/trace"
+import (
+	"context"
+
+	"repro/internal/trace"
+)
 
 // RunAccuracyWithFlushes is RunAccuracy with the entire front end reset
 // every flushInterval instructions, modelling context switches that wipe
@@ -10,12 +14,24 @@ import "repro/internal/trace"
 // target cache's advantage first — a classic objection the experiment
 // quantifies.
 func RunAccuracyWithFlushes(factory trace.Factory, budget, flushInterval int64, cfg Config) AccuracyResult {
+	return RunAccuracyWithFlushesCtx(context.Background(), factory, budget, flushInterval, cfg)
+}
+
+// RunAccuracyWithFlushesCtx is RunAccuracyWithFlushes under a context; see
+// RunAccuracyCtx for the cancellation contract.
+func RunAccuracyWithFlushesCtx(ctx context.Context, factory trace.Factory, budget, flushInterval int64, cfg Config) AccuracyResult {
 	engine := NewEngine(cfg)
 	var res AccuracyResult
 	src := trace.NewLimit(factory.Open(), budget)
 	var r trace.Record
 	for src.Next(&r) {
 		res.Instructions++
+		if res.Instructions&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return res
+			}
+		}
 		if flushInterval > 0 && res.Instructions%flushInterval == 0 {
 			engine.Reset()
 		}
@@ -41,5 +57,6 @@ func RunAccuracyWithFlushes(factory trace.Factory, budget, flushInterval int64, 
 		res.Overall.Record(correct)
 		engine.Resolve(&r, p)
 	}
+	res.Err = trace.SourceErr(src)
 	return res
 }

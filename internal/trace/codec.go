@@ -92,13 +92,13 @@ func NewReader(r io.Reader) *Reader {
 func (tr *Reader) readHeader() error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		return fmt.Errorf("trace: reading header: %w", err)
+		return fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
-		return fmt.Errorf("trace: bad magic %#x", got)
+		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[4:]); got != codecVersion {
-		return fmt.Errorf("trace: unsupported version %d", got)
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, got)
 	}
 	tr.header = true
 	return nil
@@ -118,8 +118,13 @@ func (tr *Reader) Next(r *Record) bool {
 	b := tr.buf[:]
 	if _, err := io.ReadFull(tr.r, b); err != nil {
 		if !errors.Is(err, io.EOF) {
-			tr.err = fmt.Errorf("trace: reading record: %w", err)
+			// A partial record means the stream was cut mid-write.
+			tr.err = fmt.Errorf("%w: truncated record: %v", ErrCorrupt, err)
 		}
+		return false
+	}
+	if int(b[24]) >= numClasses || int(b[25]) >= NumOpClasses {
+		tr.err = fmt.Errorf("%w: invalid class %#x / op %#x", ErrCorrupt, b[24], b[25])
 		return false
 	}
 	r.PC = binary.LittleEndian.Uint64(b[0:])

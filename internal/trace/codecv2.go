@@ -122,10 +122,10 @@ func NewAutoReader(r io.Reader) (Source, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	hdr, err := br.Peek(8)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
-		return nil, fmt.Errorf("trace: bad magic %#x", got)
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
 	case codecVersion:
@@ -133,29 +133,30 @@ func NewAutoReader(r io.Reader) (Source, error) {
 	case codecVersion2:
 		return NewReaderV2(br), nil
 	default:
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 }
 
 func (tr *ReaderV2) readHeader() error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
-		return fmt.Errorf("trace: reading header: %w", err)
+		return fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
-		return fmt.Errorf("trace: bad magic %#x", got)
+		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[4:]); got != codecVersion2 {
-		return fmt.Errorf("trace: not a v2 trace (version %d)", got)
+		return fmt.Errorf("%w: not a v2 trace (version %d)", ErrCorrupt, got)
 	}
 	tr.header = true
 	return nil
 }
 
 func (tr *ReaderV2) fail(err error, context string) bool {
-	if !errors.Is(err, io.EOF) || context != "flags" {
-		tr.err = fmt.Errorf("trace: reading %s: %w", context, err)
+	if errors.Is(err, io.EOF) && context == "flags" {
+		return false // clean end of trace between records
 	}
+	tr.err = fmt.Errorf("%w: reading %s: %v", ErrCorrupt, context, err)
 	return false
 }
 
@@ -176,7 +177,7 @@ func (tr *ReaderV2) Next(r *Record) bool {
 		return tr.fail(err, "flags")
 	}
 	if flags&0xf0 != 0 {
-		tr.err = fmt.Errorf("trace: corrupt flags %#x", flags)
+		tr.err = fmt.Errorf("%w: invalid flags %#x", ErrCorrupt, flags)
 		return false
 	}
 	classOp, err := tr.r.ReadByte()
@@ -189,7 +190,7 @@ func (tr *ReaderV2) Next(r *Record) bool {
 		Taken: flags&1 != 0,
 	}
 	if int(r.Class) >= numClasses || int(r.Op) >= NumOpClasses {
-		tr.err = fmt.Errorf("trace: corrupt class byte %#x", classOp)
+		tr.err = fmt.Errorf("%w: invalid class byte %#x", ErrCorrupt, classOp)
 		return false
 	}
 	d, err := binary.ReadUvarint(tr.r)

@@ -1,0 +1,31 @@
+package trace
+
+import "errors"
+
+// ErrCorrupt marks decode failures caused by damaged trace bytes: bad
+// magic, invalid flag or class encodings, varint overflow, or a stream that
+// ends mid-record. Wrapped errors carry the byte offset or field so callers
+// can report exactly where the damage was found. Decoders never panic on
+// corrupt input; they stop the stream and surface an ErrCorrupt through
+// their Err method.
+var ErrCorrupt = errors.New("trace: corrupt data")
+
+// ErrSource is implemented by sources that can fail mid-stream (decoders
+// over files or captured buffers). After Next returns false, Err
+// distinguishes a clean end of trace (nil) from a decode failure.
+type ErrSource interface {
+	Source
+	// Err returns the first decode error encountered, or nil.
+	Err() error
+}
+
+// SourceErr returns the decode error src has encountered, or nil if src
+// cannot fail or has not failed. Simulation drivers call this after
+// draining a source so a damaged capture surfaces as an error instead of a
+// silently short run.
+func SourceErr(src Source) error {
+	if es, ok := src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}

@@ -93,6 +93,17 @@ func (rep *Replay) Len() int64 { return rep.n }
 // Size returns the encoded buffer size in bytes.
 func (rep *Replay) Size() int { return len(rep.buf) }
 
+// Bytes returns a copy of the encoded record buffer. It exists so tests
+// and the fault-injection harness can build deliberately damaged captures
+// with NewReplayBytes; the Replay itself stays immutable.
+func (rep *Replay) Bytes() []byte { return append([]byte(nil), rep.buf...) }
+
+// NewReplayBytes reconstructs a Replay from an encoded record buffer (the
+// v2 record layout, no header) and the record count the buffer claims to
+// hold. Cursors over the result report ErrCorrupt instead of panicking
+// when the bytes do not decode to exactly n records.
+func NewReplayBytes(buf []byte, n int64) *Replay { return &Replay{buf: buf, n: n} }
+
 // Open implements Factory, returning a fresh cursor over the capture.
 func (rep *Replay) Open() Source { return &Cursor{rep: rep} }
 
@@ -101,50 +112,101 @@ var _ Factory = (*Replay)(nil)
 // Cursor is a read-only decoding position within a Replay. Next performs
 // no allocation; distinct cursors over one Replay may be advanced from
 // different goroutines concurrently.
+//
+// A damaged buffer (bit flips, truncation) never panics: Next returns
+// false and Err reports an ErrCorrupt with the failing byte offset. A
+// cursor also fails if the buffer ends before the Replay's full record
+// count has been decoded, so truncated captures are always detected.
 type Cursor struct {
 	rep      *Replay
 	pos      int
+	decoded  int64
 	prevPC   uint64
 	prevAddr uint64
+	err      error
 }
 
-// Reset rewinds the cursor to the start of the capture.
-func (c *Cursor) Reset() { c.pos, c.prevPC, c.prevAddr = 0, 0, 0 }
+// Reset rewinds the cursor to the start of the capture and clears any
+// decode error.
+func (c *Cursor) Reset() { *c = Cursor{rep: c.rep} }
 
-func (c *Cursor) uvarint(buf []byte) uint64 {
+// Err returns the first decode error encountered, or nil on clean end.
+func (c *Cursor) Err() error { return c.err }
+
+var _ ErrSource = (*Cursor)(nil)
+
+func (c *Cursor) fail(offset int, format string, args ...any) bool {
+	c.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), offset)
+	return false
+}
+
+func (c *Cursor) uvarint(buf []byte) (uint64, bool) {
 	v, n := binary.Uvarint(buf[c.pos:])
 	if n <= 0 {
-		panic(fmt.Sprintf("trace: corrupt replay buffer at offset %d", c.pos))
+		return 0, false
 	}
 	c.pos += n
-	return v
+	return v, true
 }
 
 // Next implements Source.
 func (c *Cursor) Next(r *Record) bool {
-	buf := c.rep.buf
-	if c.pos >= len(buf) {
+	if c.err != nil {
 		return false
 	}
+	buf := c.rep.buf
+	if c.pos >= len(buf) {
+		if c.decoded != c.rep.n {
+			return c.fail(c.pos, "truncated replay (%d of %d records)", c.decoded, c.rep.n)
+		}
+		return false
+	}
+	if c.decoded >= c.rep.n {
+		return c.fail(c.pos, "replay decodes past %d records", c.rep.n)
+	}
+	start := c.pos
+	if c.pos+2 > len(buf) {
+		return c.fail(start, "truncated record header")
+	}
 	flags, classOp := buf[c.pos], buf[c.pos+1]
+	if flags&0xf0 != 0 {
+		return c.fail(start, "invalid flags %#x", flags)
+	}
+	if int(classOp&0xf) >= numClasses || int(classOp>>4) >= NumOpClasses {
+		return c.fail(start, "invalid class byte %#x", classOp)
+	}
 	c.pos += 2
 	*r = Record{
 		Class: Class(classOp & 0xf),
 		Op:    OpClass(classOp >> 4),
 		Taken: flags&1 != 0,
 	}
-	r.PC = c.prevPC + uint64(unzig(c.uvarint(buf)))
+	d, ok := c.uvarint(buf)
+	if !ok {
+		return c.fail(c.pos, "invalid pc varint")
+	}
+	r.PC = c.prevPC + uint64(unzig(d))
 	c.prevPC = r.PC
 	if flags&2 != 0 {
-		r.Target = r.PC + uint64(unzig(c.uvarint(buf)))
+		if d, ok = c.uvarint(buf); !ok {
+			return c.fail(c.pos, "invalid target varint")
+		}
+		r.Target = r.PC + uint64(unzig(d))
 	}
 	if flags&4 != 0 {
-		r.Addr = c.prevAddr + uint64(unzig(c.uvarint(buf)))
+		if d, ok = c.uvarint(buf); !ok {
+			return c.fail(c.pos, "invalid addr varint")
+		}
+		r.Addr = c.prevAddr + uint64(unzig(d))
 		c.prevAddr = r.Addr
 	}
 	if flags&8 != 0 {
+		if c.pos+3 > len(buf) {
+			return c.fail(c.pos, "truncated register bytes")
+		}
 		r.Dst, r.Src1, r.Src2 = buf[c.pos], buf[c.pos+1], buf[c.pos+2]
 		c.pos += 3
 	}
+	c.decoded++
 	return true
 }

@@ -83,6 +83,9 @@ func (l *Limit) Next(r *Record) bool {
 	return true
 }
 
+// Err surfaces the wrapped source's decode error, if any.
+func (l *Limit) Err() error { return SourceErr(l.Src) }
+
 // FilterBranches wraps a source, yielding only control-flow records. The
 // accuracy simulators use this to skip non-branch instructions cheaply.
 type FilterBranches struct {
@@ -98,6 +101,9 @@ func (f FilterBranches) Next(r *Record) bool {
 	}
 	return false
 }
+
+// Err surfaces the wrapped source's decode error, if any.
+func (f FilterBranches) Err() error { return SourceErr(f.Src) }
 
 // Concat chains sources end to end.
 type Concat struct {

@@ -37,6 +37,14 @@ var (
 	captures atomic.Int64
 )
 
+// TestCaptureTransform, when non-nil, post-processes every captured
+// replay before it enters the memo. It exists for the fault-injection
+// harness (internal/faultinject), which uses it to hand corrupted or
+// truncated captures to chosen workloads. Install and clear it only from
+// tests, bracketed by ResetMemo calls so no transformed capture leaks
+// into or out of the faulty window.
+var TestCaptureTransform func(name string, budget int64, rep *trace.Replay) *trace.Replay
+
 // Replay returns the workload's first budget instructions as an immutable
 // in-memory trace, capturing them from a fresh VM at most once per
 // (workload, budget) key for the life of the process. The result
@@ -54,6 +62,9 @@ func (w *Workload) Replay(budget int64) *trace.Replay {
 	e.once.Do(func() {
 		captures.Add(1)
 		e.rep = trace.Capture(trace.NewLimit(w.Open(), budget))
+		if tf := TestCaptureTransform; tf != nil {
+			e.rep = tf(w.Name, budget, e.rep)
+		}
 	})
 	return e.rep
 }
