@@ -19,7 +19,7 @@ test: race fault fuzz
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace
+	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace ./internal/telemetry
 
 # The fault-injection suite always runs under the race detector: it is the
 # one place panics, corrupted captures, and worker cancellation all cross

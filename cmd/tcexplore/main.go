@@ -1,6 +1,8 @@
 // Command tcexplore runs free-form design-space sweeps over the target
 // cache beyond the paper's fixed tables: entry counts, associativity,
-// history kind and length, against any workload.
+// history kind and length, against any workload. It also renders per-site
+// misprediction reports, either live (-sweep sites) or from a telemetry
+// JSON file written by tcsim -telemetry (-sites).
 //
 // Usage:
 //
@@ -8,9 +10,12 @@
 //	tcexplore -w gcc -sweep assoc -n 2000000
 //	tcexplore -w perl -sweep history
 //	tcexplore -w all -sweep predictors
+//	tcexplore -w perl -sweep sites
+//	tcexplore -sites telem.json -top 5
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -27,10 +33,20 @@ func main() {
 	var (
 		wname = flag.String("w", "perl", "workload name, or \"all\"")
 		sweep = flag.String("sweep", "predictors",
-			"sweep kind: predictors | entries | assoc | history | pathlen")
-		n = flag.Int64("n", 1_000_000, "instructions per simulation")
+			"sweep kind: predictors | entries | assoc | history | pathlen | sites")
+		n     = flag.Int64("n", 1_000_000, "instructions per simulation")
+		sites = flag.String("sites", "", "render the per-site report from this telemetry JSON file (written by tcsim -telemetry) and exit")
+		top   = flag.Int("top", 10, "sites shown per cell in per-site reports (0 = all)")
 	)
 	flag.Parse()
+
+	if *sites != "" {
+		if err := renderSitesFile(*sites, *top); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var ws []*workload.Workload
 	if *wname == "all" {
@@ -42,6 +58,14 @@ func main() {
 			os.Exit(2)
 		}
 		ws = append(ws, w)
+	}
+
+	if *sweep == "sites" {
+		if err := sweepSites(ws, *n, *top); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	var t *stats.Table
@@ -61,6 +85,45 @@ func main() {
 		os.Exit(2)
 	}
 	t.Render(os.Stdout)
+}
+
+// renderSitesFile re-renders the per-site report of a telemetry document
+// previously written by tcsim -telemetry, so a saved run can be inspected
+// without re-simulating.
+func renderSitesFile(path string, top int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep telemetry.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("tcexplore: %s is not a telemetry report: %w", path, err)
+	}
+	return rep.WriteSites(os.Stdout, top)
+}
+
+// sweepSites simulates the baseline BTB and the canonical tagless gshare
+// target cache on each workload with telemetry enabled and prints the
+// per-site breakdown — Table 1's misprediction rates, resolved to the
+// individual jump sites that produce them.
+func sweepSites(ws []*workload.Workload, n int64, top int) error {
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	for _, w := range ws {
+		for _, v := range []struct {
+			name string
+			cfg  sim.Config
+		}{
+			{"btb", sim.DefaultConfig()},
+			{"gshare-512", gshareCfg(512, 9)},
+		} {
+			col := rec.NewCollector()
+			cfg := v.cfg
+			cfg.Telemetry = col
+			sim.RunAccuracy(w, n, cfg)
+			rec.Merge(telemetry.Key{Workload: w.Name, Config: v.name}, col)
+		}
+	}
+	return rec.Report(telemetry.RunInfo{}).WriteSites(os.Stdout, top)
 }
 
 func pct(v float64) string { return stats.Percent(v) }

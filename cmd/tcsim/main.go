@@ -23,10 +23,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,6 +52,10 @@ func run() int {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall time and work counters to this JSON file")
 		quiet      = flag.Bool("quiet", false, "suppress the per-experiment summary on stderr")
+		telemOut   = flag.String("telemetry", "", "write per-site predictor statistics and run metrics to this JSON file")
+		events     = flag.Int("events", 0, "misprediction events retained per simulation cell (0 = no event log)")
+		sites      = flag.Bool("sites", false, "print the per-site misprediction report after the experiment tables")
+		sitesTop   = flag.Int("sites-top", 10, "sites shown per cell in the -sites report (0 = all)")
 	)
 	flag.Parse()
 
@@ -78,6 +86,14 @@ func run() int {
 		case "timeout":
 			if *timeout <= 0 {
 				usageErr = fmt.Sprintf("-timeout must be positive, got %v", *timeout)
+			}
+		case "events":
+			if *events < 0 {
+				usageErr = fmt.Sprintf("-events must be non-negative, got %d", *events)
+			}
+		case "sites-top":
+			if *sitesTop < 0 {
+				usageErr = fmt.Sprintf("-sites-top must be non-negative, got %d", *sitesTop)
 			}
 		}
 	})
@@ -113,6 +129,16 @@ func run() int {
 		params.Parallel = *parallel
 	}
 	params.EventModel = *model == "event"
+
+	// Telemetry is collected only when some output wants it; otherwise the
+	// recorder stays nil and the simulators skip collection entirely.
+	var recorder *telemetry.Recorder
+	if *telemOut != "" || *sites {
+		recorder = telemetry.NewRecorder(telemetry.Config{Events: *events})
+		params.Telemetry = recorder
+	} else if *events > 0 {
+		return fail("tcsim: -events needs a sink; add -telemetry or -sites")
+	}
 
 	var toRun []*bench.Experiment
 	if *exp == "all" {
@@ -164,9 +190,43 @@ func run() int {
 	if logw != nil {
 		opts.Log = logw
 	}
+	before := bench.SnapshotStats()
+	start := time.Now()
 	res, err := bench.RunSuite(ctx, opts)
 	if err != nil {
 		return fail("tcsim: %v", err)
+	}
+	wall := time.Since(start)
+	work := bench.SnapshotStats().Sub(before)
+
+	// Telemetry and benchjson outputs are written even when the run was
+	// interrupted (partial telemetry covers the cells that finished), and
+	// atomically (temp + rename), so a drained SIGINT run always leaves
+	// valid JSON behind — never a truncated file.
+	if recorder != nil {
+		replayCalls, captureCount := workload.MemoCounters()
+		_, memoBytes := workload.MemoStats()
+		rep := recorder.Report(telemetry.RunInfo{
+			Workers:      params.Workers(),
+			Wall:         wall,
+			Instructions: work.Instructions,
+			MemoCaptures: captureCount,
+			MemoHits:     replayCalls - captureCount,
+			MemoBytes:    memoBytes,
+			Interrupted:  res.Interrupted,
+		})
+		if *sites {
+			fmt.Println("== telemetry: per-site indirect-jump report ==")
+			fmt.Println()
+			if err := rep.WriteSites(os.Stdout, *sitesTop); err != nil {
+				return fail("tcsim: %v", err)
+			}
+		}
+		if *telemOut != "" {
+			if err := writeJSONFile(*telemOut, rep); err != nil {
+				return fail("%v", err)
+			}
+		}
 	}
 
 	if *benchJSON != "" {
@@ -199,8 +259,10 @@ func run() int {
 	return 0
 }
 
+// writeJSONFile writes v as indented JSON via a temp file + rename, so an
+// interrupt or error mid-write never leaves a truncated file at path.
 func writeJSONFile(path string, v any) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
@@ -210,5 +272,9 @@ func writeJSONFile(path string, v any) error {
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -36,6 +37,12 @@ type Params struct {
 	// are gathered positionally, so rendered tables are byte-identical at
 	// every setting.
 	Parallel int
+	// Telemetry, when non-nil, collects per-site predictor statistics,
+	// misprediction events and run-level metrics: every simulation cell
+	// gets a private collector, merged into the recorder when the cell
+	// completes. Nil (the default) disables collection; the disabled cost
+	// is one nil check per resolved indirect jump.
+	Telemetry *telemetry.Recorder
 
 	// ctx cancels in-flight simulation cells; nil means Background. Set
 	// it with WithContext so the zero Params stays usable.
@@ -43,6 +50,9 @@ type Params struct {
 	// experiment labels cells for CellError reporting; the suite runner
 	// sets it per experiment via forExperiment.
 	experiment string
+	// cell identifies the simulation cell this Params copy was minted
+	// for; the cell scheduler sets it so kernels can attribute telemetry.
+	cell cellID
 	// fails, when non-nil, collects every CellError across experiments
 	// for the run-level exit digest.
 	fails *failureLog
@@ -55,6 +65,10 @@ func (p Params) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// Workers is the resolved worker-pool size (Parallel, or one per CPU when
+// unset) — the value telemetry.RunInfo wants.
+func (p Params) Workers() int { return p.workers() }
 
 // WithContext returns a copy of p whose simulation cells observe ctx:
 // cancellation stops in-flight kernels at the next poll boundary and marks
@@ -79,6 +93,33 @@ func (p Params) forExperiment(id string, fails *failureLog) Params {
 	p.experiment = id
 	p.fails = fails
 	return p
+}
+
+// forCell returns a copy of p minted for one simulation cell; telemetry
+// collected by the cell's kernels is attributed to id.
+func (p Params) forCell(id cellID) Params {
+	p.cell = id
+	return p
+}
+
+// startCollector returns a fresh telemetry collector for the current
+// cell, nil when telemetry is disabled.
+func (p Params) startCollector() *telemetry.Collector {
+	return p.Telemetry.NewCollector()
+}
+
+// mergeCollector folds a cell kernel's collector into the run-level
+// recorder under the cell's "experiment/workload/config" key. Callers
+// defer it so partial telemetry from failed cells still lands.
+func (p Params) mergeCollector(col *telemetry.Collector) {
+	if col == nil {
+		return
+	}
+	p.Telemetry.Merge(telemetry.Key{
+		Experiment: p.experiment,
+		Workload:   p.cell.Workload,
+		Config:     p.cell.Config,
+	}, col)
 }
 
 // DefaultParams returns budgets that run the full suite quickly while
@@ -179,10 +220,13 @@ func newTimingContext(p Params) *timingContext {
 }
 
 // run executes one timing simulation on the configured model, reading the
-// workload's memoized trace replay rather than a live VM. Kernel errors
+// workload's memoized trace replay rather than a live VM. col, when
+// non-nil, receives the run's telemetry (threaded through the engine so
+// both timing models are instrumented identically). Kernel errors
 // (corrupt replay, cancellation, deadlock guard) come back in Result.Err;
 // callers decide whether to abort their cell.
-func (tc *timingContext) run(w *workload.Workload, cfg sim.Config) cpu.Result {
+func (tc *timingContext) run(w *workload.Workload, cfg sim.Config, col *telemetry.Collector) cpu.Result {
+	cfg.Telemetry = col
 	engine := sim.NewEngine(cfg)
 	src := w.Replay(tc.p.TimingBudget).Open()
 	var res cpu.Result
@@ -212,7 +256,15 @@ func (tc *timingContext) baseline(w *workload.Workload) int64 {
 				c.err, _ = recoveredErr(v)
 			}
 		}()
-		res := tc.run(w, sim.DefaultConfig())
+		// The baseline runs once per workload, inside whichever cell gets
+		// there first — so its telemetry is attributed under a fixed
+		// "btb-baseline" key rather than the racing cell's, keeping
+		// reports identical at any worker count.
+		col := tc.p.Telemetry.NewCollector()
+		defer tc.p.Telemetry.Merge(telemetry.Key{
+			Experiment: tc.p.experiment, Workload: w.Name, Config: "btb-baseline",
+		}, col)
+		res := tc.run(w, sim.DefaultConfig(), col)
 		if res.Err != nil {
 			c.err = res.Err
 			return
@@ -226,10 +278,13 @@ func (tc *timingContext) baseline(w *workload.Workload) int64 {
 }
 
 // reduction runs the machine with the given target-cache configuration and
-// returns the execution-time reduction versus the BTB-only baseline.
-func (tc *timingContext) reduction(w *workload.Workload, cfg sim.Config) float64 {
+// returns the execution-time reduction versus the BTB-only baseline. p is
+// the calling cell's Params (for telemetry attribution).
+func (tc *timingContext) reduction(p Params, w *workload.Workload, cfg sim.Config) float64 {
 	base := tc.baseline(w)
-	res := tc.run(w, cfg)
+	col := p.startCollector()
+	defer p.mergeCollector(col)
+	res := tc.run(w, cfg, col)
 	if res.Err != nil {
 		abortCell(res.Err)
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/sim"
@@ -72,7 +73,7 @@ type slot[T any] struct {
 type groupCell struct {
 	id cellID
 	st *cellStatus
-	fn func()
+	fn func(Params)
 }
 
 type cellGroup struct {
@@ -87,9 +88,10 @@ func newCellGroup(p Params) *cellGroup {
 	return &cellGroup{workers: p.workers(), experiment: p.experiment, p: p}
 }
 
-// do enqueues one cell under id and returns its status. Cells must not
-// depend on each other's slots.
-func (g *cellGroup) do(id cellID, fn func()) *cellStatus {
+// do enqueues one cell under id and returns its status. The cell body
+// receives a Params copy minted for the cell (so kernels can attribute
+// telemetry). Cells must not depend on each other's slots.
+func (g *cellGroup) do(id cellID, fn func(Params)) *cellStatus {
 	st := &cellStatus{}
 	g.cells = append(g.cells, groupCell{id: id, st: st, fn: fn})
 	return st
@@ -97,16 +99,19 @@ func (g *cellGroup) do(id cellID, fn func()) *cellStatus {
 
 // cell enqueues fn under id and returns the slot its result lands in once
 // run returns.
-func cell[T any](g *cellGroup, id cellID, fn func() T) *slot[T] {
+func cell[T any](g *cellGroup, id cellID, fn func(Params) T) *slot[T] {
 	s := &slot[T]{}
-	g.cells = append(g.cells, groupCell{id: id, st: &s.cellStatus, fn: func() { s.val = fn() }})
+	g.cells = append(g.cells, groupCell{id: id, st: &s.cellStatus, fn: func(p Params) { s.val = fn(p) }})
 	return s
 }
 
 // exec runs one cell, converting panics and aborts into a CellError on the
 // cell's status instead of unwinding the worker.
 func (g *cellGroup) exec(c *groupCell) {
+	g.p.Telemetry.CellStarted()
+	start := time.Now()
 	defer func() {
+		g.p.Telemetry.AddBusy(time.Since(start))
 		if v := recover(); v != nil {
 			err, stack := recoveredErr(v)
 			c.st.cerr = &CellError{
@@ -115,6 +120,11 @@ func (g *cellGroup) exec(c *groupCell) {
 				Config:     c.id.Config,
 				Err:        err,
 				Stack:      stack,
+			}
+			g.p.Telemetry.CellFailed()
+			if stack != "" {
+				// A raw panic (not a structured abortCell) was contained.
+				g.p.Telemetry.CellRecovered()
 			}
 		}
 	}()
@@ -125,7 +135,7 @@ func (g *cellGroup) exec(c *groupCell) {
 	if hook := TestCellHook; hook != nil {
 		hook((&CellError{Experiment: g.experiment, Workload: c.id.Workload, Config: c.id.Config}).CellLabel())
 	}
-	c.fn()
+	c.fn(g.p.forCell(c.id))
 }
 
 // run executes all enqueued cells, at most g.workers at a time, and clears
@@ -244,6 +254,9 @@ func (s RunStats) Sub(earlier RunStats) RunStats {
 
 // runAccuracy is sim.RunAccuracy over the memoized replay.
 func runAccuracy(w *workload.Workload, p Params, cfg sim.Config) sim.AccuracyResult {
+	col := p.startCollector()
+	defer p.mergeCollector(col)
+	cfg.Telemetry = col
 	res := sim.RunAccuracyCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
@@ -255,6 +268,9 @@ func runAccuracy(w *workload.Workload, p Params, cfg sim.Config) sim.AccuracyRes
 // runAccuracyFlushes is sim.RunAccuracyWithFlushes over the memoized
 // replay.
 func runAccuracyFlushes(w *workload.Workload, p Params, interval int64, cfg sim.Config) sim.AccuracyResult {
+	col := p.startCollector()
+	defer p.mergeCollector(col)
+	cfg.Telemetry = col
 	res := sim.RunAccuracyWithFlushesCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, interval, cfg)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
@@ -266,6 +282,9 @@ func runAccuracyFlushes(w *workload.Workload, p Params, interval int64, cfg sim.
 // runTiming is the fast one-pass timing model over the memoized replay
 // with an explicit machine configuration.
 func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cpu.Result {
+	col := p.startCollector()
+	defer p.mergeCollector(col)
+	cfg.Telemetry = col
 	res := cpu.New(mc, sim.NewEngine(cfg)).RunCtx(p.Context(), w.Replay(p.TimingBudget).Open(), p.TimingBudget)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {

@@ -212,7 +212,7 @@ var verifyExperiment = registerExperiment(&Experiment{
 		g := newCellGroup(p)
 		cells := make([]*slot[claimCell], len(claims))
 		for i, c := range claims {
-			cells[i] = cell(g, cellID{Config: fmt.Sprintf("claim-%d", c.ID)}, func() claimCell {
+			cells[i] = cell(g, cellID{Config: fmt.Sprintf("claim-%d", c.ID)}, func(p Params) claimCell {
 				msg, ok := c.Check(p)
 				return claimCell{msg, ok}
 			})

@@ -33,7 +33,7 @@ var table1 = registerExperiment(&Experiment{
 		g := newCellGroup(p)
 		cells := make([]*slot[t1cell], len(ws))
 		for i, w := range ws {
-			cells[i] = cell(g, cid(w, "btb"), func() t1cell {
+			cells[i] = cell(g, cid(w, "btb"), func(p Params) t1cell {
 				return t1cell{
 					res:    runAccuracy(w, p, sim.DefaultConfig()),
 					static: runTraceStats(w, p).StaticIndJumps(),
@@ -72,7 +72,7 @@ var figures1to8 = registerExperiment(&Experiment{
 		g := newCellGroup(p)
 		cells := make([]*slot[*trace.Stats], len(ws))
 		for i, w := range ws {
-			cells[i] = cell(g, cid(w, "trace-stats"), func() *trace.Stats { return runTraceStats(w, p) })
+			cells[i] = cell(g, cid(w, "trace-stats"), func(p Params) *trace.Stats { return runTraceStats(w, p) })
 		}
 		g.run()
 		var out []*stats.Table
@@ -131,10 +131,10 @@ var table2 = registerExperiment(&Experiment{
 		defs := make([]*slot[float64], len(ws))
 		twos := make([]*slot[float64], len(ws))
 		for i, w := range ws {
-			defs[i] = cell(g, cid(w, "btb-default"), func() float64 {
+			defs[i] = cell(g, cid(w, "btb-default"), func(p Params) float64 {
 				return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
 			})
-			twos[i] = cell(g, cid(w, "btb-2bit"), func() float64 {
+			twos[i] = cell(g, cid(w, "btb-2bit"), func(p Params) float64 {
 				cfg := sim.DefaultConfig()
 				cfg.BTB.Strategy = btb.StrategyTwoBit
 				return runAccuracy(w, p, cfg).IndirectMispredictRate()
@@ -187,7 +187,7 @@ var table4 = registerExperiment(&Experiment{
 		for i, tcCfg := range configs {
 			rates[i] = make([]*slot[float64], len(ws))
 			for j, w := range ws {
-				rates[i][j] = cell(g, cid(w, tcCfg.Name()), func() float64 {
+				rates[i][j] = cell(g, cid(w, tcCfg.Name()), func(p Params) float64 {
 					histBits := 9
 					if tcCfg.Scheme == core.SchemeGAs {
 						histBits = tcCfg.HistBits
@@ -221,7 +221,7 @@ var table4 = registerExperiment(&Experiment{
 // timing baseline, so reduction cells spend no pool time blocked on it.
 func warmBaselines(g *cellGroup, tctx *timingContext, ws []*workload.Workload) {
 	for _, w := range ws {
-		g.do(cid(w, "btb-baseline"), func() { tctx.baseline(w) })
+		g.do(cid(w, "btb-baseline"), func(Params) { tctx.baseline(w) })
 	}
 }
 
@@ -241,8 +241,8 @@ var table5 = registerExperiment(&Experiment{
 			for j, offset := range offsets {
 				for _, s := range pathSchemes(9, 1, offset) {
 					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("bit%d/%s", offset, s.Name)), func() float64 {
-						return tctx.reduction(w, cfg)
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("bit%d/%s", offset, s.Name)), func(p Params) float64 {
+						return tctx.reduction(p, w, cfg)
 					}))
 				}
 			}
@@ -283,8 +283,8 @@ var table6 = registerExperiment(&Experiment{
 			for j, bits := range bitCounts {
 				for _, s := range pathSchemes(9, bits, 2) {
 					cfg := tcConfig(taglessGshare(512), path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dbit/%s", bits, s.Name)), func() float64 {
-						return tctx.reduction(w, cfg)
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dbit/%s", bits, s.Name)), func(p Params) float64 {
+						return tctx.reduction(p, w, cfg)
 					}))
 				}
 			}
@@ -332,8 +332,8 @@ var table7 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: scheme, HistBits: 9,
 						})
 					}, pattern(9))
-					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/scheme%d", ways, scheme)), func() float64 {
-						return tctx.reduction(w, cfg)
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/scheme%d", ways, scheme)), func(p Params) float64 {
+						return tctx.reduction(p, w, cfg)
 					}))
 				}
 			}
@@ -378,8 +378,8 @@ var table8 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 						})
 					}, path(s.Cfg))
-					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%s", ways, s.Name)), func() float64 {
-						return tctx.reduction(w, cfg)
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%s", ways, s.Name)), func(p Params) float64 {
+						return tctx.reduction(p, w, cfg)
 					}))
 				}
 			}
@@ -425,8 +425,8 @@ var table9 = registerExperiment(&Experiment{
 							Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: bits,
 						})
 					}, pattern(bits))
-					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%dbits", ways, bits)), func() float64 {
-						return tctx.reduction(w, cfg)
+					reds[i][j] = append(reds[i][j], cell(g, cid(w, fmt.Sprintf("%dway/%dbits", ways, bits)), func(p Params) float64 {
+						return tctx.reduction(p, w, cfg)
 					}))
 				}
 			}
@@ -465,8 +465,8 @@ var figures12and13 = registerExperiment(&Experiment{
 		taglessReds := make([]*slot[float64], len(ws))
 		taggedReds := make([][]*slot[float64], len(ws))
 		for i, w := range ws {
-			taglessReds[i] = cell(g, cid(w, "tagless-512"), func() float64 {
-				return tctx.reduction(w, tcConfig(taglessGshare(512), pattern(9)))
+			taglessReds[i] = cell(g, cid(w, "tagless-512"), func(p Params) float64 {
+				return tctx.reduction(p, w, tcConfig(taglessGshare(512), pattern(9)))
 			})
 			taggedReds[i] = make([]*slot[float64], len(wayCounts))
 			for j, ways := range wayCounts {
@@ -475,8 +475,8 @@ var figures12and13 = registerExperiment(&Experiment{
 						Entries: 256, Ways: ways, Scheme: core.SchemeHistoryXor, HistBits: 9,
 					})
 				}, pattern(9))
-				taggedReds[i][j] = cell(g, cid(w, fmt.Sprintf("tagged-256/%dway", ways)), func() float64 {
-					return tctx.reduction(w, cfg)
+				taggedReds[i][j] = cell(g, cid(w, fmt.Sprintf("tagged-256/%dway", ways)), func(p Params) float64 {
+					return tctx.reduction(p, w, cfg)
 				})
 			}
 		}
@@ -533,7 +533,7 @@ var ablationHistLen = registerExperiment(&Experiment{
 		for i, bits := range bitCounts {
 			rates[i] = make([]*slot[float64], len(ws))
 			for j, w := range ws {
-				rates[i][j] = cell(g, cid(w, fmt.Sprintf("gshare-%dbits", bits)), func() float64 {
+				rates[i][j] = cell(g, cid(w, fmt.Sprintf("gshare-%dbits", bits)), func(p Params) float64 {
 					cfg := tcConfig(taglessGshare(512), pattern(bits))
 					return runAccuracy(w, p, cfg).IndirectMispredictRate()
 				})
@@ -593,16 +593,16 @@ var cbtComparison = registerExperiment(&Experiment{
 		cells := make([]cbtCell, len(ws))
 		for i, w := range ws {
 			cells[i] = cbtCell{
-				base: cell(g, cid(w, "btb"), func() float64 {
+				base: cell(g, cid(w, "btb"), func(p Params) float64 {
 					return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
 				}),
-				stale: cell(g, cid(w, "cbt-stale"), func() float64 {
+				stale: cell(g, cid(w, "cbt-stale"), func(p Params) float64 {
 					return runCBT(w, p, false)
 				}),
-				oracle: cell(g, cid(w, "cbt-oracle"), func() float64 {
+				oracle: cell(g, cid(w, "cbt-oracle"), func(p Params) float64 {
 					return runCBT(w, p, true)
 				}),
-				tc: cell(g, cid(w, "target-cache"), func() float64 {
+				tc: cell(g, cid(w, "target-cache"), func(p Params) float64 {
 					return runAccuracy(w, p,
 						tcConfig(taglessGshare(512), pattern(9))).IndirectMispredictRate()
 				}),

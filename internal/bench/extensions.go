@@ -59,16 +59,16 @@ var cxxExperiment = registerExperiment(&Experiment{
 
 		g := newCellGroup(p)
 		warmBaselines(g, tctx, []*workload.Workload{w})
-		baseRate := cell(g, cid(w, "btb"), func() float64 {
+		baseRate := cell(g, cid(w, "btb"), func(p Params) float64 {
 			return runAccuracy(w, p, sim.DefaultConfig()).IndirectMispredictRate()
 		})
 		accs := make([]*slot[float64], len(variants))
 		reds := make([]*slot[float64], len(variants))
 		for i, v := range variants {
-			accs[i] = cell(g, cid(w, v.name+"/accuracy"), func() float64 {
+			accs[i] = cell(g, cid(w, v.name+"/accuracy"), func(p Params) float64 {
 				return runAccuracy(w, p, v.cfg).IndirectMispredictRate()
 			})
-			reds[i] = cell(g, cid(w, v.name+"/timing"), func() float64 { return tctx.reduction(w, v.cfg) })
+			reds[i] = cell(g, cid(w, v.name+"/timing"), func(p Params) float64 { return tctx.reduction(p, w, v.cfg) })
 		}
 		g.run()
 
@@ -119,7 +119,7 @@ var followupsExperiment = registerExperiment(&Experiment{
 		for i, w := range ws {
 			rates[i] = make([]*slot[float64], len(configs))
 			for j, cfg := range configs {
-				rates[i][j] = cell(g, cid(w, cfgNames[j]), func() float64 {
+				rates[i][j] = cell(g, cid(w, cfgNames[j]), func(p Params) float64 {
 					return runAccuracy(w, p, cfg).IndirectMispredictRate()
 				})
 			}
@@ -161,7 +161,10 @@ var wrongPathExperiment = registerExperiment(&Experiment{
 		g := newCellGroup(p)
 		cells := make([]wpCell, len(ws))
 		for i, w := range ws {
-			run := func(cfg sim.Config, wrongPath bool) cpu.Result {
+			run := func(p Params, cfg sim.Config, wrongPath bool) cpu.Result {
+				col := p.startCollector()
+				defer p.mergeCollector(col)
+				cfg.Telemetry = col
 				mc := cpu.DefaultConfig()
 				mc.ModelWrongPath = wrongPath
 				res := cpu.NewEvent(mc, sim.NewEngine(cfg)).RunCtx(p.Context(), w.Open(), p.TimingBudget)
@@ -172,10 +175,10 @@ var wrongPathExperiment = registerExperiment(&Experiment{
 				return res
 			}
 			cells[i] = wpCell{
-				baseClean: cell(g, cid(w, "btb"), func() cpu.Result { return run(sim.DefaultConfig(), false) }),
-				tcClean:   cell(g, cid(w, "tc"), func() cpu.Result { return run(tcCfg, false) }),
-				baseWP:    cell(g, cid(w, "btb-wrongpath"), func() cpu.Result { return run(sim.DefaultConfig(), true) }),
-				tcWP:      cell(g, cid(w, "tc-wrongpath"), func() cpu.Result { return run(tcCfg, true) }),
+				baseClean: cell(g, cid(w, "btb"), func(p Params) cpu.Result { return run(p, sim.DefaultConfig(), false) }),
+				tcClean:   cell(g, cid(w, "tc"), func(p Params) cpu.Result { return run(p, tcCfg, false) }),
+				baseWP:    cell(g, cid(w, "btb-wrongpath"), func(p Params) cpu.Result { return run(p, sim.DefaultConfig(), true) }),
+				tcWP:      cell(g, cid(w, "tc-wrongpath"), func(p Params) cpu.Result { return run(p, tcCfg, true) }),
 			}
 		}
 		g.run()
@@ -225,10 +228,10 @@ var contextSwitchExperiment = registerExperiment(&Experiment{
 			cells[i] = make([]csCell, len(intervals))
 			for j, interval := range intervals {
 				cells[i][j] = csCell{
-					base: cell(g, cid(w, fmt.Sprintf("btb/flush-%d", interval)), func() float64 {
+					base: cell(g, cid(w, fmt.Sprintf("btb/flush-%d", interval)), func(p Params) float64 {
 						return runAccuracyFlushes(w, p, interval, sim.DefaultConfig()).IndirectMispredictRate()
 					}),
-					tc: cell(g, cid(w, fmt.Sprintf("tc/flush-%d", interval)), func() float64 {
+					tc: cell(g, cid(w, fmt.Sprintf("tc/flush-%d", interval)), func(p Params) float64 {
 						return runAccuracyFlushes(w, p, interval, tcCfg).IndirectMispredictRate()
 					}),
 				}
@@ -273,7 +276,7 @@ var rasExperiment = registerExperiment(&Experiment{
 				if err != nil {
 					panic(err)
 				}
-				rates[i][j] = cell(g, cid(w, fmt.Sprintf("ras-%d", depth)), func() float64 {
+				rates[i][j] = cell(g, cid(w, fmt.Sprintf("ras-%d", depth)), func(p Params) float64 {
 					cfg := sim.DefaultConfig()
 					cfg.RASDepth = depth
 					return runAccuracy(w, p, cfg).Returns.MispredictRate()
@@ -334,10 +337,10 @@ var sensitivityExperiment = registerExperiment(&Experiment{
 				machineCfg := cpu.DefaultConfig()
 				m.mutate(&machineCfg)
 				cells[i][j] = sensCell{
-					base: cell(g, cid(w, fmt.Sprintf("machine%d/btb", j)), func() cpu.Result {
+					base: cell(g, cid(w, fmt.Sprintf("machine%d/btb", j)), func(p Params) cpu.Result {
 						return runTiming(w, p, sim.DefaultConfig(), machineCfg)
 					}),
-					tc: cell(g, cid(w, fmt.Sprintf("machine%d/tc", j)), func() cpu.Result {
+					tc: cell(g, cid(w, fmt.Sprintf("machine%d/tc", j)), func(p Params) cpu.Result {
 						return runTiming(w, p, tcCfg, machineCfg)
 					}),
 				}

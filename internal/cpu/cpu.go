@@ -269,6 +269,9 @@ func (m *Machine) RunCtx(ctx context.Context, src trace.Source, budget int64) Re
 			res.Branches++
 			p := m.engine.Predict(&r)
 			correct := p.Correct(&r)
+			// Telemetry events from timing runs carry the branch's resolve
+			// cycle. Nil-safe, one call per branch when enabled.
+			m.engine.Tel.SetClock(complete)
 			m.engine.Resolve(&r, p)
 			switch r.Class {
 			case trace.ClassIndJump, trace.ClassIndCall:

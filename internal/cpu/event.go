@@ -217,6 +217,9 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 					e.isBranch = true
 					p := m.engine.Predict(&r)
 					correct := p.Correct(&r)
+					// The resolve cycle is unknown until issue; stamp
+					// telemetry events with the fetch cycle instead.
+					m.engine.Tel.SetClock(cycle)
 					m.engine.Resolve(&r, p)
 					switch r.Class {
 					case trace.ClassIndJump, trace.ClassIndCall:

@@ -81,6 +81,9 @@ func RunAccuracyCtx(ctx context.Context, factory trace.Factory, budget int64, cf
 			if p.FromTC {
 				res.TCCovered++
 			}
+			// Accuracy runs have no cycle clock; telemetry events are
+			// stamped with the instruction index instead. Nil-safe.
+			engine.Tel.SetClock(res.Instructions)
 		}
 		res.Overall.Record(correct)
 		engine.Resolve(&r, p)

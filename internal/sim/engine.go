@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dirpred"
 	"repro/internal/history"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -27,6 +28,12 @@ type Config struct {
 	// NewHistory constructs the branch history indexing the target cache
 	// (required when NewTargetCache is set).
 	NewHistory func() history.Provider
+
+	// Telemetry, when non-nil, receives every resolved indirect jump
+	// (site, history, predicted vs actual target). The collector is owned
+	// by the goroutine driving the engine; nil costs one pointer check
+	// per resolved indirect jump.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the paper's baseline front end (no target cache).
@@ -53,6 +60,9 @@ type Engine struct {
 	Dir  *dirpred.Predictor
 	TC   core.TargetCache // nil for the baseline
 	Hist history.Provider // nil when TC is nil
+	// Tel is the engine's telemetry collector (nil when disabled). The
+	// timing drivers read it to stamp events with their cycle clock.
+	Tel *telemetry.Collector
 }
 
 // NewEngine instantiates cfg.
@@ -61,6 +71,7 @@ func NewEngine(cfg Config) *Engine {
 		BTB: btb.New(cfg.BTB),
 		RAS: btb.NewRAS(cfg.RASDepth),
 		Dir: dirpred.New(cfg.Dir),
+		Tel: cfg.Telemetry,
 	}
 	if cfg.NewTargetCache != nil {
 		e.TC = cfg.NewTargetCache()
@@ -155,6 +166,13 @@ func (e *Engine) Predict(r *trace.Record) Prediction {
 // fetch-time prediction p. It must be called exactly once per branch, in
 // program order.
 func (e *Engine) Resolve(r *trace.Record, p Prediction) {
+	// Telemetry first, on the fetch-time prediction, before any structure
+	// trains. Resolve is the one point every driver (accuracy, flush,
+	// fast timing, event timing) passes through, so instrumenting here
+	// keeps all of them consistent.
+	if e.Tel != nil && r.Class.IsTargetCachePredicted() {
+		e.Tel.Indirect(r.PC, p.hist, p.Target, p.Taken && p.HasTarget, r.Target, p.Correct(r))
+	}
 	// Return address stack: calls push at resolve (in-order driver), and
 	// returns consume the speculatively peeked entry.
 	if r.Class.IsCall() {

@@ -53,6 +53,7 @@ func RunAccuracyWithFlushesCtx(ctx context.Context, factory trace.Factory, budge
 			if p.FromTC {
 				res.TCCovered++
 			}
+			engine.Tel.SetClock(res.Instructions)
 		}
 		res.Overall.Record(correct)
 		engine.Resolve(&r, p)

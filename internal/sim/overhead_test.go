@@ -1,0 +1,138 @@
+package sim_test
+
+// Telemetry cost guard: the instrumentation layer promises that DISABLED
+// telemetry costs the accuracy kernel essentially nothing (one nil check
+// per resolved indirect jump plus a nil-safe clock call). The test below
+// holds the instrumented kernel to within 2% of a telemetry-free copy of
+// the same loop; the benchmarks report the enabled cost for profiling.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// plainAccuracyLoop is sim.RunAccuracyCtx with every telemetry touchpoint
+// deleted — the pre-instrumentation kernel, kept here as the throughput
+// reference. If the two drift apart structurally, update this copy.
+func plainAccuracyLoop(factory trace.Factory, budget int64, cfg sim.Config) sim.AccuracyResult {
+	ctx := context.Background()
+	engine := sim.NewEngine(cfg)
+	var res sim.AccuracyResult
+	src := trace.NewLimit(factory.Open(), budget)
+	var r trace.Record
+	for src.Next(&r) {
+		res.Instructions++
+		if res.Instructions&(1<<14-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return res
+			}
+		}
+		if !r.Class.IsBranch() {
+			continue
+		}
+		res.Branches++
+		p := engine.Predict(&r)
+		correct := p.Correct(&r)
+		switch r.Class {
+		case trace.ClassCondDirect:
+			res.Conditional.Record(correct)
+		case trace.ClassUncondDirect, trace.ClassCall:
+			res.Direct.Record(correct)
+		case trace.ClassReturn:
+			res.Returns.Record(correct)
+		case trace.ClassIndJump, trace.ClassIndCall:
+			res.Indirect.Record(correct)
+			if p.FromTC {
+				res.TCCovered++
+			}
+		}
+		res.Overall.Record(correct)
+		engine.Resolve(&r, p)
+	}
+	res.Err = trace.SourceErr(src)
+	return res
+}
+
+// TestDisabledTelemetryOverhead pins the <2% disabled-cost budget. Both
+// kernels run interleaved and best-of-N, which suppresses one-off noise
+// (GC, scheduler) well enough for a regression guard; the whole
+// measurement retries a few times before declaring a failure.
+func TestDisabledTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement simulates tens of millions of instructions")
+	}
+	const budget = 2_000_000
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Replay(budget)
+	cfg := sim.DefaultConfig()
+
+	// Warm up: fault in the replay and JIT-warm both paths, and make sure
+	// the two kernels still compute identical results (a drifted copy
+	// would make the comparison meaningless).
+	plain := plainAccuracyLoop(rep, budget, cfg)
+	inst := sim.RunAccuracy(rep, budget, cfg)
+	if plain != inst {
+		t.Fatalf("reference kernel drifted from sim.RunAccuracy:\nplain: %+v\ninst:  %+v", plain, inst)
+	}
+
+	measure := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	const maxOverhead = 1.02
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		base := measure(func() { plainAccuracyLoop(rep, budget, cfg) })
+		with := measure(func() { sim.RunAccuracy(rep, budget, cfg) })
+		ratio = float64(with) / float64(base)
+		if ratio <= maxOverhead {
+			return
+		}
+		t.Logf("attempt %d: disabled-telemetry ratio %.4f (base %v, instrumented %v)", attempt, ratio, base, with)
+	}
+	t.Errorf("disabled telemetry costs %.1f%% of accuracy throughput, budget is 2%%", (ratio-1)*100)
+}
+
+func benchmarkAccuracy(b *testing.B, col func() *telemetry.Collector) {
+	const budget = 1_000_000
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := w.Replay(budget)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Telemetry = col()
+		sim.RunAccuracy(rep, budget, cfg)
+	}
+	b.ReportMetric(float64(budget*int64(b.N))/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkAccuracyTelemetryOff(b *testing.B) {
+	benchmarkAccuracy(b, func() *telemetry.Collector { return nil })
+}
+
+func BenchmarkAccuracyTelemetryOn(b *testing.B) {
+	benchmarkAccuracy(b, func() *telemetry.Collector {
+		return telemetry.NewCollector(telemetry.Config{Events: 64})
+	})
+}

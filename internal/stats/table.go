@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table renders rows of strings as an aligned plain-text table with a title
@@ -34,6 +35,11 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// cellWidth measures a cell in runes, not bytes, so non-ASCII cells (ö,
+// µ, —) don't inflate their column. Combining marks and East Asian wide
+// glyphs still count as one column each; the tables here don't use them.
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func (t *Table) widths() []int {
 	n := len(t.Headers)
 	for _, r := range t.Rows {
@@ -43,14 +49,14 @@ func (t *Table) widths() []int {
 	}
 	w := make([]int, n)
 	for i, h := range t.Headers {
-		if len(h) > w[i] {
-			w[i] = len(h)
+		if cellWidth(h) > w[i] {
+			w[i] = cellWidth(h)
 		}
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if len(c) > w[i] {
-				w[i] = len(c)
+			if cellWidth(c) > w[i] {
+				w[i] = cellWidth(c)
 			}
 		}
 	}
@@ -93,12 +99,21 @@ func (t *Table) renderRow(w io.Writer, widths []int, cells []string) {
 		if i < len(cells) {
 			c = cells[i]
 		}
+		// Pad by rune count ourselves: fmt's %*s pads by byte length, which
+		// misaligns columns containing multi-byte runes.
+		gap := width - cellWidth(c)
+		if gap < 0 {
+			gap = 0
+		}
 		// Left-align the first column (row labels), right-align data.
 		if i == 0 {
-			fmt.Fprintf(&b, "%-*s  ", width, c)
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", gap))
 		} else {
-			fmt.Fprintf(&b, "%*s  ", width, c)
+			b.WriteString(strings.Repeat(" ", gap))
+			b.WriteString(c)
 		}
+		b.WriteString("  ")
 	}
 	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 }

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestTableRender(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Table
+		want  string
+	}{
+		{
+			name: "basic alignment",
+			build: func() *Table {
+				tb := NewTable("T", "name", "value")
+				tb.AddRow("a", "1")
+				tb.AddRow("longer", "22")
+				return tb
+			},
+			want: "" +
+				"T\n" +
+				"---------------\n" +
+				"name    value\n" +
+				"---------------\n" +
+				"a           1\n" +
+				"longer     22\n" +
+				"---------------\n",
+		},
+		{
+			name: "empty rows render headers only",
+			build: func() *Table {
+				return NewTable("Empty", "col1", "col2")
+			},
+			want: "" +
+				"Empty\n" +
+				"------------\n" +
+				"col1  col2\n" +
+				"------------\n" +
+				"------------\n",
+		},
+		{
+			name: "short rows pad, long rows extend",
+			build: func() *Table {
+				tb := NewTable("Ragged", "a", "b")
+				tb.AddRow("x")
+				tb.AddRow("y", "2", "extra")
+				return tb
+			},
+			want: "" +
+				"Ragged\n" +
+				"-------------\n" +
+				"a  b\n" +
+				"-------------\n" +
+				"x\n" +
+				"y  2  extra\n" +
+				"-------------\n",
+		},
+		{
+			name: "notes and trailer",
+			build: func() *Table {
+				tb := NewTable("N", "h")
+				tb.AddRow("v")
+				tb.AddNote("count %d", 3)
+				tb.Trailer = "chart\n"
+				return tb
+			},
+			want: "" +
+				"N\n" +
+				"---\n" +
+				"h\n" +
+				"---\n" +
+				"v\n" +
+				"---\n" +
+				"note: count 3\n" +
+				"\n" +
+				"chart\n",
+		},
+		{
+			name: "no title no headers",
+			build: func() *Table {
+				tb := &Table{}
+				tb.AddRow("only", "row")
+				return tb
+			},
+			want: "" +
+				"-----------\n" +
+				"only  row\n" +
+				"-----------\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.build().String()
+			if got != tc.want {
+				t.Errorf("render mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTableWideRunes pins the rune-width fix: cells with multi-byte runes
+// must align by visible characters, not bytes. Every data line of the
+// rendered table has to come out the same visible width as the separator.
+func TestTableWideRunes(t *testing.T) {
+	tb := NewTable("Unicode", "scheme", "rate")
+	tb.AddRow("Hölzle", "1.0%")
+	tb.AddRow("µ-op", "22.5%")
+	tb.AddRow("ascii", "100.0%")
+	out := tb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	sep := lines[1]
+	if strings.Trim(sep, "-") != "" {
+		t.Fatalf("expected separator on line 2, got %q", sep)
+	}
+	for _, line := range lines[2:] {
+		if strings.Trim(line, "-") == "" {
+			continue
+		}
+		if w := utf8.RuneCountInString(line); w > len(sep) {
+			t.Errorf("line %q is %d columns wide, separator only %d", line, w, len(sep))
+		}
+	}
+
+	// The right-aligned data column must line up across rows: each data
+	// line ends at the same visible column.
+	var ends []int
+	for _, line := range lines[3:] {
+		if strings.Trim(line, "-") == "" {
+			continue
+		}
+		ends = append(ends, utf8.RuneCountInString(line))
+	}
+	for _, e := range ends[1:] {
+		if e != ends[0] {
+			t.Errorf("right-aligned column ends differ: %v\noutput:\n%s", ends, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x", "1")
+	tb.AddRow("with,comma", "2")
+	tb.AddNote("notes are omitted from CSV")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\n\"with,comma\",2\n"
+	if b.String() != want {
+		t.Errorf("csv mismatch\ngot:  %q\nwant: %q", b.String(), want)
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// hex renders an address the way the per-site report and the JSON export
+// both use, so the two are greppable against each other.
+func hex(v uint64) string { return fmt.Sprintf("0x%x", v) }
+
+// WriteSites renders the report's per-site statistics as plain-text
+// tables, one per cell, in the style of the paper's Table 1 but broken
+// down by static jump site. topSites bounds the rows per cell (hottest
+// sites first); 0 means all. The output depends only on the merged
+// counters — never on wall time or scheduling — so it is byte-identical
+// at any worker count.
+func (rep *Report) WriteSites(w io.Writer, topSites int) error {
+	for i, cell := range rep.Cells {
+		t := stats.NewTable(
+			fmt.Sprintf("Sites: %s", cell.Key.String()),
+			"site", "execs", "mispred", "rate", "targets", "top target", "share", "H(target)", "H(hist)")
+		rows := cell.Sites
+		// Hottest sites first; the site list arrives PC-sorted, so the
+		// stable sort breaks execution-count ties by address.
+		rows = append([]SiteReport(nil), rows...)
+		stableSortByExecutions(rows)
+		shown := 0
+		for _, s := range rows {
+			if topSites > 0 && shown >= topSites {
+				break
+			}
+			shown++
+			top, share := "-", "-"
+			if len(s.TopTargets) > 0 {
+				top = s.TopTargets[0].Target
+				share = stats.Percent(s.DominantShare)
+			}
+			targets := fmt.Sprintf("%d", s.DistinctTargets)
+			if s.TargetOverflow > 0 {
+				targets += "+"
+			}
+			t.AddRow(s.PC,
+				fmt.Sprintf("%d", s.Executions),
+				fmt.Sprintf("%d", s.Mispredicts),
+				stats.Percent(s.MispredictRate),
+				targets,
+				top,
+				share,
+				fmt.Sprintf("%.3f", s.TargetEntropy),
+				fmt.Sprintf("%.3f", s.HistoryEntropy))
+		}
+		if shown < len(cell.Sites) {
+			t.AddNote("showing %d of %d sites (by dynamic execution count)", shown, len(cell.Sites))
+		}
+		if n := len(cell.Events); n > 0 {
+			t.AddNote("event log: %d misprediction(s) retained, %d dropped", n, cell.EventsDropped)
+		}
+		t.Render(w)
+		if i < len(rep.Cells)-1 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func stableSortByExecutions(rows []SiteReport) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Executions > rows[j].Executions })
+}

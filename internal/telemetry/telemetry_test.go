@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorSiteStats(t *testing.T) {
+	c := NewCollector(Config{})
+	// Site 0x100: 4 executions, 2 targets (0x200 hot), 1 mispredict.
+	c.Indirect(0x100, 7, 0x200, true, 0x200, true)
+	c.Indirect(0x100, 7, 0x200, true, 0x200, true)
+	c.Indirect(0x100, 9, 0x200, true, 0x200, true)
+	c.Indirect(0x100, 9, 0x200, true, 0x300, false)
+	// Site 0x110: 1 execution, no front-end prediction at all.
+	c.Indirect(0x110, 0, 0, false, 0x400, false)
+
+	rec := NewRecorder(Config{})
+	rec.Merge(Key{Workload: "w", Config: "c"}, c)
+	rep := rec.Report(RunInfo{})
+	if len(rep.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(rep.Cells))
+	}
+	sites := rep.Cells[0].Sites
+	if len(sites) != 2 {
+		t.Fatalf("want 2 sites, got %d", len(sites))
+	}
+	s := sites[0]
+	if s.PC != "0x100" || s.Executions != 4 || s.Mispredicts != 1 {
+		t.Errorf("site 0x100: got %+v", s)
+	}
+	if s.MispredictRate != 0.25 {
+		t.Errorf("mispredict rate: got %v, want 0.25", s.MispredictRate)
+	}
+	if s.DistinctTargets != 2 {
+		t.Errorf("distinct targets: got %d, want 2", s.DistinctTargets)
+	}
+	if len(s.TopTargets) != 2 || s.TopTargets[0].Target != "0x200" || s.TopTargets[0].Count != 3 {
+		t.Errorf("top targets: got %+v", s.TopTargets)
+	}
+	if s.DominantShare != 0.75 {
+		t.Errorf("dominant share: got %v, want 0.75", s.DominantShare)
+	}
+	// Two histories, two each: exactly 1 bit of history entropy.
+	if math.Abs(s.HistoryEntropy-1.0) > 1e-12 {
+		t.Errorf("history entropy: got %v, want 1.0", s.HistoryEntropy)
+	}
+	if sites[1].PC != "0x110" || sites[1].MispredictRate != 1.0 {
+		t.Errorf("site 0x110: got %+v", sites[1])
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	c := NewCollector(Config{TopK: 2})
+	// Tie between 0x30 and 0x20 on count: lower address must win the tie.
+	for range 3 {
+		c.Indirect(0x1, 0, 0x30, true, 0x30, true)
+		c.Indirect(0x1, 0, 0x20, true, 0x20, true)
+	}
+	c.Indirect(0x1, 0, 0x10, true, 0x10, true)
+	rec := NewRecorder(Config{TopK: 2})
+	rec.Merge(Key{}, c)
+	tops := rec.Report(RunInfo{}).Cells[0].Sites[0].TopTargets
+	if len(tops) != 2 {
+		t.Fatalf("want top-2, got %d entries", len(tops))
+	}
+	if tops[0].Target != "0x20" || tops[1].Target != "0x30" {
+		t.Errorf("tie must break by address: got %+v", tops)
+	}
+}
+
+func TestEventRing(t *testing.T) {
+	c := NewCollector(Config{Events: 3})
+	for i := range 5 {
+		c.SetClock(int64(i))
+		// All mispredictions: actual differs from predicted.
+		c.Indirect(0x1, 0, 0xaa, true, uint64(0x100+i), false)
+	}
+	events, dropped := c.Events()
+	if dropped != 2 {
+		t.Errorf("dropped: got %d, want 2", dropped)
+	}
+	if len(events) != 3 {
+		t.Fatalf("retained: got %d, want 3", len(events))
+	}
+	for i, ev := range events {
+		if want := int64(i + 2); ev.Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d (most recent, chronological)", i, ev.Cycle, want)
+		}
+	}
+	if events[0].Actual != 0x102 || events[0].Predicted != 0xaa {
+		t.Errorf("event contents: %+v", events[0])
+	}
+}
+
+func TestEventRingDisabled(t *testing.T) {
+	c := NewCollector(Config{})
+	c.Indirect(0x1, 0, 0x2, true, 0x3, false)
+	if events, dropped := c.Events(); events != nil || dropped != 0 {
+		t.Errorf("disabled ring must report nothing, got %v/%d", events, dropped)
+	}
+}
+
+func TestBoundedTargetTracking(t *testing.T) {
+	c := NewCollector(Config{})
+	for i := range maxTrackedTargets + 10 {
+		c.Indirect(0x1, 0, 0, false, uint64(0x1000+i), false)
+	}
+	rec := NewRecorder(Config{})
+	rec.Merge(Key{}, c)
+	s := rec.Report(RunInfo{}).Cells[0].Sites[0]
+	if s.DistinctTargets != maxTrackedTargets {
+		t.Errorf("distinct targets: got %d, want %d", s.DistinctTargets, maxTrackedTargets)
+	}
+	if s.TargetOverflow != 10 {
+		t.Errorf("target overflow: got %d, want 10", s.TargetOverflow)
+	}
+	if s.Executions != maxTrackedTargets+10 {
+		t.Errorf("executions: got %d", s.Executions)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	rec := NewRecorder(Config{Events: 2})
+	k := Key{Workload: "w"}
+	for range 2 {
+		c := rec.NewCollector()
+		c.Indirect(0x1, 5, 0x2, true, 0x2, true)
+		c.Indirect(0x1, 5, 0x2, true, 0x9, false)
+		rec.Merge(k, c)
+	}
+	rep := rec.Report(RunInfo{})
+	s := rep.Cells[0].Sites[0]
+	if s.Executions != 4 || s.Mispredicts != 2 {
+		t.Errorf("merged site: %+v", s)
+	}
+	if len(rep.Cells[0].Events) != 2 {
+		t.Errorf("merged events: got %d, want 2", len(rep.Cells[0].Events))
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	counts := map[uint64]int64{1: 5, 2: 5, 3: 5, 4: 5}
+	if h := entropy(counts, 0); math.Abs(h-2.0) > 1e-12 {
+		t.Errorf("uniform-4 entropy: got %v, want 2.0", h)
+	}
+	if h := entropy(map[uint64]int64{1: 7}, 0); h != 0 {
+		t.Errorf("single-value entropy: got %v, want 0", h)
+	}
+	if h := entropy(nil, 0); h != 0 {
+		t.Errorf("empty entropy: got %v, want 0", h)
+	}
+	// Overflow acts as one extra bucket.
+	if h := entropy(map[uint64]int64{1: 1}, 1); math.Abs(h-1.0) > 1e-12 {
+		t.Errorf("overflow entropy: got %v, want 1.0", h)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	cases := []struct {
+		k    Key
+		want string
+	}{
+		{Key{"e", "w", "c"}, "e/w/c"},
+		{Key{"", "w", "c"}, "w/c"},
+		{Key{"e", "", "c"}, "e/c"},
+		{Key{}, ""},
+	}
+	for _, tc := range cases {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("%+v: got %q, want %q", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	if rec.NewCollector() != nil {
+		t.Error("nil recorder must hand out nil collectors")
+	}
+	rec.Merge(Key{}, nil)
+	rec.CellStarted()
+	rec.CellFailed()
+	rec.CellRecovered()
+	rec.AddBusy(time.Second)
+	if rep := rec.Report(RunInfo{Workers: 2}); rep == nil || rep.Run.Workers != 2 {
+		t.Error("nil recorder must still report run info")
+	}
+	var col *Collector
+	col.SetClock(3)
+	if events, dropped := col.Events(); events != nil || dropped != 0 {
+		t.Error("nil collector must report no events")
+	}
+}
+
+// TestConcurrentMergeDeterminism is the race-detector coverage for the
+// recorder: many goroutines record cells concurrently, and the final
+// report must be byte-identical no matter how the merges interleave.
+func TestConcurrentMergeDeterminism(t *testing.T) {
+	build := func() *Report {
+		rec := NewRecorder(Config{Events: 4})
+		var wg sync.WaitGroup
+		for range 8 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range 4 {
+					rec.CellStarted()
+					c := rec.NewCollector()
+					for pc := uint64(1); pc <= 8; pc++ {
+						c.SetClock(int64(i))
+						c.Indirect(pc<<4, uint64(i), 0x2, true, uint64(0x100+i), i%2 == 0)
+					}
+					// Every goroutine merges into the same four keys, so the
+					// report exercises cross-goroutine accumulation.
+					k := Key{Workload: "shared", Config: fmt.Sprintf("cfg%d", i)}
+					rec.Merge(k, c)
+					rec.AddBusy(time.Millisecond)
+				}
+			}()
+		}
+		wg.Wait()
+		return rec.Report(RunInfo{Workers: 8})
+	}
+	a, b := build(), build()
+	// Busy time is wall-clock and may differ; everything else must not.
+	a.Run.BusyMS, b.Run.BusyMS = 0, 0
+	a.Run.Occupancy, b.Run.Occupancy = 0, 0
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("concurrent merges must be deterministic\n a: %s\n b: %s", ja, jb)
+	}
+	if got := a.Run.CellsStarted; got != 32 {
+		t.Errorf("cells started: got %d, want 32", got)
+	}
+}

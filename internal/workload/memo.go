@@ -35,6 +35,7 @@ var (
 	memoMu   sync.Mutex
 	memos    = map[memoKey]*memoEntry{}
 	captures atomic.Int64
+	replays  atomic.Int64
 )
 
 // TestCaptureTransform, when non-nil, post-processes every captured
@@ -51,6 +52,7 @@ var TestCaptureTransform func(name string, budget int64, rep *trace.Replay) *tra
 // implements trace.Factory; every Open returns an independent
 // allocation-free cursor, safe for concurrent use.
 func (w *Workload) Replay(budget int64) *trace.Replay {
+	replays.Add(1)
 	key := memoKey{w.Name, budget}
 	memoMu.Lock()
 	e, ok := memos[key]
@@ -73,6 +75,13 @@ func (w *Workload) Replay(budget int64) *trace.Replay {
 // tests assert its delta to prove each (workload, budget) key executes the
 // VM at most once.
 func CaptureCount() int64 { return captures.Load() }
+
+// MemoCounters returns the number of Replay calls and the number of VM
+// captures those calls performed; the difference is the memo's hit count,
+// reported in the run-level telemetry.
+func MemoCounters() (replayCalls, captureCount int64) {
+	return replays.Load(), captures.Load()
+}
 
 // MemoStats reports the number of memoized (workload, budget) keys and
 // their total encoded size in bytes.
