@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fault fuzz bench bench-json experiments fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-diff experiments fmt cover clean
 
 all: build vet test
 
@@ -33,7 +33,7 @@ fault:
 # fuzzing session.
 FUZZTIME ?= 2s
 fuzz:
-	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor; do \
+	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor FuzzBlocks; do \
 		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/trace || exit 1; \
 	done
 
@@ -43,10 +43,24 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Refresh the per-experiment wall-time/work baseline used to track the
-# parallel runner's performance.
+# One-iteration benchmark smoke pass over the hot-path packages: catches
+# benchmarks that no longer compile or crash, without the timing cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/trace ./internal/sim
+
+# Refresh the per-experiment wall-time/work snapshot used to track the
+# runner's performance. Override BENCH_JSON to write a comparison point
+# instead of the committed baseline.
+BENCH_JSON ?= BENCH_baseline.json
 bench-json:
-	$(GO) run ./cmd/tcsim -exp all -benchjson BENCH_baseline.json > /dev/null
+	$(GO) run ./cmd/tcsim -exp all -benchjson $(BENCH_JSON) > /dev/null
+
+# Compare a new bench snapshot against the committed baseline; fails if
+# any experiment regressed more than 10%.
+BENCH_OLD ?= BENCH_baseline.json
+BENCH_NEW ?= BENCH_pr5.json
+bench-diff:
+	$(GO) run ./cmd/tcbenchdiff $(BENCH_OLD) $(BENCH_NEW)
 
 # Regenerate every paper table and figure at full budgets.
 experiments:

@@ -1,0 +1,124 @@
+// tcbenchdiff compares two per-experiment benchmark JSON files written by
+// `tcsim -benchjson` (or `make bench-json`) and prints a per-experiment
+// speedup table: old wall time, new wall time, and the ratio between them.
+//
+// It exits non-zero when any experiment regresses by more than the
+// tolerance (default 10%), so CI and pre-merge checks can gate on "no
+// experiment got meaningfully slower". Experiments faster than -min-ms in
+// the old file are reported but never fail the check: at sub-millisecond
+// scale the numbers are scheduler jitter, not simulation work.
+//
+// Usage:
+//
+//	tcbenchdiff [-tolerance 0.10] [-min-ms 5] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// entry mirrors one experiment's record in the bench JSON.
+type entry struct {
+	WallMS       float64 `json:"wall_ms"`
+	Cells        int64   `json:"cells"`
+	Instructions int64   `json:"instructions"`
+}
+
+func load(path string) (map[string]entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]entry
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed slowdown per experiment (0.10 = 10%)")
+	minMS := flag.Float64("min-ms", 5, "experiments faster than this in OLD are informational only")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldM, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
+		os.Exit(1)
+	}
+	newM, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var oldTotal, newTotal float64
+	var regressions []string
+	fmt.Printf("%-18s %10s %10s %8s\n", "experiment", "old ms", "new ms", "speedup")
+	for _, name := range names {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			fmt.Printf("%-18s %10.1f %10s %8s\n", name, o.WallMS, "-", "gone")
+			continue
+		}
+		oldTotal += o.WallMS
+		newTotal += n.WallMS
+		ratio := "-"
+		if n.WallMS > 0 {
+			ratio = fmt.Sprintf("%.2fx", o.WallMS/n.WallMS)
+		}
+		note := ""
+		switch {
+		case o.WallMS < *minMS:
+			note = "  (below min-ms, informational)"
+		case n.WallMS > o.WallMS*(1+*tolerance):
+			note = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1fms -> %.1fms (+%.0f%%)", name, o.WallMS, n.WallMS, (n.WallMS/o.WallMS-1)*100))
+		}
+		fmt.Printf("%-18s %10.1f %10.1f %8s%s\n", name, o.WallMS, n.WallMS, ratio, note)
+	}
+	for _, name := range sortedNewOnly(oldM, newM) {
+		fmt.Printf("%-18s %10s %10.1f %8s\n", name, "-", newM[name].WallMS, "new")
+	}
+	if newTotal > 0 {
+		fmt.Printf("%-18s %10.1f %10.1f %7.2fx\n", "TOTAL", oldTotal, newTotal, oldTotal/newTotal)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "tcbenchdiff: %d experiment(s) regressed more than %.0f%%:\n", len(regressions), *tolerance*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}
+
+// sortedNewOnly returns the experiments present only in newM, sorted.
+func sortedNewOnly(oldM, newM map[string]entry) []string {
+	var names []string
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -219,6 +219,23 @@ func newTimingContext(p Params) *timingContext {
 	return &timingContext{p: p, base: make(map[string]*baselineCell), cpuCfg: cpu.DefaultConfig()}
 }
 
+// globalBaselines memoizes successful BTB-only baseline cycle counts across
+// experiments: the count is a pure function of the key, and several
+// experiments rerun the identical baseline machine on the identical
+// workload. The memo is consulted only when telemetry is disabled — with
+// telemetry on, every experiment must still run its own baseline so its
+// "btb-baseline" collector entry is populated. Failures are never stored,
+// so an injected fault in one experiment's baseline cell cannot leak into
+// another experiment.
+var globalBaselines sync.Map // baselineKey -> int64 cycles
+
+type baselineKey struct {
+	workload   string
+	budget     int64
+	eventModel bool
+	cpuCfg     cpu.Config
+}
+
 // run executes one timing simulation on the configured model, reading the
 // workload's memoized trace replay rather than a live VM. col, when
 // non-nil, receives the run's telemetry (threaded through the engine so
@@ -228,18 +245,28 @@ func newTimingContext(p Params) *timingContext {
 func (tc *timingContext) run(w *workload.Workload, cfg sim.Config, col *telemetry.Collector) cpu.Result {
 	cfg.Telemetry = col
 	engine := sim.NewEngine(cfg)
-	src := w.Replay(tc.p.TimingBudget).Open()
+	rep := w.Replay(tc.p.TimingBudget)
 	var res cpu.Result
 	if tc.p.EventModel {
-		res = cpu.NewEvent(tc.cpuCfg, engine).RunCtx(tc.p.Context(), src, tc.p.TimingBudget)
+		res = cpu.NewEvent(tc.cpuCfg, engine).RunCtx(tc.p.Context(), rep.Open(), tc.p.TimingBudget)
 	} else {
-		res = cpu.New(tc.cpuCfg, engine).RunCtx(tc.p.Context(), src, tc.p.TimingBudget)
+		res = cpu.New(tc.cpuCfg, engine).RunReplayCtx(tc.p.Context(), rep, tc.p.TimingBudget)
 	}
 	instructionsSim.Add(res.Instructions)
 	return res
 }
 
 func (tc *timingContext) baseline(w *workload.Workload) int64 {
+	var gkey baselineKey
+	if tc.p.Telemetry == nil {
+		gkey = baselineKey{
+			workload: w.Name, budget: tc.p.TimingBudget,
+			eventModel: tc.p.EventModel, cpuCfg: tc.cpuCfg,
+		}
+		if v, ok := globalBaselines.Load(gkey); ok {
+			return v.(int64)
+		}
+	}
 	tc.mu.Lock()
 	c, ok := tc.base[w.Name]
 	if !ok {
@@ -273,6 +300,9 @@ func (tc *timingContext) baseline(w *workload.Workload) int64 {
 	})
 	if c.err != nil {
 		abortCell(fmt.Errorf("BTB baseline for %s: %w", w.Name, c.err))
+	}
+	if tc.p.Telemetry == nil {
+		globalBaselines.Store(gkey, c.cycles)
 	}
 	return c.cycles
 }

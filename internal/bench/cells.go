@@ -285,7 +285,7 @@ func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cp
 	col := p.startCollector()
 	defer p.mergeCollector(col)
 	cfg.Telemetry = col
-	res := cpu.New(mc, sim.NewEngine(cfg)).RunCtx(p.Context(), w.Replay(p.TimingBudget).Open(), p.TimingBudget)
+	res := cpu.New(mc, sim.NewEngine(cfg)).RunReplayCtx(p.Context(), w.Replay(p.TimingBudget), p.TimingBudget)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
 		abortCell(res.Err)
@@ -293,12 +293,13 @@ func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cp
 	return res
 }
 
-// runTraceStats consumes the memoized replay into trace statistics.
+// runTraceStats consumes the memoized replay into trace statistics,
+// iterating the decode-once batches rather than re-decoding the capture.
 func runTraceStats(w *workload.Workload, p Params) *trace.Stats {
-	src := w.Replay(p.AccuracyBudget).Open()
-	st := trace.NewStats().Consume(src)
+	bs := w.Replay(p.AccuracyBudget).Blocks()
+	st := trace.NewStats().ConsumeBlocks(bs)
 	instructionsSim.Add(p.AccuracyBudget)
-	if err := trace.SourceErr(src); err != nil {
+	if err := bs.Err(); err != nil {
 		abortCell(err)
 	}
 	return st

@@ -73,8 +73,9 @@ func New(cfg Config) *BTB {
 func (b *BTB) Config() Config { return b.cfg }
 
 func (b *BTB) index(pc uint64) (set int, tag uint64) {
-	word := pc >> 2
-	return int(word % uint64(b.cfg.Sets)), word / uint64(b.cfg.Sets)
+	// The shared cache owns the set/tag split; its power-of-two fast path
+	// covers the paper's 256-set geometry with a mask and shift.
+	return b.c.IndexOf(pc >> 2)
 }
 
 // Lookup probes the BTB at fetch time. A hit returns the stored entry
@@ -89,6 +90,54 @@ func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 	return *e, true
 }
 
+// Hit is an opaque reference to the BTB line a Probe hit; UpdateHit uses
+// it to skip re-scanning the set at resolve time.
+type Hit struct {
+	set, way int
+}
+
+// Probe is Lookup returning, additionally, a Hit reference for a
+// subsequent UpdateHit on the same PC.
+func (b *BTB) Probe(pc uint64) (Entry, Hit, bool) {
+	set, tag := b.index(pc)
+	e, way, ok := b.c.LookupWay(set, tag)
+	if !ok {
+		return Entry{}, Hit{set, -1}, false
+	}
+	return *e, Hit{set, way}, true
+}
+
+// UpdateHit is Update for a record whose fetch-time Probe hit the BTB and
+// whose set has not been touched since: the entry is refreshed in place,
+// with the same LRU/stats stream Update's find-or-allocate scan produces
+// on a hit.
+func (b *BTB) UpdateHit(h Hit, r *trace.Record) {
+	if !r.Class.IsBranch() || !r.Taken {
+		return
+	}
+	e := b.c.TouchWay(h.set, h.way)
+	e.Class = r.Class
+	if !r.Class.IsIndirect() {
+		e.Target = r.Target
+		e.missCount = 0
+		return
+	}
+	if e.Target == r.Target {
+		e.missCount = 0
+		return
+	}
+	switch b.cfg.Strategy {
+	case StrategyDefault:
+		e.Target = r.Target
+	case StrategyTwoBit:
+		e.missCount++
+		if e.missCount >= 2 {
+			e.Target = r.Target
+			e.missCount = 0
+		}
+	}
+}
+
 // Update records a resolved control-flow instruction. Entries are
 // allocated for every taken branch (an entry whose branch was never taken
 // would never redirect fetch). For indirect jumps the stored target evolves
@@ -99,14 +148,7 @@ func (b *BTB) Update(r *trace.Record) {
 		return
 	}
 	set, tag := b.index(r.PC)
-	e, existed := b.c.Peek(set, tag)
-	if e == nil {
-		e, _ = b.c.Insert(set, tag)
-		existed = false
-	} else {
-		// Refresh LRU via a real lookup.
-		e, _ = b.c.Lookup(set, tag)
-	}
+	e, existed := b.c.Touch(set, tag)
 	e.Class = r.Class
 	if !existed || !r.Class.IsIndirect() {
 		e.Target = r.Target

@@ -14,11 +14,25 @@ type line[V any] struct {
 
 // Cache is a set-associative array of tagged entries holding payloads of
 // type V. Callers own the index/tag split: Lookup and Insert take a set
-// index (which must be < Sets()) and a full tag.
+// index (which must be < Sets()) and a full tag; IndexOf computes the
+// canonical split for callers that map a word/line address across all
+// sets.
+//
+// LRU tick semantics: the tick is a logical clock stamped into an entry's
+// lastUse whenever that entry is refreshed — a Lookup hit or an Insert. It
+// advances exactly once per refreshing operation and not on misses or
+// Peeks, so equal tick streams always order evictions identically.
 type Cache[V any] struct {
 	sets [][]line[V]
 	ways int
 	tick uint64
+
+	// Power-of-two set counts index with mask/shift instead of the
+	// div/mod pair in IndexOf — the geometry every shipped configuration
+	// (BTB, tagged target cache, data cache) uses.
+	setMask  uint64
+	setShift uint
+	pow2     bool
 
 	// Statistics.
 	hits      int64
@@ -37,7 +51,27 @@ func New[V any](numSets, ways int) *Cache[V] {
 	for i := range sets {
 		sets[i], backing = backing[:ways:ways], backing[ways:]
 	}
-	return &Cache[V]{sets: sets, ways: ways}
+	c := &Cache[V]{sets: sets, ways: ways}
+	if numSets&(numSets-1) == 0 {
+		c.pow2 = true
+		c.setMask = uint64(numSets - 1)
+		for 1<<c.setShift < numSets {
+			c.setShift++
+		}
+	}
+	return c
+}
+
+// IndexOf splits a word or line address into the set index (low bits,
+// modulo the set count) and the tag (the remaining high bits). Power-of-
+// two geometries take the mask/shift fast path; other set counts fall back
+// to div/mod with identical results.
+func (c *Cache[V]) IndexOf(addr uint64) (set int, tag uint64) {
+	if c.pow2 {
+		return int(addr & c.setMask), addr >> c.setShift
+	}
+	n := uint64(len(c.sets))
+	return int(addr % n), addr / n
 }
 
 // Sets returns the number of sets.
@@ -51,12 +85,15 @@ func (c *Cache[V]) Entries() int { return len(c.sets) * c.ways }
 
 // Lookup searches set for tag. On a hit it refreshes the entry's LRU state
 // and returns a pointer to the payload; the pointer is valid until the next
-// Insert into the same set.
+// Insert into the same set. The LRU tick advances only on hits: a miss
+// refreshes nothing, so it must not consume a timestamp (relative entry
+// ordering is unaffected either way, but the explicit rule keeps the tick
+// a pure refresh counter).
 func (c *Cache[V]) Lookup(set int, tag uint64) (*V, bool) {
-	c.tick++
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
+			c.tick++
 			ln.lastUse = c.tick
 			c.hits++
 			return &ln.val, true
@@ -64,6 +101,35 @@ func (c *Cache[V]) Lookup(set int, tag uint64) (*V, bool) {
 	}
 	c.misses++
 	return nil, false
+}
+
+// LookupWay is Lookup that also reports which way the hit landed in, for
+// callers that will refresh the same line via TouchWay without any
+// intervening access to the set. The way index is -1 on a miss.
+func (c *Cache[V]) LookupWay(set int, tag uint64) (*V, int, bool) {
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			c.tick++
+			ln.lastUse = c.tick
+			c.hits++
+			return &ln.val, i, true
+		}
+	}
+	c.misses++
+	return nil, -1, false
+}
+
+// TouchWay refreshes a line located by a previous LookupWay hit on the
+// same (set, tag) with no intervening accesses to the set: the tick,
+// lastUse and stats stream is exactly what Touch produces on a hit, minus
+// the rescan.
+func (c *Cache[V]) TouchWay(set, way int) *V {
+	c.tick++
+	ln := &c.sets[set][way]
+	ln.lastUse = c.tick
+	c.hits++
+	return &ln.val
 }
 
 // Peek searches set for tag without touching LRU state or statistics.
@@ -111,6 +177,44 @@ func (c *Cache[V]) Insert(set int, tag uint64) (*V, bool) {
 	victim.lastUse = c.tick
 	victim.val = zero
 	return &victim.val, evicted
+}
+
+// Touch finds or allocates the entry for tag in set with a single scan,
+// reporting whether the entry already existed. A found entry is refreshed
+// exactly like a Lookup hit (tick advance, hit count); an absent one is
+// allocated exactly like an Insert that followed a Peek miss (tick advance,
+// no miss count, eviction accounting). It is the one-pass equivalent of the
+// Peek / Lookup-or-Insert pattern update paths use, with identical tick and
+// statistics streams.
+func (c *Cache[V]) Touch(set int, tag uint64) (*V, bool) {
+	c.tick++
+	var victim *line[V]
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			c.hits++
+			return &ln.val, true
+		}
+		if !ln.valid {
+			if victim == nil || victim.valid {
+				victim = ln
+			}
+			continue
+		}
+		if victim == nil || (victim.valid && ln.lastUse < victim.lastUse) {
+			victim = ln
+		}
+	}
+	if victim.valid {
+		c.evictions++
+	}
+	var zero V
+	victim.valid = true
+	victim.tag = tag
+	victim.lastUse = c.tick
+	victim.val = zero
+	return &victim.val, false
 }
 
 // Invalidate removes tag from set, reporting whether it was present.

@@ -157,7 +157,6 @@ type Machine struct {
 	cfg    Config
 	engine *sim.Engine
 	dcache *cache.Cache[struct{}]
-	dsets  int
 	// observer, when set, receives every instruction's timing (used by
 	// RunTimeline for pipeline diagrams).
 	observer func(TimelineEntry)
@@ -170,7 +169,6 @@ func New(cfg Config, engine *sim.Engine) *Machine {
 		cfg:    cfg,
 		engine: engine,
 		dcache: cache.New[struct{}](sets, cfg.DCacheWays),
-		dsets:  sets,
 	}
 }
 
@@ -247,9 +245,7 @@ func (m *Machine) RunCtx(ctx context.Context, src trace.Source, budget int64) Re
 		lat := cfg.Latencies[r.Op]
 		if r.Op == trace.OpLoad || r.Op == trace.OpStore {
 			res.DCacheAccesses++
-			line := r.Addr >> lineShift
-			set := int(line % uint64(m.dsets))
-			tag := line / uint64(m.dsets)
+			set, tag := m.dcache.IndexOf(r.Addr >> lineShift)
 			if _, hit := m.dcache.Lookup(set, tag); !hit {
 				res.DCacheMisses++
 				m.dcache.Insert(set, tag)
@@ -349,3 +345,4 @@ func (m *Machine) RunCtx(ctx context.Context, src trace.Source, budget int64) Re
 func Run(src trace.Source, budget int64, engine *sim.Engine, cfg Config) Result {
 	return New(cfg, engine).Run(src, budget)
 }
+

@@ -68,6 +68,12 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 
 	rob := make([]robEntry, cfg.Window)
 	head, tail, occupancy := 0, 0, 0
+	// issuedPrefix counts entries at the head of the ROB known to have
+	// issued; the issue scan starts past them. It is a conservative lower
+	// bound maintained incrementally (retire shrinks it, the scan grows it
+	// while the issued run from the head stays contiguous), so skipping the
+	// prefix never changes which entries issue or in what order.
+	issuedPrefix := 0
 
 	var (
 		cycle        int64
@@ -99,27 +105,44 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 				break
 			}
 			e.valid = false
-			head = (head + 1) % cfg.Window
+			head++
+			if head == cfg.Window {
+				head = 0
+			}
 			occupancy--
 			correctOcc--
 			res.Instructions++
 			lastProgress = cycle
+			if issuedPrefix > 0 {
+				issuedPrefix--
+			}
 		}
 
-		// Issue: oldest-first, bounded by Width functional units.
+		// Issue: oldest-first, bounded by Width functional units. The scan
+		// starts past the issued prefix — entries it would only skip — and
+		// wraps with a compare instead of a modulo.
 		issued := 0
-		for i, idx := 0, head; i < occupancy && issued < cfg.Width; i, idx = i+1, (idx+1)%cfg.Window {
+		idx := head + issuedPrefix
+		if idx >= cfg.Window {
+			idx -= cfg.Window
+		}
+		contig := true
+		for i := issuedPrefix; i < occupancy && issued < cfg.Width; i++ {
 			e := &rob[idx]
+			idx++
+			if idx == cfg.Window {
+				idx = 0
+			}
 			if e.issued {
+				if contig {
+					issuedPrefix++
+				}
 				continue
 			}
-			if e.readyAt > cycle {
-				continue
-			}
-			if e.src1 != 0 && regReady[e.src1] > cycle {
-				continue
-			}
-			if e.src2 != 0 && regReady[e.src2] > cycle {
+			if e.readyAt > cycle ||
+				(e.src1 != 0 && regReady[e.src1] > cycle) ||
+				(e.src2 != 0 && regReady[e.src2] > cycle) {
+				contig = false
 				continue
 			}
 			e.issued = true
@@ -133,6 +156,9 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 				redirectAt = e.complete + 1
 			}
 			issued++
+			if contig {
+				issuedPrefix++
+			}
 		}
 
 		// Redirect: once the mispredicted branch has resolved, squash the
@@ -147,13 +173,19 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 				hasRec = false // drop any buffered wrong-path record
 			}
 			for occupancy > 0 {
-				prev := (tail - 1 + cfg.Window) % cfg.Window
+				prev := tail - 1
+				if prev < 0 {
+					prev = cfg.Window - 1
+				}
 				if !rob[prev].wrongPath {
 					break
 				}
 				rob[prev].valid = false
 				tail = prev
 				occupancy--
+			}
+			if issuedPrefix > occupancy {
+				issuedPrefix = occupancy
 			}
 		}
 
@@ -256,7 +288,10 @@ func (m *EventMachine) RunCtx(ctx context.Context, src trace.Source, budget int6
 					}
 				}
 			}
-			tail = (tail + 1) % cfg.Window
+			tail++
+			if tail == cfg.Window {
+				tail = 0
+			}
 			occupancy++
 			if !wrongFetch {
 				correctOcc++

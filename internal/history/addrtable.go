@@ -1,0 +1,114 @@
+package history
+
+// addrTable is a power-of-two open-addressing hash table from instruction
+// address to history register, replacing the built-in map on the per-address
+// path history's hot path. The per-address scheme does exactly three
+// operations — point get, point put, clear — so linear probing with
+// Fibonacci hashing beats the general-purpose map: no hashing interface, no
+// bucket overflow chains, and the whole table is two flat slices.
+//
+// A zero key marks an empty slot; the (never observed in practice) pc==0
+// register is carried in a dedicated pair so no sentinel bias exists.
+type addrTable struct {
+	keys []uint64
+	vals []uint64
+	n    int // live entries, excluding the zero-key slot
+
+	zeroVal uint64
+	hasZero bool
+}
+
+// addrTableMinSize is the initial capacity; a power of two.
+const addrTableMinSize = 64
+
+func newAddrTable() *addrTable {
+	return &addrTable{
+		keys: make([]uint64, addrTableMinSize),
+		vals: make([]uint64, addrTableMinSize),
+	}
+}
+
+// slot returns the probe start for key: Fibonacci hashing spreads the
+// word-aligned, clustered instruction addresses across the table.
+func (t *addrTable) slot(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15) >> 32 & uint64(len(t.keys)-1))
+}
+
+// get returns the history for key, or zero when absent (matching the map's
+// zero-value read).
+func (t *addrTable) get(key uint64) uint64 {
+	if key == 0 {
+		return t.zeroVal
+	}
+	mask := len(t.keys) - 1
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i]
+		}
+		if k == 0 {
+			return 0
+		}
+	}
+}
+
+// put stores the history for key, growing at 3/4 load so probe chains stay
+// short.
+func (t *addrTable) put(key, val uint64) {
+	if key == 0 {
+		t.zeroVal, t.hasZero = val, true
+		return
+	}
+	mask := len(t.keys) - 1
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			t.vals[i] = val
+			return
+		}
+		if k == 0 {
+			t.keys[i] = key
+			t.vals[i] = val
+			t.n++
+			if t.n >= len(t.keys)*3/4 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+func (t *addrTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, len(oldKeys)*2)
+	t.vals = make([]uint64, len(oldKeys)*2)
+	mask := len(t.keys) - 1
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := t.slot(k)
+		for t.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+	}
+}
+
+// reset clears the table, keeping the current capacity.
+func (t *addrTable) reset() {
+	clear(t.keys)
+	clear(t.vals)
+	t.n = 0
+	t.zeroVal, t.hasZero = 0, false
+}
+
+// len returns the number of stored registers.
+func (t *addrTable) len() int {
+	n := t.n
+	if t.hasZero {
+		n++
+	}
+	return n
+}

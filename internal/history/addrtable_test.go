@@ -1,0 +1,92 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAddrTableBasics covers point get/put, overwrite, the zero-value read
+// for absent keys, and the dedicated zero-key slot.
+func TestAddrTableBasics(t *testing.T) {
+	tbl := newAddrTable()
+	if got := tbl.get(0x40); got != 0 {
+		t.Fatalf("get(absent) = %#x, want 0", got)
+	}
+	tbl.put(0x40, 7)
+	tbl.put(0x44, 9)
+	if got := tbl.get(0x40); got != 7 {
+		t.Fatalf("get(0x40) = %d, want 7", got)
+	}
+	tbl.put(0x40, 11) // overwrite must not grow len
+	if got := tbl.get(0x40); got != 11 {
+		t.Fatalf("get after overwrite = %d, want 11", got)
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("len = %d, want 2", tbl.len())
+	}
+	// pc==0 lives in the dedicated pair, not a sentinel-biased slot.
+	if got := tbl.get(0); got != 0 {
+		t.Fatalf("get(0) on empty zero slot = %d, want 0", got)
+	}
+	tbl.put(0, 5)
+	if got := tbl.get(0); got != 5 {
+		t.Fatalf("get(0) = %d, want 5", got)
+	}
+	if tbl.len() != 3 {
+		t.Fatalf("len with zero key = %d, want 3", tbl.len())
+	}
+}
+
+// TestAddrTableGrowAndReset forces several doublings and checks every
+// entry survives rehashing, then that reset empties the table.
+func TestAddrTableGrowAndReset(t *testing.T) {
+	tbl := newAddrTable()
+	const n = 1000 // well past 3/4 of the 64-slot initial capacity
+	for i := uint64(1); i <= n; i++ {
+		tbl.put(i*4, i^0xabc)
+	}
+	if tbl.len() != n {
+		t.Fatalf("len = %d, want %d", tbl.len(), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if got := tbl.get(i * 4); got != i^0xabc {
+			t.Fatalf("get(%#x) = %#x, want %#x after grow", i*4, got, i^0xabc)
+		}
+	}
+	tbl.reset()
+	if tbl.len() != 0 {
+		t.Fatalf("len after reset = %d, want 0", tbl.len())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if got := tbl.get(i * 4); got != 0 {
+			t.Fatalf("get(%#x) = %#x after reset, want 0", i*4, got)
+		}
+	}
+}
+
+// TestAddrTableMatchesMap drives the table and a built-in map with the
+// same random operation stream — the table replaced the map on the path
+// history's hot path and must be read-for-read identical.
+func TestAddrTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tbl := newAddrTable()
+	ref := map[uint64]uint64{}
+	for op := 0; op < 50_000; op++ {
+		// Word-aligned clustered keys, including 0, mimic real PCs.
+		key := uint64(rng.Intn(512)) * 4
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := tbl.get(key), ref[key]; got != want {
+				t.Fatalf("op %d: get(%#x) = %#x, map says %#x", op, key, got, want)
+			}
+		case 1:
+			val := rng.Uint64()
+			tbl.put(key, val)
+			ref[key] = val
+		case 2:
+			if tbl.len() != len(ref) {
+				t.Fatalf("op %d: len = %d, map has %d", op, tbl.len(), len(ref))
+			}
+		}
+	}
+}

@@ -109,7 +109,7 @@ type Path struct {
 	mask    uint64
 	chunk   uint64
 	global  uint64
-	perAddr map[uint64]uint64
+	perAddr *addrTable
 }
 
 // NewPath returns a register file for cfg. It panics on invalid
@@ -127,7 +127,7 @@ func NewPath(cfg PathConfig) *Path {
 		p.mask = ^uint64(0)
 	}
 	if cfg.PerAddress {
-		p.perAddr = make(map[uint64]uint64)
+		p.perAddr = newAddrTable()
 	}
 	return p
 }
@@ -149,9 +149,9 @@ func (p *Path) extract(addr uint64) uint64 {
 func (p *Path) Observe(r *trace.Record) {
 	if p.cfg.PerAddress {
 		if r.Class.IsTargetCachePredicted() {
-			h := p.perAddr[r.PC]
+			h := p.perAddr.get(r.PC)
 			h = (h<<uint(p.cfg.BitsPerTarget) | p.extract(r.Target)) & p.mask
-			p.perAddr[r.PC] = h
+			p.perAddr.put(r.PC, h)
 		}
 		return
 	}
@@ -164,7 +164,7 @@ func (p *Path) Observe(r *trace.Record) {
 // Value returns the history used to predict the indirect jump at pc.
 func (p *Path) Value(pc uint64) uint64 {
 	if p.cfg.PerAddress {
-		return p.perAddr[pc]
+		return p.perAddr.get(pc)
 	}
 	return p.global
 }
@@ -176,6 +176,6 @@ func (p *Path) Len() int { return p.cfg.Bits }
 func (p *Path) Reset() {
 	p.global = 0
 	if p.perAddr != nil {
-		p.perAddr = make(map[uint64]uint64)
+		p.perAddr.reset()
 	}
 }

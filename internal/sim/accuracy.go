@@ -50,7 +50,15 @@ func RunAccuracy(factory trace.Factory, budget int64, cfg Config) AccuracyResult
 // RunAccuracyCtx is RunAccuracy under a context: the loop polls ctx on
 // instruction-count boundaries and stops early with Err set to ctx.Err()
 // when cancelled, returning the partial counts accumulated so far.
+//
+// When factory is a memoized trace.Replay (or pre-decoded trace.Blocks),
+// the run uses the batched decode-once kernel with devirtualized predictor
+// calls; results are identical to the streaming loop below, which remains
+// the reference path for arbitrary sources.
 func RunAccuracyCtx(ctx context.Context, factory trace.Factory, budget int64, cfg Config) AccuracyResult {
+	if bs, ok := blocksFor(factory); ok {
+		return runAccuracyBlocks(ctx, bs, budget, 0, cfg)
+	}
 	engine := NewEngine(cfg)
 	var res AccuracyResult
 	src := trace.NewLimit(factory.Open(), budget)

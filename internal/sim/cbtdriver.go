@@ -19,8 +19,12 @@ func RunCBT(factory trace.Factory, budget int64, cfg cbt.Config) stats.Counter {
 
 // RunCBTCtx is RunCBT under a context. The returned error is non-nil when
 // the run stopped early on cancellation or a corrupt trace source; the
-// counter covers the records processed before the stop.
+// counter covers the records processed before the stop. Memoized replays
+// run on the batched decode-once path.
 func RunCBTCtx(ctx context.Context, factory trace.Factory, budget int64, cfg cbt.Config) (stats.Counter, error) {
+	if bs, ok := blocksFor(factory); ok {
+		return runCBTBlocks(ctx, bs, budget, cfg)
+	}
 	table := cbt.New(cfg)
 	var c stats.Counter
 	src := trace.NewLimit(factory.Open(), budget)
@@ -41,4 +45,46 @@ func RunCBTCtx(ctx context.Context, factory trace.Factory, budget int64, cfg cbt
 		table.Update(&r)
 	}
 	return c, trace.SourceErr(src)
+}
+
+// runCBTBlocks is the CBT driver over decoded batches: indirect jumps are
+// found with a one-byte class scan, and only those records materialize.
+func runCBTBlocks(ctx context.Context, bs *trace.Blocks, budget int64, cfg cbt.Config) (stats.Counter, error) {
+	table := cbt.New(cfg)
+	var c stats.Counter
+	limit := budget
+	if limit < 0 {
+		limit = 0
+	}
+	var n int64
+	var r trace.Record
+	for bi := 0; bi < bs.NumBlocks() && n < limit; bi++ {
+		blk := bs.Block(bi)
+		meta := blk.Meta
+		m := len(meta)
+		if rem := limit - n; int64(m) > rem {
+			m = int(rem)
+		}
+		base := n
+		for i := 0; i < m; i++ {
+			n = base + int64(i) + 1
+			if n&ctxCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return c, err
+				}
+			}
+			cls := trace.Class(meta[i] & trace.MetaClassMask)
+			if cls != trace.ClassIndJump && cls != trace.ClassIndCall {
+				continue
+			}
+			blk.Record(i, &r)
+			tgt, ok := table.Predict(r.PC, r.Addr)
+			c.Record(ok && tgt == r.Target)
+			table.Update(&r)
+		}
+	}
+	if limit > bs.Len() {
+		return c, bs.Err()
+	}
+	return c, nil
 }

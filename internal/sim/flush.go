@@ -18,8 +18,12 @@ func RunAccuracyWithFlushes(factory trace.Factory, budget, flushInterval int64, 
 }
 
 // RunAccuracyWithFlushesCtx is RunAccuracyWithFlushes under a context; see
-// RunAccuracyCtx for the cancellation contract.
+// RunAccuracyCtx for the cancellation contract. Memoized replays run on
+// the batched decode-once kernel, like RunAccuracyCtx.
 func RunAccuracyWithFlushesCtx(ctx context.Context, factory trace.Factory, budget, flushInterval int64, cfg Config) AccuracyResult {
+	if bs, ok := blocksFor(factory); ok {
+		return runAccuracyBlocks(ctx, bs, budget, flushInterval, cfg)
+	}
 	engine := NewEngine(cfg)
 	var res AccuracyResult
 	src := trace.NewLimit(factory.Open(), budget)

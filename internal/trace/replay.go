@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Trace memoization: the experiment suite replays each workload's
@@ -71,20 +72,48 @@ func (rec *Recorder) Finish() *Replay {
 
 // Capture drains src into a new Replay.
 func Capture(src Source) *Replay {
+	return CaptureSized(src, 0)
+}
+
+// CaptureSized is Capture with a record-count hint: the buffer is
+// pre-sized for about n records, skipping the append regrowth copies that
+// dominate large captures. The hint only sizes the first allocation; any
+// n (including 0) is correct.
+//
+// Capture also builds the decoded Blocks form as it goes: the records are
+// in hand anyway, so batching them here makes the later Blocks() call free
+// instead of a second full decode pass over the buffer just written.
+func CaptureSized(src Source, n int64) *Replay {
 	rec := NewRecorder()
+	// ~8 bytes covers the common record shape (2-byte header, short pc
+	// delta, register bytes) with a little slack.
+	if hint := n * 8; hint > int64(cap(rec.buf)) && hint <= 1<<31 {
+		rec.buf = make([]byte, 0, hint)
+	}
+	var bb blockBuilder
 	var r Record
 	for src.Next(&r) {
 		rec.Record(&r)
+		bb.add(&r)
 	}
-	return rec.Finish()
+	rep := rec.Finish()
+	rep.blocks = bb.finish()
+	rep.blocksOnce.Do(func() {})
+	return rep
 }
 
 // Replay is an immutable captured trace. It implements Factory: each Open
 // returns an independent cursor positioned at the first record, so one
-// capture serves any number of concurrent simulation passes.
+// capture serves any number of concurrent simulation passes. Blocks
+// returns the capture decoded once into batched structure-of-arrays form
+// for the hot simulation kernels; the decode is lazy and cached, shared by
+// every concurrent caller.
 type Replay struct {
 	buf []byte
 	n   int64
+
+	blocksOnce sync.Once
+	blocks     *Blocks
 }
 
 // Len returns the number of records captured.

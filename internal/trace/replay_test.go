@@ -116,3 +116,34 @@ func BenchmarkCursorNext(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchCursor is BenchmarkCursorNext over the decode-once batched
+// form: the per-record cost is a column copy instead of a varint decode.
+func BenchmarkBatchCursor(b *testing.B) {
+	bs := Capture(NewSliceSource(randomRecords(4096, 1))).Blocks()
+	var r Record
+	src := bs.Open().(*BatchCursor)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !src.Next(&r) {
+			src.Reset()
+		}
+	}
+}
+
+// BenchmarkDecodeBlocks measures the one-time cost of batching an encoded
+// capture (the path taken for buffers reconstructed with NewReplayBytes;
+// fresh captures build their blocks inline during Capture).
+func BenchmarkDecodeBlocks(b *testing.B) {
+	rep := Capture(NewSliceSource(randomRecords(BlockLen*4, 1)))
+	buf, n := rep.Bytes(), rep.Len()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if NewReplayBytes(buf, n).Blocks().Len() != n {
+			b.Fatal("short decode")
+		}
+	}
+}

@@ -70,6 +70,48 @@ func (s *Stats) Consume(src Source) *Stats {
 	return s
 }
 
+// ConsumeBlocks accumulates every record of a decoded capture, equivalent
+// to Consume over bs.Open() but without materializing Records: the class
+// and op come from the packed meta byte, and only indirect jumps touch the
+// pc/target columns.
+func (s *Stats) ConsumeBlocks(bs *Blocks) *Stats {
+	for bi := 0; bi < bs.NumBlocks(); bi++ {
+		blk := bs.Block(bi)
+		meta := blk.Meta
+		pcs := blk.PC[:len(meta)]
+		tgts := blk.Target[:len(meta)]
+		for i, mb := range meta {
+			s.Instructions++
+			s.OpMix[mb>>MetaOpShift&MetaOpMask]++
+			cls := Class(mb & MetaClassMask)
+			switch cls {
+			case ClassOther:
+				continue
+			case ClassCondDirect:
+				s.CondDirect++
+			case ClassUncondDirect:
+				s.UncondDirect++
+			case ClassCall:
+				s.Calls++
+			case ClassReturn:
+				s.Returns++
+			case ClassIndJump, ClassIndCall:
+				s.IndJumps++
+				pc := pcs[i]
+				set := s.targets[pc]
+				if set == nil {
+					set = make(map[uint64]struct{})
+					s.targets[pc] = set
+				}
+				set[tgts[i]] = struct{}{}
+				s.dynCount[pc]++
+			}
+			s.Branches++
+		}
+	}
+	return s
+}
+
 // StaticIndJumps returns the number of distinct static indirect jumps seen.
 func (s *Stats) StaticIndJumps() int { return len(s.targets) }
 

@@ -63,7 +63,7 @@ func (w *Workload) Replay(budget int64) *trace.Replay {
 	memoMu.Unlock()
 	e.once.Do(func() {
 		captures.Add(1)
-		e.rep = trace.Capture(trace.NewLimit(w.Open(), budget))
+		e.rep = trace.CaptureSized(trace.NewLimit(w.Open(), budget), budget)
 		if tf := TestCaptureTransform; tf != nil {
 			e.rep = tf(w.Name, budget, e.rep)
 		}
