@@ -19,7 +19,7 @@ test: race fault fuzz
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace ./internal/telemetry
+	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace ./internal/telemetry ./internal/cpu
 
 # The fault-injection suite always runs under the race detector: it is the
 # one place panics, corrupted captures, and worker cancellation all cross
@@ -33,7 +33,7 @@ fault:
 # fuzzing session.
 FUZZTIME ?= 2s
 fuzz:
-	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor FuzzBlocks; do \
+	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor FuzzBlocks FuzzStore; do \
 		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/trace || exit 1; \
 	done
 
@@ -56,9 +56,10 @@ bench-json:
 	$(GO) run ./cmd/tcsim -exp all -benchjson $(BENCH_JSON) > /dev/null
 
 # Compare a new bench snapshot against the committed baseline; fails if
-# any experiment regressed more than 10%.
-BENCH_OLD ?= BENCH_baseline.json
-BENCH_NEW ?= BENCH_pr5.json
+# any experiment regressed more than 10%. Either side accepts a
+# comma-separated list of snapshots (per-experiment min-of-N).
+BENCH_OLD ?= BENCH_pr5.json
+BENCH_NEW ?= BENCH_pr6.json
 bench-diff:
 	$(GO) run ./cmd/tcbenchdiff $(BENCH_OLD) $(BENCH_NEW)
 

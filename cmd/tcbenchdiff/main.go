@@ -8,9 +8,15 @@
 // the old file are reported but never fail the check: at sub-millisecond
 // scale the numbers are scheduler jitter, not simulation work.
 //
+// Each side accepts a comma-separated list of files from repeated runs;
+// per experiment the minimum wall time across the list is used. Min-of-N
+// is the standard defence against one-off scheduler noise: the fastest
+// observed run is the closest estimate of the code's actual cost.
+//
 // Usage:
 //
 //	tcbenchdiff [-tolerance 0.10] [-min-ms 5] OLD.json NEW.json
+//	tcbenchdiff OLD1.json,OLD2.json,OLD3.json NEW1.json,NEW2.json,NEW3.json
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // entry mirrors one experiment's record in the bench JSON.
@@ -40,11 +47,30 @@ func load(path string) (map[string]entry, error) {
 	return m, nil
 }
 
+// loadMin loads a comma-separated list of bench JSON files and keeps, per
+// experiment, the entry with the minimum wall time across the list. An
+// experiment missing from some files is kept from the files that have it.
+func loadMin(arg string) (map[string]entry, error) {
+	min := map[string]entry{}
+	for _, path := range strings.Split(arg, ",") {
+		m, err := load(path)
+		if err != nil {
+			return nil, err
+		}
+		for name, e := range m {
+			if best, ok := min[name]; !ok || e.WallMS < best.WallMS {
+				min[name] = e
+			}
+		}
+	}
+	return min, nil
+}
+
 func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed slowdown per experiment (0.10 = 10%)")
 	minMS := flag.Float64("min-ms", 5, "experiments faster than this in OLD are informational only")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD.json[,OLD2.json,...] NEW.json[,NEW2.json,...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,12 +78,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	oldM, err := load(flag.Arg(0))
+	oldM, err := loadMin(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
 		os.Exit(1)
 	}
-	newM, err := load(flag.Arg(1))
+	newM, err := loadMin(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
 		os.Exit(1)

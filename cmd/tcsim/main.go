@@ -7,6 +7,8 @@
 //	tcsim -exp table4
 //	tcsim -exp all -n 5000000 -t 2000000 -parallel 4
 //	tcsim -exp all -timeout 2m -resume run.json
+//	tcsim -exp all -parallel 8 -segments 4
+//	tcsim -exp all -n 100000000 -trace-store /tmp/tc -spill-mb 256
 //
 // The suite is fault tolerant: a failing simulation cell marks only its
 // own rows as ERR, every other experiment still runs, and tcsim exits
@@ -29,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -46,6 +50,9 @@ func run() int {
 		model      = flag.String("model", "fast", "timing model: fast | event")
 		format     = flag.String("format", "text", "output format: text | json | csv")
 		parallel   = flag.Int("parallel", 0, "simulation cells run concurrently per experiment (0 = one per CPU, 1 = serial)")
+		segments   = flag.Int("segments", 0, "segments an accuracy cell's replay splits into (0 = auto from spare workers, 1 = off)")
+		traceStore = flag.String("trace-store", "", "spill large captures to columnar trace-store files in this directory")
+		spillMB    = flag.Int("spill-mb", 256, "with -trace-store: captures above this in-memory size (MB) spill to disk")
 		timeout    = flag.Duration("timeout", 0, "per-experiment deadline (0 = none); timed-out cells render ERR")
 		resume     = flag.String("resume", "", "run manifest path: completed experiments are recorded there and replayed on restart")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,6 +93,17 @@ func run() int {
 		case "timeout":
 			if *timeout <= 0 {
 				usageErr = fmt.Sprintf("-timeout must be positive, got %v", *timeout)
+			}
+		case "segments":
+			if *segments < 0 {
+				usageErr = fmt.Sprintf("-segments must be non-negative, got %d", *segments)
+			}
+		case "spill-mb":
+			if *spillMB <= 0 {
+				usageErr = fmt.Sprintf("-spill-mb must be positive, got %d", *spillMB)
+			}
+			if *traceStore == "" {
+				usageErr = "-spill-mb needs -trace-store"
 			}
 		case "events":
 			if *events < 0 {
@@ -129,6 +147,19 @@ func run() int {
 		params.Parallel = *parallel
 	}
 	params.EventModel = *model == "event"
+	params.Segments = *segments
+
+	if *traceStore != "" {
+		// A record's in-memory SoA footprint is ~28 bytes (three u64 columns
+		// plus four byte columns), so the MB threshold converts to a record
+		// budget above which captures stream to disk instead.
+		const approxBytesPerRecord = 3*8 + 4
+		workload.ConfigureSpill(workload.SpillConfig{
+			Dir:       *traceStore,
+			Threshold: int64(*spillMB) << 20 / approxBytesPerRecord,
+			Compress:  true,
+		})
+	}
 
 	// Telemetry is collected only when some output wants it; otherwise the
 	// recorder stays nil and the simulators skip collection entirely.
@@ -199,6 +230,18 @@ func run() int {
 	wall := time.Since(start)
 	work := bench.SnapshotStats().Sub(before)
 
+	if !*quiet {
+		if segs := sim.SegmentCounters(); segs.SegmentedRuns > 0 {
+			fmt.Fprintf(os.Stderr, "tcsim: segmented %d runs into %d segments (%d warm-up instructions)\n",
+				segs.SegmentedRuns, segs.SegmentsExecuted, segs.WarmupInstructions)
+		}
+		if spilledCaptures, spilledBytes := workload.SpillStats(); spilledCaptures > 0 {
+			cache := trace.StoreCacheCounters()
+			fmt.Fprintf(os.Stderr, "tcsim: spilled %d captures (%d bytes on disk); store cache %d hits / %d misses / %d evictions\n",
+				spilledCaptures, spilledBytes, cache.Hits, cache.Misses, cache.Evictions)
+		}
+	}
+
 	// Telemetry and benchjson outputs are written even when the run was
 	// interrupted (partial telemetry covers the cells that finished), and
 	// atomically (temp + rename), so a drained SIGINT run always leaves
@@ -206,14 +249,25 @@ func run() int {
 	if recorder != nil {
 		replayCalls, captureCount := workload.MemoCounters()
 		_, memoBytes := workload.MemoStats()
+		segs := sim.SegmentCounters()
+		cache := trace.StoreCacheCounters()
+		spilledCaptures, spilledBytes := workload.SpillStats()
 		rep := recorder.Report(telemetry.RunInfo{
-			Workers:      params.Workers(),
-			Wall:         wall,
-			Instructions: work.Instructions,
-			MemoCaptures: captureCount,
-			MemoHits:     replayCalls - captureCount,
-			MemoBytes:    memoBytes,
-			Interrupted:  res.Interrupted,
+			Workers:             params.Workers(),
+			Wall:                wall,
+			Instructions:        work.Instructions,
+			MemoCaptures:        captureCount,
+			MemoHits:            replayCalls - captureCount,
+			MemoBytes:           memoBytes,
+			SegmentedRuns:       segs.SegmentedRuns,
+			SegmentsExecuted:    segs.SegmentsExecuted,
+			WarmupInstructions:  segs.WarmupInstructions,
+			StoreCacheHits:      cache.Hits,
+			StoreCacheMisses:    cache.Misses,
+			StoreCacheEvictions: cache.Evictions,
+			SpilledCaptures:     spilledCaptures,
+			SpilledBytes:        spilledBytes,
+			Interrupted:         res.Interrupted,
 		})
 		if *sites {
 			fmt.Println("== telemetry: per-site indirect-jump report ==")

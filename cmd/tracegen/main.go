@@ -7,6 +7,7 @@
 //	tracegen -w perl -n 1000000 -o perl.trace
 //	tracegen -w gcc -n 500000 -stats
 //	tracegen -w xlisp -n 50 -dump
+//	tracegen -w gcc -n 10000000 -o gcc.tcstore -format store -compress
 package main
 
 import (
@@ -23,7 +24,8 @@ func main() {
 		wname  = flag.String("w", "perl", "workload name")
 		n      = flag.Int64("n", 1_000_000, "number of instructions")
 		out    = flag.String("o", "", "output file for binary trace")
-		format = flag.String("format", "v2", "trace format: v1 (fixed-width) | v2 (compact)")
+		format = flag.String("format", "v2", "trace format: v1 (fixed-width) | v2 (compact) | store (columnar, random access)")
+		comp   = flag.Bool("compress", false, "with -format store: flate-compress block groups")
 		doSt   = flag.Bool("stats", false, "print trace statistics")
 		dump   = flag.Bool("dump", false, "dump records as text to stdout")
 	)
@@ -60,6 +62,8 @@ func main() {
 			count, err = trace.Copy(trace.NewWriter(f), src)
 		case "v2":
 			count, err = trace.CopyV2(trace.NewWriterV2(f), src)
+		case "store":
+			count, err = trace.WriteStore(f, src, trace.StoreOptions{Compress: *comp})
 		default:
 			fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
 			os.Exit(2)

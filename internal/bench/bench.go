@@ -37,6 +37,12 @@ type Params struct {
 	// are gathered positionally, so rendered tables are byte-identical at
 	// every setting.
 	Parallel int
+	// Segments is the number of concurrent segments an accuracy cell may
+	// split its capture into (sim.RunAccuracySegmentedCtx): 0 picks
+	// automatically — split only when idle workers outnumber queued
+	// cells — 1 disables splitting, N forces up to N. Results are
+	// byte-identical at every setting.
+	Segments int
 	// Telemetry, when non-nil, collects per-site predictor statistics,
 	// misprediction events and run-level metrics: every simulation cell
 	// gets a private collector, merged into the recorder when the cell
@@ -56,6 +62,9 @@ type Params struct {
 	// fails, when non-nil, collects every CellError across experiments
 	// for the run-level exit digest.
 	fails *failureLog
+	// segs is the segment count resolved by the cell scheduler for the
+	// current cell group (cellSegments applied to the queue length).
+	segs int
 }
 
 // workers resolves Parallel to a concrete worker count.
@@ -69,6 +78,39 @@ func (p Params) workers() int {
 // Workers is the resolved worker-pool size (Parallel, or one per CPU when
 // unset) — the value telemetry.RunInfo wants.
 func (p Params) Workers() int { return p.workers() }
+
+// shareBudget is the largest per-cell budget in play: any capture of at
+// least this many records serves every cell of the workload (drivers
+// clamp to their own budget), so the memo keeps one capture per workload
+// instead of one per (workload, budget).
+func (p Params) shareBudget() int64 {
+	if p.AccuracyBudget > p.TimingBudget {
+		return p.AccuracyBudget
+	}
+	return p.TimingBudget
+}
+
+// cellSegments resolves Segments for a group of `cells` queued cells.
+// Automatic mode splits only when workers would otherwise idle (fewer
+// cells than workers), giving each cell roughly the spare workers, capped
+// at 8 — beyond that, priming overhead outweighs the extra overlap.
+func (p Params) cellSegments(cells int) int {
+	if p.Segments == 1 {
+		return 1
+	}
+	if p.Segments > 1 {
+		return p.Segments
+	}
+	w := p.workers()
+	if cells <= 0 || w <= cells {
+		return 1
+	}
+	s := (w + cells - 1) / cells
+	if s > 8 {
+		s = 8
+	}
+	return s
+}
 
 // WithContext returns a copy of p whose simulation cells observe ctx:
 // cancellation stops in-flight kernels at the next poll boundary and marks
@@ -245,7 +287,7 @@ type baselineKey struct {
 func (tc *timingContext) run(w *workload.Workload, cfg sim.Config, col *telemetry.Collector) cpu.Result {
 	cfg.Telemetry = col
 	engine := sim.NewEngine(cfg)
-	rep := w.Replay(tc.p.TimingBudget)
+	rep := w.ReplayPrefix(tc.p.TimingBudget, tc.p.shareBudget())
 	var res cpu.Result
 	if tc.p.EventModel {
 		res = cpu.NewEvent(tc.cpuCfg, engine).RunCtx(tc.p.Context(), rep.Open(), tc.p.TimingBudget)

@@ -145,6 +145,12 @@ func (g *cellGroup) run() {
 	cells := g.cells
 	g.cells = nil
 	cellsExecuted.Add(int64(len(cells)))
+	// Resolve intra-cell segmentation for this batch: with fewer cells
+	// than workers, accuracy cells split their captures so the idle
+	// workers help the critical path. Resolution happens here (not per
+	// cell) so the count depends only on the queue length, never on
+	// scheduling order.
+	g.p.segs = g.p.cellSegments(len(cells))
 	if g.workers <= 1 || len(cells) <= 1 {
 		for i := range cells {
 			g.exec(&cells[i])
@@ -252,12 +258,14 @@ func (s RunStats) Sub(earlier RunStats) RunStats {
 // cancellation) so the failure lands in the cell's slot rather than
 // propagating garbage into rendered tables.
 
-// runAccuracy is sim.RunAccuracy over the memoized replay.
+// runAccuracy is sim.RunAccuracy over the memoized replay, segmented
+// across spare workers when the cell scheduler resolved a split (with
+// telemetry enabled the kernel falls back to the plain path itself).
 func runAccuracy(w *workload.Workload, p Params, cfg sim.Config) sim.AccuracyResult {
 	col := p.startCollector()
 	defer p.mergeCollector(col)
 	cfg.Telemetry = col
-	res := sim.RunAccuracyCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
+	res := sim.RunAccuracySegmentedCtx(p.Context(), w.ReplayPrefix(p.AccuracyBudget, p.shareBudget()), p.AccuracyBudget, p.segs, cfg)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
 		abortCell(res.Err)
@@ -271,7 +279,7 @@ func runAccuracyFlushes(w *workload.Workload, p Params, interval int64, cfg sim.
 	col := p.startCollector()
 	defer p.mergeCollector(col)
 	cfg.Telemetry = col
-	res := sim.RunAccuracyWithFlushesCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, interval, cfg)
+	res := sim.RunAccuracyWithFlushesCtx(p.Context(), w.ReplayPrefix(p.AccuracyBudget, p.shareBudget()), p.AccuracyBudget, interval, cfg)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
 		abortCell(res.Err)
@@ -285,7 +293,7 @@ func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cp
 	col := p.startCollector()
 	defer p.mergeCollector(col)
 	cfg.Telemetry = col
-	res := cpu.New(mc, sim.NewEngine(cfg)).RunReplayCtx(p.Context(), w.Replay(p.TimingBudget), p.TimingBudget)
+	res := cpu.New(mc, sim.NewEngine(cfg)).RunReplayCtx(p.Context(), w.ReplayPrefix(p.TimingBudget, p.shareBudget()), p.TimingBudget)
 	instructionsSim.Add(res.Instructions)
 	if res.Err != nil {
 		abortCell(res.Err)
@@ -296,10 +304,10 @@ func runTiming(w *workload.Workload, p Params, cfg sim.Config, mc cpu.Config) cp
 // runTraceStats consumes the memoized replay into trace statistics,
 // iterating the decode-once batches rather than re-decoding the capture.
 func runTraceStats(w *workload.Workload, p Params) *trace.Stats {
-	bs := w.Replay(p.AccuracyBudget).Blocks()
-	st := trace.NewStats().ConsumeBlocks(bs)
+	bs := w.ReplayPrefix(p.AccuracyBudget, p.shareBudget())
+	st, err := trace.NewStats().ConsumeBatches(bs, p.AccuracyBudget)
 	instructionsSim.Add(p.AccuracyBudget)
-	if err := bs.Err(); err != nil {
+	if err != nil {
 		abortCell(err)
 	}
 	return st

@@ -626,7 +626,7 @@ var cbtComparison = registerExperiment(&Experiment{
 func runCBT(w *workload.Workload, p Params, oracle bool) float64 {
 	cfg := cbt.DefaultConfig()
 	cfg.Oracle = oracle
-	c, err := sim.RunCBTCtx(p.Context(), w.Replay(p.AccuracyBudget), p.AccuracyBudget, cfg)
+	c, err := sim.RunCBTCtx(p.Context(), w.ReplayPrefix(p.AccuracyBudget, p.shareBudget()), p.AccuracyBudget, cfg)
 	instructionsSim.Add(p.AccuracyBudget)
 	if err != nil {
 		abortCell(err)

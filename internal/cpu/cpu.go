@@ -345,4 +345,3 @@ func (m *Machine) RunCtx(ctx context.Context, src trace.Source, budget int64) Re
 func Run(src trace.Source, budget int64, engine *sim.Engine, cfg Config) Result {
 	return New(cfg, engine).Run(src, budget)
 }
-

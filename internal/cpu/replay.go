@@ -43,10 +43,10 @@ type noHist struct{}
 func (noHist) Value(pc uint64) uint64  { return 0 }
 func (noHist) Observe(r *trace.Record) {}
 
-// RunReplayCtx simulates up to budget instructions from rep's decoded
-// batches. It may be called once per Machine.
-func (m *Machine) RunReplayCtx(ctx context.Context, rep *trace.Replay, budget int64) Result {
-	bs := rep.Blocks()
+// RunReplayCtx simulates up to budget instructions from a capture's
+// decoded batches — a memoized Replay, explicit Blocks, or an out-of-core
+// Store. It may be called once per Machine.
+func (m *Machine) RunReplayCtx(ctx context.Context, bs trace.BlockSource, budget int64) Result {
 	switch tc := m.engine.TC.(type) {
 	case nil:
 		return replayKernel(ctx, m, bs, budget, noTC{}, noHist{})
@@ -66,7 +66,7 @@ func (m *Machine) RunReplayCtx(ctx context.Context, rep *trace.Replay, budget in
 
 // replayDispatchHist instantiates the kernel over the engine's concrete
 // history type for an already-resolved target cache.
-func replayDispatchHist[TC targetCache](ctx context.Context, m *Machine, bs *trace.Blocks, budget int64, tc TC) Result {
+func replayDispatchHist[TC targetCache](ctx context.Context, m *Machine, bs trace.BlockSource, budget int64, tc TC) Result {
 	switch h := m.engine.Hist.(type) {
 	case history.PatternProvider:
 		return replayKernel(ctx, m, bs, budget, tc, h)
@@ -81,7 +81,7 @@ func replayDispatchHist[TC targetCache](ctx context.Context, m *Machine, bs *tra
 // BTB, RAS, direction predictor and telemetry collector are read off the
 // engine once. The scheduling model is line-for-line the one in RunCtx.
 func replayKernel[TC targetCache, H historySource](
-	ctx context.Context, m *Machine, bs *trace.Blocks, budget int64, tc TC, hist H,
+	ctx context.Context, m *Machine, bs trace.BlockSource, budget int64, tc TC, hist H,
 ) Result {
 	cfg := m.cfg
 	btbT, ras, dir, tel := m.engine.BTB, m.engine.RAS, m.engine.Dir, m.engine.Tel
@@ -133,12 +133,20 @@ func replayKernel[TC targetCache, H historySource](
 	if limit < 0 {
 		limit = 0
 	}
+	effEnd := limit
+	if clean := bs.CleanLen(); clean < effEnd {
+		effEnd = clean
+	}
 	stopped := false
-	for bi := 0; bi < bs.NumBlocks() && idx < limit && !stopped; bi++ {
-		blk := bs.Block(bi)
+	for bi := 0; idx < effEnd && !stopped; bi++ {
+		blk, err := bs.BlockAt(bi)
+		if err != nil {
+			res.Err = err
+			break
+		}
 		meta := blk.Meta
 		n := len(meta)
-		if rem := limit - idx; int64(n) > rem {
+		if rem := effEnd - idx; int64(n) > rem {
 			n = int(rem)
 		}
 		// Reslice every column to the iteration length once: the i < n
@@ -387,8 +395,8 @@ func replayKernel[TC targetCache, H historySource](
 
 	res.Instructions = idx
 	res.Cycles = lastRetire + 1
-	if res.Err == nil && limit > bs.Len() {
-		res.Err = bs.Err()
+	if res.Err == nil && limit > bs.CleanLen() {
+		res.Err = bs.TailErr()
 	}
 	return res
 }

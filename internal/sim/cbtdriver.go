@@ -49,20 +49,27 @@ func RunCBTCtx(ctx context.Context, factory trace.Factory, budget int64, cfg cbt
 
 // runCBTBlocks is the CBT driver over decoded batches: indirect jumps are
 // found with a one-byte class scan, and only those records materialize.
-func runCBTBlocks(ctx context.Context, bs *trace.Blocks, budget int64, cfg cbt.Config) (stats.Counter, error) {
+func runCBTBlocks(ctx context.Context, bs trace.BlockSource, budget int64, cfg cbt.Config) (stats.Counter, error) {
 	table := cbt.New(cfg)
 	var c stats.Counter
 	limit := budget
 	if limit < 0 {
 		limit = 0
 	}
+	effEnd := limit
+	if clean := bs.CleanLen(); clean < effEnd {
+		effEnd = clean
+	}
 	var n int64
 	var r trace.Record
-	for bi := 0; bi < bs.NumBlocks() && n < limit; bi++ {
-		blk := bs.Block(bi)
+	for bi := 0; n < effEnd; bi++ {
+		blk, err := bs.BlockAt(bi)
+		if err != nil {
+			return c, err
+		}
 		meta := blk.Meta
 		m := len(meta)
-		if rem := limit - n; int64(m) > rem {
+		if rem := effEnd - n; int64(m) > rem {
 			m = int(rem)
 		}
 		base := n
@@ -83,8 +90,8 @@ func runCBTBlocks(ctx context.Context, bs *trace.Blocks, budget int64, cfg cbt.C
 			table.Update(&r)
 		}
 	}
-	if limit > bs.Len() {
-		return c, bs.Err()
+	if limit > bs.CleanLen() {
+		return c, bs.TailErr()
 	}
 	return c, nil
 }

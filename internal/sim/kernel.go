@@ -50,16 +50,17 @@ func (noTC) Update(pc, hist, target uint64)         {}
 
 type noHist struct{}
 
-func (noHist) Value(pc uint64) uint64    { return 0 }
-func (noHist) Observe(r *trace.Record)   {}
+func (noHist) Value(pc uint64) uint64  { return 0 }
+func (noHist) Observe(r *trace.Record) {}
 
-// blocksFor unwraps the decoded-batch representation behind a factory:
-// a memoized Replay (decoded once, cached) or an explicit Blocks.
-func blocksFor(factory trace.Factory) (*trace.Blocks, bool) {
+// blocksFor unwraps the decoded-batch representation behind a factory: a
+// memoized Replay (decoded once, cached), an explicit Blocks, or any
+// other BlockSource such as the out-of-core trace.Store.
+func blocksFor(factory trace.Factory) (trace.BlockSource, bool) {
 	switch f := factory.(type) {
 	case *trace.Replay:
-		return f.Blocks(), true
-	case *trace.Blocks:
+		return f, true
+	case trace.BlockSource:
 		return f, true
 	}
 	return nil, false
@@ -70,42 +71,53 @@ func blocksFor(factory trace.Factory) (*trace.Blocks, bool) {
 // (the followup predictors: cascaded, ITTAGE, chooser) fall back to an
 // interface-typed instantiation of the same kernel — still decode-once,
 // just without devirtualized predictor calls.
-func runAccuracyBlocks(ctx context.Context, bs *trace.Blocks, budget, flushInterval int64, cfg Config) AccuracyResult {
+func runAccuracyBlocks(ctx context.Context, bs trace.BlockSource, budget, flushInterval int64, cfg Config) AccuracyResult {
 	engine := NewEngine(cfg)
+	return runAccuracyEngine(ctx, bs, 0, budget, flushInterval, engine)
+}
+
+// runAccuracyEngine dispatches an already-constructed engine over records
+// [start, budget); the segmented driver uses start to resume a primed
+// engine at its seam, the plain path passes start = 0.
+func runAccuracyEngine(ctx context.Context, bs trace.BlockSource, start, budget, flushInterval int64, engine *Engine) AccuracyResult {
 	switch tc := engine.TC.(type) {
 	case nil:
-		return accuracyKernel(ctx, bs, budget, flushInterval, engine, noTC{}, noHist{})
+		return accuracyKernel(ctx, bs, start, budget, flushInterval, engine, noTC{}, noHist{})
 	case *core.Tagless:
-		return dispatchHist(ctx, bs, budget, flushInterval, engine, tc)
+		return dispatchHist(ctx, bs, start, budget, flushInterval, engine, tc)
 	case *core.Tagged:
-		return dispatchHist(ctx, bs, budget, flushInterval, engine, tc)
+		return dispatchHist(ctx, bs, start, budget, flushInterval, engine, tc)
 	case *core.Cascaded:
-		return dispatchHist(ctx, bs, budget, flushInterval, engine, tc)
+		return dispatchHist(ctx, bs, start, budget, flushInterval, engine, tc)
 	case *core.ITTAGE:
-		return dispatchHist(ctx, bs, budget, flushInterval, engine, tc)
+		return dispatchHist(ctx, bs, start, budget, flushInterval, engine, tc)
 	case *core.Chooser:
-		return dispatchHist(ctx, bs, budget, flushInterval, engine, tc)
+		return dispatchHist(ctx, bs, start, budget, flushInterval, engine, tc)
 	}
-	return accuracyKernel[core.TargetCache, history.Provider](ctx, bs, budget, flushInterval, engine, engine.TC, engine.Hist)
+	return accuracyKernel[core.TargetCache, history.Provider](ctx, bs, start, budget, flushInterval, engine, engine.TC, engine.Hist)
 }
 
 // dispatchHist instantiates the kernel over the engine's concrete history
 // type for an already-resolved target cache.
-func dispatchHist[TC targetCache](ctx context.Context, bs *trace.Blocks, budget, flushInterval int64, engine *Engine, tc TC) AccuracyResult {
+func dispatchHist[TC targetCache](ctx context.Context, bs trace.BlockSource, start, budget, flushInterval int64, engine *Engine, tc TC) AccuracyResult {
 	switch h := engine.Hist.(type) {
 	case history.PatternProvider:
-		return accuracyKernel(ctx, bs, budget, flushInterval, engine, tc, h)
+		return accuracyKernel(ctx, bs, start, budget, flushInterval, engine, tc, h)
 	case *history.Path:
-		return accuracyKernel(ctx, bs, budget, flushInterval, engine, tc, h)
+		return accuracyKernel(ctx, bs, start, budget, flushInterval, engine, tc, h)
 	}
-	return accuracyKernel[TC, history.Provider](ctx, bs, budget, flushInterval, engine, tc, engine.Hist)
+	return accuracyKernel[TC, history.Provider](ctx, bs, start, budget, flushInterval, engine, tc, engine.Hist)
 }
 
-// accuracyKernel is the batched, devirtualized accuracy loop. tc and hist
-// are the engine's own target cache and history, passed at their concrete
-// types; engine is retained for Reset (flush intervals) and telemetry.
+// accuracyKernel is the batched, devirtualized accuracy loop over records
+// [start, budget). tc and hist are the engine's own target cache and
+// history, passed at their concrete types; engine is retained for Reset
+// (flush intervals) and telemetry. Instruction indices (context polls,
+// flush points, telemetry clocks) are absolute trace positions, so a
+// segment kernel behaves exactly like the same span of a streaming run;
+// res.Instructions counts only the records processed in the span.
 func accuracyKernel[TC targetCache, H historySource](
-	ctx context.Context, bs *trace.Blocks, budget, flushInterval int64,
+	ctx context.Context, bs trace.BlockSource, start, budget, flushInterval int64,
 	engine *Engine, tc TC, hist H,
 ) AccuracyResult {
 	var res AccuracyResult
@@ -115,14 +127,36 @@ func accuracyKernel[TC targetCache, H historySource](
 	if limit < 0 {
 		limit = 0
 	}
-	var insns int64
+	if start < 0 {
+		start = 0
+	}
+	// The block layout invariant (block i covers records [i*BlockLen,
+	// i*BlockLen+len)) lets the kernel seek straight to the seam block.
+	effEnd := limit
+	if clean := bs.CleanLen(); clean < effEnd {
+		effEnd = clean
+	}
+	if start > effEnd {
+		start = effEnd
+	}
+	insns := start
 	var r trace.Record
-	for bi := 0; bi < bs.NumBlocks() && insns < limit; bi++ {
-		blk := bs.Block(bi)
+	for bi := int(start / trace.BlockLen); insns < effEnd; bi++ {
+		blk, err := bs.BlockAt(bi)
+		if err != nil {
+			res.Instructions = insns - start
+			res.Err = err
+			return res
+		}
+		base := int64(bi) * trace.BlockLen
 		meta := blk.Meta
 		m := len(meta)
-		if rem := limit - insns; int64(m) > rem {
+		if rem := effEnd - base; int64(m) > rem {
 			m = int(rem)
+		}
+		lo := 0
+		if base < insns {
+			lo = int(insns - base)
 		}
 		// Reslice the columns to the iteration length once so i < m
 		// proves every access in range (no per-access bounds checks).
@@ -130,12 +164,11 @@ func accuracyKernel[TC targetCache, H historySource](
 		pcs := blk.PC[:m]
 		tgts := blk.Target[:m]
 		addrs := blk.Addr[:m]
-		base := insns
-		for i := 0; i < m; i++ {
+		for i := lo; i < m; i++ {
 			insns = base + int64(i) + 1
 			if insns&ctxCheckMask == 0 {
 				if err := ctx.Err(); err != nil {
-					res.Instructions = insns
+					res.Instructions = insns - start
 					res.Err = err
 					return res
 				}
@@ -236,12 +269,12 @@ func accuracyKernel[TC targetCache, H historySource](
 			}
 		}
 	}
-	res.Instructions = insns
+	res.Instructions = insns - start
 	// The streaming loop surfaces a decode error only when the budget
 	// reaches past the cleanly decoded prefix (a Limit that stops earlier
 	// never touches the damage). Mirror that exactly.
-	if limit > bs.Len() {
-		res.Err = bs.Err()
+	if limit > bs.CleanLen() {
+		res.Err = bs.TailErr()
 	}
 	return res
 }

@@ -10,10 +10,10 @@ import (
 	"repro/internal/workload"
 )
 
-// opaqueFactory hides a Replay's concrete type from RunAccuracyCtx's
+// opaqueFactory hides a capture's concrete type from RunAccuracyCtx's
 // dispatch, forcing the streaming reference loop over the same records the
 // batched kernel consumes.
-type opaqueFactory struct{ rep *trace.Replay }
+type opaqueFactory struct{ rep trace.Factory }
 
 func (f opaqueFactory) Open() trace.Source { return f.rep.Open() }
 

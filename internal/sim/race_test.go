@@ -7,10 +7,12 @@ package sim_test
 // one shared immutable replay buffer at once.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,52 @@ func TestConcurrentAccuracyOverSharedReplay(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			results[i] = sim.RunAccuracy(rep, budget, sim.DefaultConfig())
+		}()
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res != ref {
+			t.Errorf("goroutine %d: result %+v differs from serial reference %+v", i, res, ref)
+		}
+	}
+}
+
+// TestConcurrentSegmentedReplay layers both axes of concurrency: several
+// goroutines each run a segment-parallel simulation (which itself spawns
+// one worker per segment) over one shared replay and over one shared
+// out-of-core store whose LRU cache is small enough to evict under load.
+// Under -race this proves segment workers and the store's group cache
+// share no unsynchronized mutable state; the result check proves
+// determinism survives the contention.
+func TestConcurrentSegmentedReplay(t *testing.T) {
+	const budget = 20 * trace.BlockLen
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Replay(budget)
+	var img bytes.Buffer
+	if _, err := trace.WriteStore(&img, rep.Open(), trace.StoreOptions{GroupRecords: 2 * trace.BlockLen}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := trace.OpenStore(bytes.NewReader(img.Bytes()), int64(img.Len()), 3*trace.BlockLen*(3*8+4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.RunAccuracy(rep, budget, sim.DefaultConfig())
+
+	const goroutines = 6
+	results := make([]sim.AccuracyResult, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := trace.Factory(rep)
+			if i%2 == 1 {
+				src = store
+			}
+			results[i] = sim.RunAccuracySegmented(src, budget, 2+i%3, sim.DefaultConfig())
 		}()
 	}
 	wg.Wait()

@@ -131,6 +131,15 @@ type RunInfo struct {
 	// executed the VM, hits reused a capture. MemoBytes is the resident
 	// encoded size.
 	MemoCaptures, MemoHits, MemoBytes int64
+	// SegmentedRuns, SegmentsExecuted, and WarmupInstructions describe
+	// segment-parallel replay: runs that split, segments executed, and
+	// instructions replayed purely to warm predictor state before a seam.
+	SegmentedRuns, SegmentsExecuted, WarmupInstructions int64
+	// StoreCacheHits/Misses/Evictions are the out-of-core trace store's
+	// block-group cache counters; SpilledCaptures and SpilledBytes describe
+	// captures spilled to trace-store files instead of held in memory.
+	StoreCacheHits, StoreCacheMisses, StoreCacheEvictions int64
+	SpilledCaptures, SpilledBytes                         int64
 	// Interrupted marks a run cancelled before completing (SIGINT); the
 	// exported telemetry covers the cells that finished.
 	Interrupted bool
@@ -145,6 +154,18 @@ type RunMetrics struct {
 	MemoCaptures int64 `json:"memo_captures"`
 	MemoHits     int64 `json:"memo_hits"`
 	MemoBytes    int64 `json:"memo_bytes"`
+
+	// Segment-parallel replay and out-of-core trace-store counters; all
+	// omitempty so reports from runs that never segment or spill (including
+	// the golden fixtures) are unchanged.
+	SegmentedRuns       int64 `json:"segmented_runs,omitempty"`
+	SegmentsExecuted    int64 `json:"segments_executed,omitempty"`
+	WarmupInstructions  int64 `json:"warmup_instructions,omitempty"`
+	StoreCacheHits      int64 `json:"store_cache_hits,omitempty"`
+	StoreCacheMisses    int64 `json:"store_cache_misses,omitempty"`
+	StoreCacheEvictions int64 `json:"store_cache_evictions,omitempty"`
+	SpilledCaptures     int64 `json:"spilled_captures,omitempty"`
+	SpilledBytes        int64 `json:"spilled_bytes,omitempty"`
 
 	Workers int     `json:"workers"`
 	WallMS  float64 `json:"wall_ms"`
@@ -165,10 +186,10 @@ type TargetShare struct {
 
 // SiteReport is one static indirect jump's statistics within a cell.
 type SiteReport struct {
-	PC             string        `json:"pc"`
-	Executions     int64         `json:"executions"`
-	Mispredicts    int64         `json:"mispredicts"`
-	MispredictRate float64       `json:"mispredict_rate"`
+	PC             string  `json:"pc"`
+	Executions     int64   `json:"executions"`
+	Mispredicts    int64   `json:"mispredicts"`
+	MispredictRate float64 `json:"mispredict_rate"`
 	// DistinctTargets counts exactly-tracked targets;
 	// TargetOverflow counts executions whose target fell beyond the
 	// per-site tracking bound (0 in practice for these workloads).
@@ -205,13 +226,21 @@ type Report struct {
 func (r *Recorder) Report(info RunInfo) *Report {
 	rep := &Report{
 		Run: RunMetrics{
-			MemoCaptures: info.MemoCaptures,
-			MemoHits:     info.MemoHits,
-			MemoBytes:    info.MemoBytes,
-			Workers:      info.Workers,
-			WallMS:       float64(info.Wall.Microseconds()) / 1000,
-			Instructions: info.Instructions,
-			Interrupted:  info.Interrupted,
+			MemoCaptures:        info.MemoCaptures,
+			MemoHits:            info.MemoHits,
+			MemoBytes:           info.MemoBytes,
+			SegmentedRuns:       info.SegmentedRuns,
+			SegmentsExecuted:    info.SegmentsExecuted,
+			WarmupInstructions:  info.WarmupInstructions,
+			StoreCacheHits:      info.StoreCacheHits,
+			StoreCacheMisses:    info.StoreCacheMisses,
+			StoreCacheEvictions: info.StoreCacheEvictions,
+			SpilledCaptures:     info.SpilledCaptures,
+			SpilledBytes:        info.SpilledBytes,
+			Workers:             info.Workers,
+			WallMS:              float64(info.Wall.Microseconds()) / 1000,
+			Instructions:        info.Instructions,
+			Interrupted:         info.Interrupted,
 		},
 	}
 	if r == nil {

@@ -152,6 +152,45 @@ func FuzzAutoReader(f *testing.F) {
 	})
 }
 
+// FuzzStore covers the out-of-core TCSTORE reader: arbitrary bytes —
+// seeded with intact, truncated and bit-flipped images of a real capture,
+// raw and compressed — must never panic, must reject damage with
+// ErrCorrupt (at open or at the damaged group), and whatever reads
+// cleanly must re-encode to the same record count.
+func FuzzStore(f *testing.F) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if _, err := trace.WriteStore(&buf, trace.NewLimit(w.Open(), 10_000), trace.StoreOptions{
+			Compress:     compress,
+			GroupRecords: 4096,
+		}); err != nil {
+			f.Fatal(err)
+		}
+		addDamagedVariants(f, buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := trace.OpenStore(bytes.NewReader(data), int64(len(data)), 1<<20)
+		if err != nil {
+			if !errors.Is(err, trace.ErrCorrupt) {
+				t.Fatalf("OpenStore error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		recs := drain(t, s.Open())
+		if int64(len(recs)) == s.Len() {
+			var out bytes.Buffer
+			n, err := trace.WriteStore(&out, trace.NewSliceSource(recs), trace.StoreOptions{GroupRecords: 4096})
+			if err != nil || n != s.Len() {
+				t.Fatalf("re-encode: n=%d err=%v, want %d", n, err, s.Len())
+			}
+		}
+	})
+}
+
 // FuzzCursor covers the in-memory replay decoder — the path the
 // fault-injection harness corrupts — where the buffer carries no header
 // and the record count is tracked out of band.

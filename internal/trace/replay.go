@@ -75,29 +75,24 @@ func Capture(src Source) *Replay {
 	return CaptureSized(src, 0)
 }
 
-// CaptureSized is Capture with a record-count hint: the buffer is
-// pre-sized for about n records, skipping the append regrowth copies that
-// dominate large captures. The hint only sizes the first allocation; any
-// n (including 0) is correct.
+// CaptureSized is Capture with a record-count hint, kept for API
+// compatibility: the arena-backed block builder sizes itself, so the hint
+// is no longer consulted. Any n (including 0) is correct.
 //
-// Capture also builds the decoded Blocks form as it goes: the records are
-// in hand anyway, so batching them here makes the later Blocks() call free
-// instead of a second full decode pass over the buffer just written.
+// Capture builds only the decoded Blocks form — the representation every
+// simulation kernel consumes. The compact v2 buffer is re-encoded lazily
+// on first Bytes/Size/Cursor use (encoding is deterministic, so the bytes
+// are identical to recording the source directly; replay_test pins this),
+// which removes the varint-encode pass from the capture hot path entirely.
 func CaptureSized(src Source, n int64) *Replay {
-	rec := NewRecorder()
-	// ~8 bytes covers the common record shape (2-byte header, short pc
-	// delta, register bytes) with a little slack.
-	if hint := n * 8; hint > int64(cap(rec.buf)) && hint <= 1<<31 {
-		rec.buf = make([]byte, 0, hint)
-	}
 	var bb blockBuilder
 	var r Record
 	for src.Next(&r) {
-		rec.Record(&r)
 		bb.add(&r)
 	}
-	rep := rec.Finish()
+	rep := &Replay{fromBlocks: true}
 	rep.blocks = bb.finish()
+	rep.n = rep.blocks.Len()
 	rep.blocksOnce.Do(func() {})
 	return rep
 }
@@ -107,10 +102,18 @@ func CaptureSized(src Source, n int64) *Replay {
 // capture serves any number of concurrent simulation passes. Blocks
 // returns the capture decoded once into batched structure-of-arrays form
 // for the hot simulation kernels; the decode is lazy and cached, shared by
-// every concurrent caller.
+// every concurrent caller. A capture-born Replay holds the batched form
+// from the start and materializes the compact buffer lazily instead.
 type Replay struct {
 	buf []byte
 	n   int64
+
+	// fromBlocks marks a capture-born Replay: blocks is authoritative and
+	// immutable from construction, buf is built on demand under bufOnce.
+	// A buffer-born Replay (NewReplayBytes, Recorder.Finish) is the
+	// inverse: buf authoritative, blocks decoded under blocksOnce.
+	fromBlocks bool
+	bufOnce    sync.Once
 
 	blocksOnce sync.Once
 	blocks     *Blocks
@@ -119,13 +122,58 @@ type Replay struct {
 // Len returns the number of records captured.
 func (rep *Replay) Len() int64 { return rep.n }
 
-// Size returns the encoded buffer size in bytes.
-func (rep *Replay) Size() int { return len(rep.buf) }
+// ensureBuf materializes the compact v2 buffer of a capture-born Replay.
+// The Recorder derives every flag bit from Record field values, and the
+// batched columns round-trip those values exactly, so re-encoding from
+// blocks yields byte-for-byte the buffer a capture-time Recorder would
+// have produced.
+func (rep *Replay) ensureBuf() {
+	rep.bufOnce.Do(func() {
+		if !rep.fromBlocks {
+			return
+		}
+		rec := NewRecorder()
+		// ~8 bytes covers the common record shape (2-byte header, short
+		// pc delta, register bytes) with a little slack.
+		if hint := rep.n * 8; hint > int64(cap(rec.buf)) && hint <= 1<<31 {
+			rec.buf = make([]byte, 0, hint)
+		}
+		var r Record
+		for bi := 0; bi < rep.blocks.NumBlocks(); bi++ {
+			blk := rep.blocks.Block(bi)
+			for i := 0; i < blk.Len(); i++ {
+				blk.Record(i, &r)
+				rec.Record(&r)
+			}
+		}
+		rep.buf = rec.buf
+	})
+}
+
+// Size returns the encoded buffer size in bytes, encoding a capture-born
+// Replay on first call.
+func (rep *Replay) Size() int {
+	rep.ensureBuf()
+	return len(rep.buf)
+}
+
+// MemBytes returns the resident size of the representation the Replay
+// actually holds: decoded columns for a capture-born Replay, the encoded
+// buffer otherwise. Unlike Size it never forces an encode or decode.
+func (rep *Replay) MemBytes() int64 {
+	if rep.fromBlocks {
+		return rep.blocks.ByteSize()
+	}
+	return int64(len(rep.buf))
+}
 
 // Bytes returns a copy of the encoded record buffer. It exists so tests
 // and the fault-injection harness can build deliberately damaged captures
 // with NewReplayBytes; the Replay itself stays immutable.
-func (rep *Replay) Bytes() []byte { return append([]byte(nil), rep.buf...) }
+func (rep *Replay) Bytes() []byte {
+	rep.ensureBuf()
+	return append([]byte(nil), rep.buf...)
+}
 
 // NewReplayBytes reconstructs a Replay from an encoded record buffer (the
 // v2 record layout, no header) and the record count the buffer claims to
@@ -133,10 +181,35 @@ func (rep *Replay) Bytes() []byte { return append([]byte(nil), rep.buf...) }
 // when the bytes do not decode to exactly n records.
 func NewReplayBytes(buf []byte, n int64) *Replay { return &Replay{buf: buf, n: n} }
 
-// Open implements Factory, returning a fresh cursor over the capture.
-func (rep *Replay) Open() Source { return &Cursor{rep: rep} }
+// Open implements Factory, returning a fresh cursor over the capture: a
+// BatchCursor straight over the batched columns for a capture-born Replay
+// (no encoded buffer needed), a decoding Cursor otherwise. Both yield the
+// identical record stream.
+func (rep *Replay) Open() Source {
+	if rep.fromBlocks {
+		return &BatchCursor{bs: rep.blocks}
+	}
+	return &Cursor{rep: rep}
+}
 
-var _ Factory = (*Replay)(nil)
+// NumBlocks implements BlockSource over the decoded batches.
+func (rep *Replay) NumBlocks() int { return rep.Blocks().NumBlocks() }
+
+// BlockAt implements BlockSource; in-memory batches never fail.
+func (rep *Replay) BlockAt(i int) (*Block, error) { return rep.Blocks().Block(i), nil }
+
+// CleanLen implements BlockSource: the cleanly decodable record count,
+// smaller than Len when the underlying buffer is damaged.
+func (rep *Replay) CleanLen() int64 { return rep.Blocks().Len() }
+
+// TailErr implements BlockSource: the decode error after the clean
+// prefix, nil for an undamaged capture.
+func (rep *Replay) TailErr() error { return rep.Blocks().Err() }
+
+var (
+	_ Factory     = (*Replay)(nil)
+	_ BlockSource = (*Replay)(nil)
+)
 
 // Cursor is a read-only decoding position within a Replay. Next performs
 // no allocation; distinct cursors over one Replay may be advanced from

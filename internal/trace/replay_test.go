@@ -49,6 +49,25 @@ func TestReplayMatchesCodecV2(t *testing.T) {
 	}
 }
 
+// TestCaptureLazyEncodeMatchesRecorder pins the capture-born Replay's
+// lazily re-encoded buffer byte-for-byte against recording the same
+// source directly, the guarantee that lets Capture skip the encode pass.
+func TestCaptureLazyEncodeMatchesRecorder(t *testing.T) {
+	recs := randomRecords(3*BlockLen+17, 11)
+	rec := NewRecorder()
+	for i := range recs {
+		rec.Record(&recs[i])
+	}
+	want := rec.Finish().Bytes()
+	rep := Capture(NewSliceSource(recs))
+	if !rep.fromBlocks {
+		t.Fatal("Capture no longer builds a blocks-first Replay")
+	}
+	if got := rep.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("lazy encode: %d bytes differ from recorder's %d", len(got), len(want))
+	}
+}
+
 // TestConcurrentCursors advances many cursors over one Replay from
 // separate goroutines; run under -race this asserts the shared buffer is
 // read-only.
@@ -79,7 +98,7 @@ func TestConcurrentCursors(t *testing.T) {
 func TestCursorReset(t *testing.T) {
 	recs := randomRecords(100, 3)
 	rep := Capture(NewSliceSource(recs))
-	c := rep.Open().(*Cursor)
+	c := rep.Open().(*BatchCursor)
 	first := Collect(c)
 	c.Reset()
 	second := Collect(c)
@@ -107,7 +126,7 @@ func TestEmptyReplay(t *testing.T) {
 func BenchmarkCursorNext(b *testing.B) {
 	rep := Capture(NewSliceSource(randomRecords(4096, 1)))
 	var r Record
-	src := rep.Open().(*Cursor)
+	src := NewReplayBytes(rep.Bytes(), rep.Len()).Open().(*Cursor)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

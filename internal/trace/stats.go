@@ -112,6 +112,69 @@ func (s *Stats) ConsumeBlocks(bs *Blocks) *Stats {
 	return s
 }
 
+// ConsumeBatches is ConsumeBlocks over any BlockSource, stopping after
+// limit records (limit <= 0 means all). It mirrors the kernel tail
+// contract: the clean prefix is always accumulated, and an error is
+// returned only when the limit reaches past it.
+func (s *Stats) ConsumeBatches(bs BlockSource, limit int64) (*Stats, error) {
+	budget := bs.Len()
+	if limit > 0 && limit < budget {
+		budget = limit
+	} else {
+		limit = budget
+	}
+	effN := budget
+	if clean := bs.CleanLen(); clean < effN {
+		effN = clean
+	}
+	var done int64
+	for bi := 0; done < effN; bi++ {
+		blk, err := bs.BlockAt(bi)
+		if err != nil {
+			return s, err
+		}
+		meta := blk.Meta
+		if rem := effN - done; rem < int64(len(meta)) {
+			meta = meta[:rem]
+		}
+		pcs := blk.PC[:len(meta)]
+		tgts := blk.Target[:len(meta)]
+		for i, mb := range meta {
+			s.Instructions++
+			s.OpMix[mb>>MetaOpShift&MetaOpMask]++
+			cls := Class(mb & MetaClassMask)
+			switch cls {
+			case ClassOther:
+				continue
+			case ClassCondDirect:
+				s.CondDirect++
+			case ClassUncondDirect:
+				s.UncondDirect++
+			case ClassCall:
+				s.Calls++
+			case ClassReturn:
+				s.Returns++
+			case ClassIndJump, ClassIndCall:
+				s.IndJumps++
+				pc := pcs[i]
+				set := s.targets[pc]
+				if set == nil {
+					set = make(map[uint64]struct{})
+					s.targets[pc] = set
+				}
+				set[tgts[i]] = struct{}{}
+				s.dynCount[pc]++
+			}
+			s.Branches++
+		}
+		done += int64(len(meta))
+	}
+	if limit > bs.CleanLen() {
+		return s, bs.TailErr()
+	}
+	return s, nil
+}
+
 // StaticIndJumps returns the number of distinct static indirect jumps seen.
 func (s *Stats) StaticIndJumps() int { return len(s.targets) }
 

@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -13,13 +16,30 @@ import (
 // deterministic. Re-running the VM per cell therefore pays the toy
 // machine's interpretation cost dozens of times for byte-identical
 // streams. The memo below captures each (name, budget) prefix exactly once
-// process-wide into a compact trace.Replay and hands out independent
-// cursors, making concurrent cells race-free (the capture buffer is
-// immutable) and VM-execution-free after first touch.
+// process-wide and hands out independent cursors, making concurrent cells
+// race-free (captures are immutable) and VM-execution-free after first
+// touch.
+//
+// Two refinements keep capture cost and footprint bounded:
+//
+//   - Prefix sharing. A budget-b cell can run over any capture of >= b
+//     records, because every driver clamps to its own budget. Callers
+//     that know the largest budget in play use ReplayPrefix to fold all
+//     smaller requests onto one capture per workload, halving VM work in
+//     the common accuracy+timing suite. The fold is static (the caller
+//     names the shared budget), so capture counts stay deterministic
+//     regardless of cell scheduling order.
+//
+//   - Spilling. Above a configurable threshold the capture streams from
+//     the VM straight into an out-of-core trace.Store file — the decoded
+//     columns never exist in memory at once — and cells replay it through
+//     the store's bounded block cache, so budgets far beyond RAM run in
+//     flat memory. See ConfigureSpill.
 //
 // The memo never evicts: tcsim runs use at most two budgets per workload
-// (accuracy and timing), roughly 4 bytes per instruction. Library users
-// sweeping many budgets can call ResetMemo between sweeps.
+// (accuracy and timing), roughly 4 bytes per instruction resident — or
+// only the block cache when spilled. Library users sweeping many budgets
+// can call ResetMemo between sweeps.
 
 type memoKey struct {
 	name   string
@@ -28,34 +48,66 @@ type memoKey struct {
 
 type memoEntry struct {
 	once sync.Once
-	rep  *trace.Replay
+	bs   trace.BlockSource
+}
+
+// SpillConfig configures out-of-core capture spilling.
+type SpillConfig struct {
+	// Dir receives one <name>-<budget>.tcstore file per spilled capture.
+	Dir string
+	// Threshold is the smallest budget (in instructions) that spills;
+	// 0 disables spilling.
+	Threshold int64
+	// CacheBytes bounds each spilled store's decoded-block LRU cache
+	// (<= 0 selects the trace package default).
+	CacheBytes int64
+	// Compress flate-compresses the spilled files.
+	Compress bool
 }
 
 var (
 	memoMu   sync.Mutex
 	memos    = map[memoKey]*memoEntry{}
-	captures atomic.Int64
-	replays  atomic.Int64
+	spillCfg SpillConfig
+
+	captures      atomic.Int64
+	replays       atomic.Int64
+	spilled       atomic.Int64
+	spilledOnDisk atomic.Int64
 )
+
+// ConfigureSpill installs the spill policy for subsequent captures
+// (typically once at startup, from tcsim's -trace-store flag). Captures
+// already memoized stay where they are.
+func ConfigureSpill(cfg SpillConfig) {
+	memoMu.Lock()
+	spillCfg = cfg
+	memoMu.Unlock()
+}
 
 // TestCaptureTransform, when non-nil, post-processes every captured
 // replay before it enters the memo. It exists for the fault-injection
 // harness (internal/faultinject), which uses it to hand corrupted or
 // truncated captures to chosen workloads. Install and clear it only from
 // tests, bracketed by ResetMemo calls so no transformed capture leaks
-// into or out of the faulty window.
+// into or out of the faulty window. While installed, prefix sharing and
+// spilling are disabled so every cell sees exactly the capture the
+// transform produced for its own budget.
 var TestCaptureTransform func(name string, budget int64, rep *trace.Replay) *trace.Replay
 
 // Replay returns the workload's first budget instructions as an immutable
-// in-memory trace, capturing them from a fresh VM at most once per
-// (workload, budget) key for the life of the process. The result
-// implements trace.Factory; every Open returns an independent
-// allocation-free cursor, safe for concurrent use.
-func (w *Workload) Replay(budget int64) *trace.Replay {
+// capture, running the VM at most once per (workload, budget) key for the
+// life of the process. The result implements trace.Factory (every Open
+// returns an independent allocation-free cursor, safe for concurrent use)
+// and trace.BlockSource (the batched form the simulation kernels
+// consume); it is an in-memory trace.Replay or, above the configured
+// spill threshold, an out-of-core *trace.Store.
+func (w *Workload) Replay(budget int64) trace.BlockSource {
 	replays.Add(1)
 	key := memoKey{w.Name, budget}
 	memoMu.Lock()
 	e, ok := memos[key]
+	cfg := spillCfg
 	if !ok {
 		e = &memoEntry{}
 		memos[key] = e
@@ -63,12 +115,64 @@ func (w *Workload) Replay(budget int64) *trace.Replay {
 	memoMu.Unlock()
 	e.once.Do(func() {
 		captures.Add(1)
-		e.rep = trace.CaptureSized(trace.NewLimit(w.Open(), budget), budget)
 		if tf := TestCaptureTransform; tf != nil {
-			e.rep = tf(w.Name, budget, e.rep)
+			e.bs = tf(w.Name, budget, trace.CaptureSized(trace.NewLimit(w.Open(), budget), budget))
+			return
 		}
+		if cfg.Threshold > 0 && budget >= cfg.Threshold {
+			if bs, err := spillCapture(w, budget, cfg); err == nil {
+				e.bs = bs
+				return
+			}
+			// Spill failures (disk full, unwritable dir) fall back to the
+			// in-memory path: slower or riskier for RAM, never wrong.
+		}
+		e.bs = trace.CaptureSized(trace.NewLimit(w.Open(), budget), budget)
 	})
-	return e.rep
+	return e.bs
+}
+
+// ReplayPrefix returns a capture of at least budget instructions,
+// serving it from the single shared (workload, shareBudget) capture when
+// the caller names a larger shared budget. Drivers clamp to their own
+// budget, so any capture of >= budget records yields byte-identical
+// results; tests pin this via the suite goldens.
+func (w *Workload) ReplayPrefix(budget, shareBudget int64) trace.BlockSource {
+	if TestCaptureTransform != nil || shareBudget <= budget {
+		return w.Replay(budget)
+	}
+	return w.Replay(shareBudget)
+}
+
+// spillCapture streams the VM straight into a trace-store file and opens
+// it lazily: peak memory is one block group plus the store's LRU cache,
+// regardless of budget.
+func spillCapture(w *Workload, budget int64, cfg SpillConfig) (trace.BlockSource, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(cfg.Dir, fmt.Sprintf("%s-%d.tcstore", w.Name, budget))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	_, werr := trace.WriteStore(f, trace.NewLimit(w.Open(), budget), trace.StoreOptions{Compress: cfg.Compress})
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(path)
+		if werr != nil {
+			return nil, werr
+		}
+		return nil, cerr
+	}
+	s, err := trace.OpenStoreFile(path, cfg.CacheBytes)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	spilled.Add(1)
+	spilledOnDisk.Add(s.SizeBytes())
+	return s, nil
 }
 
 // CaptureCount returns the number of VM trace captures performed so far;
@@ -83,15 +187,26 @@ func MemoCounters() (replayCalls, captureCount int64) {
 	return replays.Load(), captures.Load()
 }
 
+// SpillStats returns the number of captures spilled to trace-store files
+// and their total on-disk size in bytes.
+func SpillStats() (spilledCaptures, diskBytes int64) {
+	return spilled.Load(), spilledOnDisk.Load()
+}
+
 // MemoStats reports the number of memoized (workload, budget) keys and
-// their total encoded size in bytes.
+// their total resident size in bytes: decoded columns for in-memory
+// captures, on-disk file size for spilled ones. Sizing never forces a
+// lazy re-encode or decode.
 func MemoStats() (keys int, bytes int64) {
 	memoMu.Lock()
 	defer memoMu.Unlock()
 	for _, e := range memos {
 		keys++
-		if e.rep != nil {
-			bytes += int64(e.rep.Size())
+		switch bs := e.bs.(type) {
+		case *trace.Replay:
+			bytes += bs.MemBytes()
+		case *trace.Store:
+			bytes += bs.SizeBytes()
 		}
 	}
 	return keys, bytes
@@ -99,7 +214,8 @@ func MemoStats() (keys int, bytes int64) {
 
 // ResetMemo drops all memoized traces (tests; budget sweeps that would
 // otherwise accumulate unbounded captures). In-flight Replay calls holding
-// old entries are unaffected.
+// old entries are unaffected, so spilled stores are not closed here; their
+// files remain readable until the process exits.
 func ResetMemo() {
 	memoMu.Lock()
 	defer memoMu.Unlock()
