@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-diff experiments fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-diff experiments perf-smoke fmt cover clean
 
 all: build vet test
 
@@ -19,7 +19,8 @@ test: race fault fuzz
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace ./internal/telemetry ./internal/cpu
+	$(GO) test -race -short ./internal/workload ./internal/sim ./internal/trace ./internal/telemetry ./internal/cpu \
+		./internal/perfstore ./internal/perfstore/perfserver ./internal/perfstore/client
 
 # The fault-injection suite always runs under the race detector: it is the
 # one place panics, corrupted captures, and worker cancellation all cross
@@ -27,14 +28,20 @@ race:
 fault:
 	$(GO) test -race ./internal/faultinject
 
-# Short mutation pass over every trace-decoder fuzz target (the seed
+# Short mutation pass over every decoder/parser fuzz target (the seed
 # corpus alone is already replayed by plain `go test`). `go test -fuzz`
-# accepts one target at a time, hence the loop. Raise FUZZTIME for a real
+# accepts one target at a time, hence the loops. Raise FUZZTIME for a real
 # fuzzing session.
 FUZZTIME ?= 2s
 fuzz:
 	for t in FuzzReaderV1 FuzzReaderV2 FuzzAutoReader FuzzCursor FuzzBlocks FuzzStore; do \
 		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/trace || exit 1; \
+	done
+	for t in FuzzSegmentScan FuzzRecordRoundTrip; do \
+		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/perfstore || exit 1; \
+	done
+	for t in FuzzParseUploadMeta FuzzUploadHandler; do \
+		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/perfstore/perfserver || exit 1; \
 	done
 
 test-short:
@@ -66,6 +73,12 @@ bench-diff:
 # Regenerate every paper table and figure at full budgets.
 experiments:
 	$(GO) run ./cmd/tcsim -exp all
+
+# The tcperf crash-safety smoke: builds the real binary, uploads through
+# the retrying client, SIGTERMs and SIGKILLs the server mid-stream, and
+# verifies every acknowledged upload survives restart with a clean fsck.
+perf-smoke:
+	$(GO) test -run 'TestE2E' -v ./cmd/tcperf
 
 fmt:
 	gofmt -w .

@@ -20,12 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/perfstore/client"
 )
 
 // entry mirrors one experiment's record in the bench JSON.
@@ -69,6 +73,9 @@ func loadMin(arg string) (map[string]entry, error) {
 func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed slowdown per experiment (0.10 = 10%)")
 	minMS := flag.Float64("min-ms", 5, "experiments faster than this in OLD are informational only")
+	uploadURL := flag.String("upload", "", "tcperf server base URL; uploads each NEW snapshot after the diff")
+	commit := flag.String("commit", "", "commit id to tag uploads with (required by -upload)")
+	experiment := flag.String("experiment", "all", "experiment tag for uploads")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD.json[,OLD2.json,...] NEW.json[,NEW2.json,...]\n")
 		flag.PrintDefaults()
@@ -76,6 +83,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *uploadURL != "" && *commit == "" {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff: -upload needs -commit to tag the results")
 		os.Exit(2)
 	}
 	oldM, err := loadMin(flag.Arg(0))
@@ -128,6 +139,15 @@ func main() {
 	if newTotal > 0 {
 		fmt.Printf("%-18s %10.1f %10.1f %7.2fx\n", "TOTAL", oldTotal, newTotal, oldTotal/newTotal)
 	}
+	// Upload before the regression verdict: a regressed measurement is
+	// still a measurement, and the trend endpoint is how regressions get
+	// spotted across commits in the first place.
+	if *uploadURL != "" {
+		if err := uploadNew(*uploadURL, *commit, *experiment, flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "tcbenchdiff: upload:", err)
+			os.Exit(1)
+		}
+	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "tcbenchdiff: %d experiment(s) regressed more than %.0f%%:\n", len(regressions), *tolerance*100)
 		for _, r := range regressions {
@@ -135,6 +155,37 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// uploadNew ships each NEW-side snapshot file to a tcperf server as a
+// kind=benchjson record, byte-for-byte as tcsim wrote it, so the server's
+// trend endpoint sees exactly the numbers the diff did.
+func uploadNew(baseURL, commit, experiment, arg string) error {
+	c, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	machine := client.Fingerprint()
+	for _, path := range strings.Split(arg, ",") {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		res, err := c.Do(ctx, client.Upload{
+			Kind: "benchjson", Machine: machine, Commit: commit, Experiment: experiment, Body: body,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if res.Duplicate {
+			fmt.Fprintf(os.Stderr, "tcbenchdiff: %s already uploaded (%s)\n", path, res.ID)
+		} else {
+			fmt.Fprintf(os.Stderr, "tcbenchdiff: uploaded %s as %s\n", path, res.ID)
+		}
+	}
+	return nil
 }
 
 // sortedNewOnly returns the experiments present only in newM, sorted.

@@ -1,0 +1,211 @@
+// Command tcperf is the long-running results server for the simulation
+// suite: it accepts concurrent uploads of `tcsim -benchjson` and
+// `-telemetry`/`-sites` JSON, stores them durably in a sharded
+// append-only store keyed by (machine fingerprint, commit, experiment),
+// and serves query/trend endpoints over them.
+//
+// Usage:
+//
+//	tcperf serve -dir /var/lib/tcperf [-addr :8123] [-queue 32] [-max-body-mb 16]
+//	tcperf fsck  -dir /var/lib/tcperf [-fix]
+//
+// The durability contract (see DESIGN.md "tcperf service & durability
+// contract"): an upload acknowledged with 200 has been fsynced and
+// survives any crash, including kill -9; retries are idempotent
+// (content-hash keys); overload sheds with 429 + Retry-After instead of
+// buffering unboundedly; SIGINT/SIGTERM drain gracefully — in-flight
+// uploads finish and ack, new ones are cleanly rejected, and the process
+// exits 0 with every acknowledged byte on disk.
+//
+// `tcperf fsck` verifies a store directory offline: every record CRC and
+// content hash is re-checked, torn tails (normal crash damage) are
+// reported and, with -fix, truncated exactly as a server restart would.
+// Exit codes: 0 clean, 1 issues found, 2 usage or I/O errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/perfstore"
+	"repro/internal/perfstore/perfserver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:])
+	case "fsck":
+		return runFsck(args[1:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "tcperf: unknown command %q\n", args[0])
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  tcperf serve -dir DIR [-addr :8123] [flags]   run the results server
+  tcperf fsck  -dir DIR [-fix]                  verify a store offline
+`)
+}
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("tcperf serve", flag.ContinueOnError)
+	var (
+		dir          = fs.String("dir", "", "store directory (required)")
+		addr         = fs.String("addr", ":8123", "listen address (host:port; port 0 picks a free port)")
+		shards       = fs.Int("shards", 8, "shard count when creating a new store")
+		segmentMB    = fs.Int("segment-mb", 64, "rotate a shard's segment past this size (MB)")
+		queue        = fs.Int("queue", 32, "concurrent uploads admitted before shedding with 429")
+		maxBodyMB    = fs.Int("max-body-mb", 16, "largest accepted upload body (MB)")
+		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "per-connection read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-connection write timeout")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "how long a signal-triggered drain waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "tcperf: "+format+"\n", args...)
+		return 2
+	}
+	if *dir == "" {
+		return fail("serve needs -dir")
+	}
+	if *queue <= 0 || *maxBodyMB <= 0 || *segmentMB <= 0 || *shards <= 0 {
+		return fail("-queue, -max-body-mb, -segment-mb and -shards must be positive")
+	}
+
+	store, err := perfstore.Open(*dir, perfstore.Options{
+		Shards:          *shards,
+		SegmentMaxBytes: int64(*segmentMB) << 20,
+	})
+	if err != nil {
+		return fail("opening store: %v", err)
+	}
+	defer store.Close()
+	for _, note := range store.RepairNotes() {
+		fmt.Fprintf(os.Stderr, "tcperf: repaired torn tail in %s (%d bytes dropped past offset %d)\n",
+			note.Path, note.LostBytes, note.CleanLen)
+	}
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "tcperf: store %s: %d records across %d shards\n", *dir, st.Records, st.Shards)
+
+	api := perfserver.New(store, perfserver.Config{
+		QueueDepth:   *queue,
+		MaxBodyBytes: int64(*maxBodyMB) << 20,
+		RetryAfter:   *retryAfter,
+	})
+	srv := &http.Server{
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail("listen %s: %v", *addr, err)
+	}
+	// The e2e harness and scripts parse this line to learn the bound port.
+	fmt.Fprintf(os.Stderr, "tcperf: listening on %s\n", ln.Addr())
+
+	// Container and CI shutdowns send SIGTERM, interactive ones SIGINT:
+	// both get the same graceful drain. A second signal kills the process
+	// the default way (the handler unregisters once the context fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fail("serve: %v", err)
+		}
+		return 0
+	case <-ctx.Done():
+		stop()
+	}
+
+	// Drain: acknowledged uploads are already durable (fsync before ack);
+	// in-flight requests get drainTimeout to finish and ack; anything
+	// arriving now is rejected with 503 + Retry-After so clients retry
+	// against the restarted server.
+	api.StartDrain()
+	fmt.Fprintf(os.Stderr, "tcperf: draining (in-flight requests get %v)\n", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "tcperf: drain timeout, closing: %v\n", err)
+		srv.Close()
+	}
+	if err := store.Close(); err != nil {
+		return fail("closing store: %v", err)
+	}
+	snap := api.Snapshot()
+	fmt.Fprintf(os.Stderr, "tcperf: drained: %d accepted, %d duplicates, %d shed(429), %d rejected during drain; %d records durable\n",
+		snap.Server.Accepted, snap.Server.Duplicates, snap.Server.Shed429, snap.Server.DrainReject, snap.Store.Records)
+	return 0
+}
+
+func runFsck(args []string) int {
+	fs := flag.NewFlagSet("tcperf fsck", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", "", "store directory (required)")
+		fix    = fs.Bool("fix", false, "truncate torn tails back to the last durable record")
+		asJSON = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "tcperf: fsck needs -dir")
+		return 2
+	}
+	rep, err := perfstore.Fsck(*dir, perfstore.FsckOptions{Fix: *fix})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcperf: fsck: %v\n", err)
+		return 2
+	}
+	if *asJSON {
+		writeReportJSON(rep)
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}
+
+func writeReportJSON(rep *perfstore.FsckReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}

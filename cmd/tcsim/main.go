@@ -28,9 +28,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/perfstore/client"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -63,6 +65,9 @@ func run() int {
 		events     = flag.Int("events", 0, "misprediction events retained per simulation cell (0 = no event log)")
 		sites      = flag.Bool("sites", false, "print the per-site misprediction report after the experiment tables")
 		sitesTop   = flag.Int("sites-top", 10, "sites shown per cell in the -sites report (0 = all)")
+		uploadURL  = flag.String("upload", "", "tcperf server base URL; uploads the -benchjson and -telemetry outputs after the run")
+		commit     = flag.String("commit", "", "commit id to tag uploads with (required by -upload)")
+		outbox     = flag.String("outbox", "", "spool directory for uploads when the tcperf server is unreachable")
 	)
 	flag.Parse()
 
@@ -127,6 +132,16 @@ func run() int {
 	case "text", "json", "csv":
 	default:
 		return fail("tcsim: unknown output format %q (want text, json or csv)", *format)
+	}
+	if *uploadURL != "" {
+		if *benchJSON == "" && *telemOut == "" {
+			return fail("tcsim: -upload needs -benchjson or -telemetry (there is nothing else to upload)")
+		}
+		if *commit == "" {
+			return fail("tcsim: -upload needs -commit to tag the results")
+		}
+	} else if *commit != "" || *outbox != "" {
+		return fail("tcsim: -commit and -outbox only make sense with -upload")
 	}
 
 	if *list {
@@ -193,11 +208,12 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	// First Ctrl-C cancels the run context: in-flight kernels stop at
-	// their next poll, the suite renders what it has and summarises.
-	// Once the context fires, the handler is unregistered, so a second
-	// Ctrl-C terminates the process the default way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// First Ctrl-C or SIGTERM (what container runtimes and CI cancellers
+	// send) cancels the run context: in-flight kernels stop at their next
+	// poll, the suite renders what it has and summarises. Once the context
+	// fires, the handler is unregistered, so a second signal terminates
+	// the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
@@ -246,6 +262,7 @@ func run() int {
 	// interrupted (partial telemetry covers the cells that finished), and
 	// atomically (temp + rename), so a drained SIGINT run always leaves
 	// valid JSON behind — never a truncated file.
+	var telemReport *telemetry.Report
 	if recorder != nil {
 		replayCalls, captureCount := workload.MemoCounters()
 		_, memoBytes := workload.MemoStats()
@@ -269,6 +286,7 @@ func run() int {
 			SpilledBytes:        spilledBytes,
 			Interrupted:         res.Interrupted,
 		})
+		telemReport = rep
 		if *sites {
 			fmt.Println("== telemetry: per-site indirect-jump report ==")
 			fmt.Println()
@@ -286,6 +304,15 @@ func run() int {
 	if *benchJSON != "" {
 		if err := writeJSONFile(*benchJSON, benchOut); err != nil {
 			return fail("%v", err)
+		}
+	}
+	// Uploads run on their own context: the run context is already
+	// cancelled after a drained interrupt, and partial results are still
+	// worth shipping. With -outbox an unreachable server spools instead of
+	// failing the run.
+	if *uploadURL != "" {
+		if err := uploadResults(*uploadURL, *outbox, *commit, *exp, benchOut, *benchJSON != "", telemReport, *telemOut != ""); err != nil {
+			return fail("tcsim: upload: %v", err)
 		}
 	}
 	if *memProfile != "" {
@@ -311,6 +338,58 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// uploadResults ships the run's JSON outputs to a tcperf server: any
+// spooled leftovers first, then the benchjson and telemetry documents,
+// tagged with this machine's fingerprint, the given commit, and the
+// experiment selector. Content-hash IDs make re-running the same upload a
+// no-op on the server.
+func uploadResults(baseURL, outbox, commit, exp string, benchOut map[string]bench.ExperimentReport, haveBench bool, telem *telemetry.Report, haveTelem bool) error {
+	c, err := client.New(client.Config{BaseURL: baseURL, Outbox: outbox})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if outbox != "" {
+		if sent, remaining, ferr := c.FlushOutbox(ctx); ferr == nil && sent > 0 {
+			fmt.Fprintf(os.Stderr, "tcsim: flushed %d spooled uploads (%d left)\n", sent, remaining)
+		}
+	}
+	machine := client.Fingerprint()
+	upload := func(kind string, v any) error {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		res, err := c.Do(ctx, client.Upload{
+			Kind: kind, Machine: machine, Commit: commit, Experiment: exp, Body: body,
+		})
+		if err != nil {
+			return err
+		}
+		switch {
+		case res.Spooled:
+			fmt.Fprintf(os.Stderr, "tcsim: %s upload spooled to %s (server unreachable)\n", kind, res.SpoolPath)
+		case res.Duplicate:
+			fmt.Fprintf(os.Stderr, "tcsim: %s already uploaded (%s)\n", kind, res.ID)
+		default:
+			fmt.Fprintf(os.Stderr, "tcsim: uploaded %s as %s\n", kind, res.ID)
+		}
+		return nil
+	}
+	if haveBench {
+		if err := upload("benchjson", benchOut); err != nil {
+			return err
+		}
+	}
+	if haveTelem && telem != nil {
+		if err := upload("telemetry", telem); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeJSONFile writes v as indented JSON via a temp file + rename, so an

@@ -1,0 +1,169 @@
+package faultinject
+
+// Filesystem fault injection for the perfstore durability protocol. An
+// FSPlan wraps a perfstore.VFS and fails chosen operations — short
+// writes, ENOSPC, fsync errors, truncate errors, rename errors — on the
+// exact syscalls the store's ack barrier depends on. Like Plan, an FSPlan
+// is inert until wrapped around a live VFS, and Triggered lets tests
+// assert the faults actually fired.
+//
+// Operations are counted 1-based per kind across the whole plan (write #1
+// is the first Write on a path matching PathSubstr, and so on), so a test
+// that serialises its Puts can aim a fault at one specific append.
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/perfstore"
+)
+
+// FSPlan describes filesystem faults to inject into a perfstore run. The
+// zero value injects nothing. Fault fields name the 1-based occurrence of
+// the operation that fails; 0 disables that fault.
+type FSPlan struct {
+	// PathSubstr restricts counting and faulting to paths containing this
+	// substring ("" matches everything). Use "seg-" to fault segment
+	// appends without touching the manifest, or "MANIFEST" for the
+	// opposite.
+	PathSubstr string
+
+	// ShortWriteAt makes the Nth matching Write persist only the first
+	// half of its buffer and return io.ErrShortWrite — a torn append.
+	ShortWriteAt int
+	// WriteErrAt makes the Nth matching Write fail with ENOSPC before
+	// writing anything.
+	WriteErrAt int
+	// SyncErrAt makes the Nth matching Sync fail with EIO. The data may
+	// have reached the file — exactly the ambiguity real fsync failures
+	// leave behind.
+	SyncErrAt int
+	// TruncateErrAt makes the Nth matching Truncate fail with EIO,
+	// blocking the store's in-process rollback after a failed append.
+	TruncateErrAt int
+	// RenameErrAt makes the Nth matching Rename fail with EIO, breaking
+	// atomic manifest installation.
+	RenameErrAt int
+
+	mu     sync.Mutex
+	counts map[string]int
+	hits   []string
+}
+
+// Wrap returns a VFS that applies the plan's faults on top of inner.
+func (p *FSPlan) Wrap(inner perfstore.VFS) perfstore.VFS {
+	return &faultFS{plan: p, inner: inner}
+}
+
+// Triggered returns descriptions of the faults that actually fired, in
+// firing order.
+func (p *FSPlan) Triggered() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.hits...)
+}
+
+// tick counts one occurrence of op on path, returning its 1-based index,
+// or 0 when the path is outside the plan's scope.
+func (p *FSPlan) tick(op, path string) int {
+	if p.PathSubstr != "" && !strings.Contains(path, p.PathSubstr) {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counts == nil {
+		p.counts = make(map[string]int)
+	}
+	p.counts[op]++
+	return p.counts[op]
+}
+
+// fire reports whether occurrence n is the one fault `at` targets, and
+// records the hit if so.
+func (p *FSPlan) fire(op, path string, n, at int) bool {
+	if at <= 0 || n == 0 || n != at {
+		return false
+	}
+	p.mu.Lock()
+	p.hits = append(p.hits, fmt.Sprintf("%s:%s#%d", op, path, n))
+	p.mu.Unlock()
+	return true
+}
+
+type faultFS struct {
+	plan  *FSPlan
+	inner perfstore.VFS
+}
+
+func (f *faultFS) MkdirAll(path string, perm fs.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *faultFS) OpenFile(path string, flag int, perm fs.FileMode) (perfstore.File, error) {
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, inner: file, path: path}, nil
+}
+
+func (f *faultFS) Open(path string) (perfstore.File, error) {
+	// Read-side opens pass through unfaulted: the plans model write-path
+	// failures, and reads are already guarded by CRCs and content hashes.
+	return f.inner.Open(path)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if n := f.plan.tick("rename", newpath); f.plan.fire("rename", newpath, n, f.plan.RenameErrAt) {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: syscall.EIO}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(path string) error                   { return f.inner.Remove(path) }
+func (f *faultFS) ReadDir(path string) ([]fs.DirEntry, error) { return f.inner.ReadDir(path) }
+func (f *faultFS) Stat(path string) (fs.FileInfo, error)      { return f.inner.Stat(path) }
+func (f *faultFS) SyncDir(path string) error                  { return f.inner.SyncDir(path) }
+
+type faultFile struct {
+	plan  *FSPlan
+	inner perfstore.File
+	path  string
+}
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	n := f.plan.tick("write", f.path)
+	if f.plan.fire("write", f.path, n, f.plan.ShortWriteAt) {
+		// Persist half the buffer for real: the torn bytes must actually
+		// be on disk for the reopen scan to have something to repair.
+		w, _ := f.inner.Write(b[:len(b)/2])
+		return w, io.ErrShortWrite
+	}
+	if f.plan.fire("write", f.path, n, f.plan.WriteErrAt) {
+		return 0, &fs.PathError{Op: "write", Path: f.path, Err: syscall.ENOSPC}
+	}
+	return f.inner.Write(b)
+}
+
+func (f *faultFile) Sync() error {
+	n := f.plan.tick("sync", f.path)
+	if f.plan.fire("sync", f.path, n, f.plan.SyncErrAt) {
+		return &fs.PathError{Op: "sync", Path: f.path, Err: syscall.EIO}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	n := f.plan.tick("truncate", f.path)
+	if f.plan.fire("truncate", f.path, n, f.plan.TruncateErrAt) {
+		return &fs.PathError{Op: "truncate", Path: f.path, Err: syscall.EIO}
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) ReadAt(b []byte, off int64) (int, error) { return f.inner.ReadAt(b, off) }
+func (f *faultFile) Close() error                            { return f.inner.Close() }
+func (f *faultFile) Name() string                            { return f.inner.Name() }
+func (f *faultFile) Stat() (fs.FileInfo, error)              { return f.inner.Stat() }

@@ -1,0 +1,250 @@
+package faultinject
+
+// The perfstore survival suite: drive the store through injected
+// filesystem faults on a real temp directory and pin down the durability
+// contract's two halves:
+//
+//   - every Put that returned nil (an acknowledged upload) survives a
+//     clean-FS reopen byte-identical, whatever faults fired around it;
+//   - a Put that returned an error is never half-applied — after reopen
+//     its content is either absent or present as the full, byte-identical
+//     record (when the bytes happened to reach disk before the fault);
+//   - a client-style retry of the failed Put succeeds, and an offline
+//     fsck after the reopen reports the store clean.
+//
+// Operation numbering (Shards:1, PathSubstr "seg-"): creating the first
+// segment costs truncate#1 + write#1 (magic) + sync#1; each Put is then
+// one write + one sync; a failed append rolls back with the next
+// truncate. The plans below aim faults at the second Put ("B").
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"testing"
+
+	"repro/internal/perfstore"
+)
+
+func survivalMeta(commit string) perfstore.Meta {
+	return perfstore.Meta{Kind: "benchjson", Machine: "fault", Commit: commit, Experiment: "survival"}
+}
+
+func TestFSPlanSurvival(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *FSPlan
+		// wantErr is the errno/sentinel Put B's failure must wrap.
+		wantErr error
+		// wantRepair: the reopen must find (and truncate) a torn tail.
+		wantRepair bool
+	}{
+		{
+			name:    "short-write-rolled-back",
+			plan:    &FSPlan{PathSubstr: "seg-", ShortWriteAt: 3},
+			wantErr: io.ErrShortWrite,
+		},
+		{
+			name:    "enospc",
+			plan:    &FSPlan{PathSubstr: "seg-", WriteErrAt: 3},
+			wantErr: syscall.ENOSPC,
+		},
+		{
+			name:    "fsync-error",
+			plan:    &FSPlan{PathSubstr: "seg-", SyncErrAt: 3},
+			wantErr: syscall.EIO,
+		},
+		{
+			// fsync fails AND the in-process rollback truncate fails too:
+			// the store abandons the segment and rotates. B's bytes did
+			// reach the file, so after reopen the unacked record shows up
+			// complete — never torn.
+			name:    "fsync-error-broken-rollback",
+			plan:    &FSPlan{PathSubstr: "seg-", SyncErrAt: 3, TruncateErrAt: 2},
+			wantErr: syscall.EIO,
+		},
+		{
+			// A torn append that cannot be rolled back in-process: the
+			// half-record stays on disk until the reopen scan repairs it.
+			name:       "torn-tail-on-disk",
+			plan:       &FSPlan{PathSubstr: "seg-", ShortWriteAt: 3, TruncateErrAt: 2},
+			wantErr:    io.ErrShortWrite,
+			wantRepair: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := perfstore.Open(dir, perfstore.Options{Shards: 1, FS: tc.plan.Wrap(perfstore.OS())})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			acked := map[string][]byte{} // id → body, only for Puts that returned nil
+			put := func(commit string, body []byte) error {
+				m, dup, err := st.Put(survivalMeta(commit), body)
+				if err != nil {
+					return err
+				}
+				if dup {
+					t.Fatalf("put %s: unexpected duplicate", commit)
+				}
+				acked[m.ID] = body
+				return nil
+			}
+
+			bodyA := []byte(`{"table2":{"wall_ms":100.5}}`)
+			bodyB := []byte(`{"table2":{"wall_ms":200.5}}`)
+			bodyC := []byte(`{"table2":{"wall_ms":300.5}}`)
+
+			if err := put("cA", bodyA); err != nil {
+				t.Fatalf("put A: %v", err)
+			}
+			errB := put("cB", bodyB)
+			if errB == nil {
+				t.Fatalf("put B survived the %s fault", tc.name)
+			}
+			if !errors.Is(errB, tc.wantErr) {
+				t.Fatalf("put B error %v, want %v", errB, tc.wantErr)
+			}
+			if len(tc.plan.Triggered()) == 0 {
+				t.Fatal("fault plan never triggered")
+			}
+			// The store must have recovered in-process: a retry of the
+			// failed upload succeeds (this is what the HTTP client's retry
+			// loop does), and an unrelated upload goes through.
+			if err := put("cB", bodyB); err != nil {
+				t.Fatalf("retry of put B: %v", err)
+			}
+			if err := put("cC", bodyC); err != nil {
+				t.Fatalf("put C: %v", err)
+			}
+			st.Close()
+
+			// Reopen on the clean filesystem, as a restarted server would.
+			st2, err := perfstore.Open(dir, perfstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			repairs := st2.RepairNotes()
+			if tc.wantRepair && len(repairs) == 0 {
+				t.Fatal("expected a torn-tail repair on reopen, got none")
+			}
+			if !tc.wantRepair && len(repairs) != 0 {
+				t.Fatalf("unexpected repairs on reopen: %+v", repairs)
+			}
+			for id, want := range acked {
+				_, got, err := st2.Get(id)
+				if err != nil {
+					t.Fatalf("acknowledged record %s lost: %v", id, err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("acknowledged record %s: %q want %q", id, got, want)
+				}
+			}
+			st2.Close()
+
+			// Offline verification agrees the store is healthy again.
+			rep, err := perfstore.Fsck(dir, perfstore.FsckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("fsck not clean after recovery: %s", rep.Summary())
+			}
+		})
+	}
+}
+
+// TestFSPlanManifestRenameFailure breaks the atomic manifest install: the
+// first Open fails cleanly (no half-written manifest left behind), and a
+// retry on the healthy filesystem creates the store as if nothing
+// happened.
+func TestFSPlanManifestRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	plan := &FSPlan{PathSubstr: "MANIFEST", RenameErrAt: 1}
+	_, err := perfstore.Open(dir, perfstore.Options{Shards: 1, FS: plan.Wrap(perfstore.OS())})
+	if err == nil {
+		t.Fatal("open survived the rename fault")
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("open error %v, want EIO", err)
+	}
+	if len(plan.Triggered()) == 0 {
+		t.Fatal("rename fault never triggered")
+	}
+
+	st, err := perfstore.Open(dir, perfstore.Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("reopen after failed manifest install: %v", err)
+	}
+	m, _, err := st.Put(survivalMeta("c1"), []byte(`{"ok":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	rep, err := perfstore.Fsck(dir, perfstore.FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck not clean: %s", rep.Summary())
+	}
+}
+
+// TestFSPlanAckedUnderRandomFaultStorm hammers a single store while a
+// fault fires on every 5th segment write, interleaving failures with
+// successes, then verifies the global invariant the same way the e2e
+// crash test does: everything acked survives, nothing is mangled.
+func TestFSPlanAckedUnderRandomFaultStorm(t *testing.T) {
+	dir := t.TempDir()
+	// One plan per round: each Open gets a fresh counter so the fault
+	// lands mid-stream every time.
+	const rounds = 4
+	const putsPerRound = 10
+	acked := map[string][]byte{}
+	var faults int
+	for round := 0; round < rounds; round++ {
+		plan := &FSPlan{PathSubstr: "seg-", WriteErrAt: 5}
+		if round%2 == 1 {
+			plan = &FSPlan{PathSubstr: "seg-", ShortWriteAt: 5}
+		}
+		st, err := perfstore.Open(dir, perfstore.Options{Shards: 2, FS: plan.Wrap(perfstore.OS())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < putsPerRound; i++ {
+			body := []byte(fmt.Sprintf(`{"round":%d,"i":%d}`, round, i))
+			m, _, err := st.Put(survivalMeta(fmt.Sprintf("r%dc%d", round, i)), body)
+			if err != nil {
+				faults++
+				continue
+			}
+			acked[m.ID] = body
+		}
+		st.Close()
+	}
+	if faults == 0 {
+		t.Fatal("no faults fired across the storm")
+	}
+	st, err := perfstore.Open(dir, perfstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for id, want := range acked {
+		_, got, err := st.Get(id)
+		if err != nil {
+			t.Fatalf("acknowledged record %s lost after storm: %v", id, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("record %s mangled: %q want %q", id, got, want)
+		}
+	}
+	t.Logf("storm: %d acked survived, %d faulted puts", len(acked), faults)
+}

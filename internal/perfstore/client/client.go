@@ -1,0 +1,411 @@
+// Package client is the upload side of tcperf: a retrying HTTP client
+// used by `tcsim -upload` and `tcbenchdiff -upload`. Its contract mirrors
+// the server's durability contract:
+//
+//   - retries are safe because uploads are idempotent (content-hash
+//     keys): a retry after an ambiguous failure can at worst produce a
+//     "duplicate": true ack, never a second row;
+//   - transient failures (connection errors, timeouts, 429, 5xx) retry
+//     with capped exponential backoff plus jitter, honoring the server's
+//     Retry-After hint; permanent failures (4xx) do not retry;
+//   - when the server stays unreachable and an outbox directory is
+//     configured, the upload spools to disk (atomic temp+rename) and a
+//     later FlushOutbox delivers it — results survive the server being
+//     down exactly like they survive the server crashing.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/perfstore"
+)
+
+// Config tunes a Client. The zero value of every field selects a default.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8123".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s total-request timeout.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per upload (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); each retry
+	// doubles it up to MaxBackoff (default 5s), then jitters.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Outbox, when set, is a directory where uploads that exhaust their
+	// attempts are spooled for a later FlushOutbox.
+	Outbox string
+	// Sleep and Rand are test hooks; defaults are time.Sleep (made
+	// context-aware) and the global rand source.
+	Sleep func(time.Duration)
+	Rand  func() float64
+}
+
+// Client uploads results to a tcperf server. Safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New builds a Client. BaseURL must be non-empty.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: BaseURL must be set")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("client: bad BaseURL: %w", err)
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Upload is one result payload bound for the server.
+type Upload struct {
+	Kind       string `json:"kind"`
+	Machine    string `json:"machine"`
+	Commit     string `json:"commit"`
+	Experiment string `json:"experiment"`
+	Body       []byte `json:"body"`
+}
+
+// Result reports how an Upload ended.
+type Result struct {
+	// ID is the content-hash row ID (empty when Spooled).
+	ID string
+	// Duplicate is true when the server already held this content — the
+	// normal outcome of retrying an upload whose first ack was lost.
+	Duplicate bool
+	// Spooled is true when the server was unreachable and the payload
+	// went to the outbox instead; SpoolPath names the file.
+	Spooled   bool
+	SpoolPath string
+	// Attempts counts tries, including the successful one.
+	Attempts int
+}
+
+// errPermanent wraps a failure that retrying cannot fix.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// Do uploads one payload, retrying transient failures. When every attempt
+// fails and an outbox is configured, the payload is spooled and Do
+// returns a Result with Spooled set and a nil error.
+func (c *Client) Do(ctx context.Context, up Upload) (Result, error) {
+	res, err := c.tryUpload(ctx, up)
+	if err == nil {
+		return res, nil
+	}
+	var perm errPermanent
+	if errors.As(err, &perm) || c.cfg.Outbox == "" || ctx.Err() != nil {
+		return res, err
+	}
+	path, serr := c.spool(up)
+	if serr != nil {
+		return res, errors.Join(err, serr)
+	}
+	res.Spooled = true
+	res.SpoolPath = path
+	return res, nil
+}
+
+// tryUpload runs the retry loop without the outbox fallback.
+func (c *Client) tryUpload(ctx context.Context, up Upload) (Result, error) {
+	var res Result
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		res.Attempts = attempt
+		ack, retryAfter, err := c.once(ctx, up)
+		if err == nil {
+			res.ID = ack.ID
+			res.Duplicate = ack.Duplicate
+			return res, nil
+		}
+		lastErr = err
+		if errors.As(err, &errPermanent{}) || ctx.Err() != nil {
+			return res, err
+		}
+		if attempt == c.cfg.MaxAttempts {
+			break
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return res, errors.Join(lastErr, err)
+		}
+	}
+	return res, fmt.Errorf("client: upload failed after %d attempts: %w", res.Attempts, lastErr)
+}
+
+// uploadAck mirrors the server's UploadResponse.
+type uploadAck struct {
+	ID        string `json:"id"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+// once performs a single upload attempt. A non-zero retryAfter carries
+// the server's Retry-After hint.
+func (c *Client) once(ctx context.Context, up Upload) (ack uploadAck, retryAfter time.Duration, err error) {
+	q := url.Values{}
+	q.Set("kind", up.Kind)
+	q.Set("machine", up.Machine)
+	q.Set("commit", up.Commit)
+	q.Set("experiment", up.Experiment)
+	u := c.cfg.BaseURL + "/api/v1/upload?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(up.Body))
+	if err != nil {
+		return ack, 0, errPermanent{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return ack, 0, err // connection refused/reset, timeout: transient
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack); err != nil {
+			// The row may be durable server-side; retrying is safe.
+			return ack, 0, fmt.Errorf("client: decoding ack: %w", err)
+		}
+		return ack, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ack, retryAfter, fmt.Errorf("client: server busy: %s", readErr(resp))
+	case resp.StatusCode >= 500:
+		return ack, 0, fmt.Errorf("client: server error %d: %s", resp.StatusCode, readErr(resp))
+	default:
+		return ack, 0, errPermanent{fmt.Errorf("client: rejected with %d: %s", resp.StatusCode, readErr(resp))}
+	}
+}
+
+func readErr(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return strings.TrimSpace(string(b))
+}
+
+// backoff computes the delay before the next attempt: capped exponential
+// with half-width jitter, floored at the server's Retry-After hint so a
+// shedding server is never hammered earlier than it asked.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	// Jitter into [d/2, d): synchronized clients desynchronize instead of
+	// re-colliding on the next retry wave.
+	d = d/2 + time.Duration(c.cfg.Rand()*float64(d/2))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// sleep waits d, returning early with the context's error if cancelled.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.cfg.Sleep != nil {
+		c.cfg.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- outbox spooling ----
+
+// spoolEnvelope is the on-disk shape of one spooled upload. Body is
+// base64 via encoding/json's []byte handling.
+type spoolEnvelope struct {
+	Upload
+	SpooledUnixMS int64 `json:"spooled_unix_ms"`
+}
+
+const spoolExt = ".upload.json"
+
+// spool writes the upload into the outbox atomically (temp + rename), so
+// a crash mid-spool never leaves a half-written envelope with the
+// deliverable name.
+func (c *Client) spool(up Upload) (string, error) {
+	if err := os.MkdirAll(c.cfg.Outbox, 0o755); err != nil {
+		return "", err
+	}
+	id := perfstore.ContentID(up.Kind, up.Machine, up.Commit, up.Experiment, up.Body)
+	path := filepath.Join(c.cfg.Outbox, id+spoolExt)
+	raw, err := json.MarshalIndent(spoolEnvelope{Upload: up, SpooledUnixMS: time.Now().UnixMilli()}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(c.cfg.Outbox, ".spool-*")
+	if err != nil {
+		return "", err
+	}
+	_, werr := tmp.Write(raw)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return "", werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// FlushOutbox tries to deliver every spooled upload, removing the ones
+// that succeed (or turn out to be duplicates). It returns how many were
+// sent and how many remain; err reports the first delivery failure.
+func (c *Client) FlushOutbox(ctx context.Context) (sent, remaining int, err error) {
+	entries, derr := os.ReadDir(c.cfg.Outbox)
+	if derr != nil {
+		if os.IsNotExist(derr) {
+			return 0, 0, nil
+		}
+		return 0, 0, derr
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), spoolExt) {
+			continue
+		}
+		path := filepath.Join(c.cfg.Outbox, e.Name())
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			remaining++
+			if err == nil {
+				err = rerr
+			}
+			continue
+		}
+		var env spoolEnvelope
+		if jerr := json.Unmarshal(raw, &env); jerr != nil {
+			remaining++
+			if err == nil {
+				err = fmt.Errorf("client: outbox %s: %w", e.Name(), jerr)
+			}
+			continue
+		}
+		if _, uerr := c.tryUpload(ctx, env.Upload); uerr != nil {
+			remaining++
+			if err == nil {
+				err = uerr
+			}
+			continue
+		}
+		os.Remove(path)
+		sent++
+	}
+	return sent, remaining, err
+}
+
+// ---- query helpers (used by tcperf's smoke test and worked examples) ----
+
+// Record fetches a stored body by ID, byte-identical to the upload.
+func (c *Client) Record(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/api/v1/record/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: record %s: status %d: %s", id, resp.StatusCode, readErr(resp))
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, perfstore.MaxBodyBytes))
+}
+
+// Query lists records matching the filter fields of q.
+func (c *Client) Query(ctx context.Context, q perfstore.Query) ([]perfstore.Meta, error) {
+	vals := url.Values{}
+	for name, v := range map[string]string{
+		"kind": q.Kind, "machine": q.Machine, "commit": q.Commit, "experiment": q.Experiment,
+	} {
+		if v != "" {
+			vals.Set(name, v)
+		}
+	}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/api/v1/query?"+vals.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: query: status %d: %s", resp.StatusCode, readErr(resp))
+	}
+	var metas []perfstore.Meta
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&metas); err != nil {
+		return nil, err
+	}
+	return metas, nil
+}
+
+// Fingerprint derives a stable machine identity for upload keys:
+// hostname/os/arch/cpu-count, sanitized to the server's field charset.
+func Fingerprint() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown-host"
+	}
+	var b strings.Builder
+	for _, r := range host {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return fmt.Sprintf("%s/%s/%s/%d", b.String(), runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}

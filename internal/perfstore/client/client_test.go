@@ -1,0 +1,387 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/perfstore"
+	"repro/internal/perfstore/perfserver"
+)
+
+// newRealServer spins up a full store+handler stack.
+func newRealServer(t *testing.T) (*perfstore.Store, *httptest.Server) {
+	t.Helper()
+	store, err := perfstore.Open(t.TempDir(), perfstore.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(perfserver.New(store, perfserver.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+func newClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {} // tests never really wait
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testUpload(i byte) Upload {
+	return Upload{
+		Kind:       "benchjson",
+		Machine:    "m1",
+		Commit:     fmt.Sprintf("c%d", i),
+		Experiment: "table2",
+		Body:       []byte(fmt.Sprintf(`{"table2":{"wall_ms":%d}}`, 100+int(i))),
+	}
+}
+
+func TestUploadHappyPath(t *testing.T) {
+	store, ts := newRealServer(t)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	res, err := c.Do(context.Background(), testUpload(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID == "" || res.Duplicate || res.Attempts != 1 || res.Spooled {
+		t.Fatalf("result: %+v", res)
+	}
+	if _, body, err := store.Get(res.ID); err != nil || !bytes.Equal(body, testUpload(0).Body) {
+		t.Fatalf("stored body mismatch: %v", err)
+	}
+}
+
+// TestRetryAfter429 fronts the real server with a gate that sheds the
+// first two attempts; the client must honor Retry-After and then land the
+// upload exactly once.
+func TestRetryAfter429(t *testing.T) {
+	store, real := newRealServer(t)
+	var rejected atomic.Int64
+	var waits []time.Duration
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rejected.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		req, _ := http.NewRequest(r.Method, real.URL+r.URL.String(), r.Body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), 502)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer gate.Close()
+
+	c := newClient(t, Config{
+		BaseURL: gate.URL,
+		Sleep:   func(d time.Duration) { waits = append(waits, d) },
+	})
+	res, err := c.Do(context.Background(), testUpload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 || res.Duplicate {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("waited %d times, want 2", len(waits))
+	}
+	for _, d := range waits {
+		if d < 2*time.Second {
+			t.Fatalf("backoff %v shorter than Retry-After 2s", d)
+		}
+	}
+	if st := store.Stats(); st.Records != 1 {
+		t.Fatalf("rows after retries: %+v", st)
+	}
+}
+
+// TestRetryNoDuplicateAfterCommittedFailure covers the ambiguous-ack
+// window: the server commits the row but the response is lost. The retry
+// must return duplicate=true and leave exactly one row.
+func TestRetryNoDuplicateAfterCommittedFailure(t *testing.T) {
+	store, real := newRealServer(t)
+	var calls atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, _ := http.NewRequest(r.Method, real.URL+r.URL.String(), r.Body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), 502)
+			return
+		}
+		defer resp.Body.Close()
+		if calls.Add(1) == 1 {
+			// The store committed, but the client sees a 500.
+			http.Error(w, "injected: response lost", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer gate.Close()
+
+	c := newClient(t, Config{BaseURL: gate.URL})
+	res, err := c.Do(context.Background(), testUpload(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Duplicate || res.Attempts != 2 {
+		t.Fatalf("result: %+v, want duplicate on attempt 2", res)
+	}
+	if st := store.Stats(); st.Records != 1 {
+		t.Fatalf("rows: %+v, want exactly 1", st)
+	}
+}
+
+// TestRetryConnectionReset kills the TCP connection mid-request for the
+// first attempts, then lets the upload through.
+func TestRetryConnectionReset(t *testing.T) {
+	store, real := newRealServer(t)
+	var calls atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // connection reset from the client's view
+			return
+		}
+		req, _ := http.NewRequest(r.Method, real.URL+r.URL.String(), r.Body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), 502)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer gate.Close()
+
+	c := newClient(t, Config{BaseURL: gate.URL})
+	res, err := c.Do(context.Background(), testUpload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts %d, want 3", res.Attempts)
+	}
+	if st := store.Stats(); st.Records != 1 {
+		t.Fatalf("rows: %+v", st)
+	}
+}
+
+// TestRetryTimeout drives the client into its per-request timeout.
+func TestRetryTimeout(t *testing.T) {
+	var calls atomic.Int64
+	store, real := newRealServer(t)
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // beyond the client timeout
+			return
+		}
+		req, _ := http.NewRequest(r.Method, real.URL+r.URL.String(), r.Body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), 502)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		w.Write(buf.Bytes())
+	}))
+	defer gate.Close()
+
+	c := newClient(t, Config{
+		BaseURL:    gate.URL,
+		HTTPClient: &http.Client{Timeout: 50 * time.Millisecond},
+	})
+	res, err := c.Do(context.Background(), testUpload(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2", res.Attempts)
+	}
+	if st := store.Stats(); st.Records != 1 {
+		t.Fatalf("rows: %+v", st)
+	}
+}
+
+func TestPermanentRejectionDoesNotRetryOrSpool(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	outbox := t.TempDir()
+	c := newClient(t, Config{BaseURL: ts.URL, Outbox: outbox})
+	if _, err := c.Do(context.Background(), testUpload(5)); err == nil {
+		t.Fatal("400 did not surface as an error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+	if entries, _ := os.ReadDir(outbox); len(entries) != 0 {
+		t.Fatalf("4xx was spooled: %v", entries)
+	}
+}
+
+func TestBoundedAttemptsThenError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := newClient(t, Config{BaseURL: ts.URL, MaxAttempts: 3})
+	if _, err := c.Do(context.Background(), testUpload(6)); err == nil {
+		t.Fatal("exhausted retries did not error")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempts: %d, want 3", calls.Load())
+	}
+}
+
+// TestOutboxSpoolAndFlush exercises the offline path end to end: the
+// server is unreachable, the upload spools; once the server is back,
+// FlushOutbox delivers it and empties the spool.
+func TestOutboxSpoolAndFlush(t *testing.T) {
+	outbox := t.TempDir()
+	// Point at a port nothing listens on.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	c := newClient(t, Config{BaseURL: dead.URL, MaxAttempts: 2, Outbox: outbox})
+	up := testUpload(7)
+	res, err := c.Do(context.Background(), up)
+	if err != nil {
+		t.Fatalf("spooling path errored: %v", err)
+	}
+	if !res.Spooled || res.SpoolPath == "" {
+		t.Fatalf("result: %+v, want spooled", res)
+	}
+	if _, err := os.Stat(res.SpoolPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(res.SpoolPath), perfstore.ContentID(up.Kind, up.Machine, up.Commit, up.Experiment, up.Body)) {
+		t.Fatalf("spool file not named by content hash: %s", res.SpoolPath)
+	}
+
+	// Server comes back; same outbox, working base URL.
+	store, ts := newRealServer(t)
+	c2 := newClient(t, Config{BaseURL: ts.URL, Outbox: outbox})
+	sent, remaining, err := c2.FlushOutbox(context.Background())
+	if err != nil || sent != 1 || remaining != 0 {
+		t.Fatalf("flush: sent=%d remaining=%d err=%v", sent, remaining, err)
+	}
+	if entries, _ := os.ReadDir(outbox); len(entries) != 0 {
+		t.Fatalf("outbox not emptied: %v", entries)
+	}
+	if st := store.Stats(); st.Records != 1 {
+		t.Fatalf("rows after flush: %+v", st)
+	}
+	// Double flush is a no-op.
+	if sent, remaining, err := c2.FlushOutbox(context.Background()); err != nil || sent != 0 || remaining != 0 {
+		t.Fatalf("second flush: sent=%d remaining=%d err=%v", sent, remaining, err)
+	}
+}
+
+func TestFlushOutboxKeepsUndeliverable(t *testing.T) {
+	outbox := t.TempDir()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	c := newClient(t, Config{BaseURL: dead.URL, MaxAttempts: 1, Outbox: outbox})
+	if res, err := c.Do(context.Background(), testUpload(8)); err != nil || !res.Spooled {
+		t.Fatalf("spool: %+v err=%v", res, err)
+	}
+	// Still down: flush keeps the file and reports it.
+	sent, remaining, err := c.FlushOutbox(context.Background())
+	if sent != 0 || remaining != 1 || err == nil {
+		t.Fatalf("flush against dead server: sent=%d remaining=%d err=%v", sent, remaining, err)
+	}
+}
+
+func TestBackoffGrowsAndJitters(t *testing.T) {
+	c := newClient(t, Config{BaseURL: "http://x", BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Rand: func() float64 { return 0.5 }})
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 5; attempt++ {
+		d := c.backoff(attempt, 0)
+		if d <= 0 || d > time.Second {
+			t.Fatalf("attempt %d: backoff %v out of range", attempt, d)
+		}
+		if attempt <= 3 && d <= prev {
+			t.Fatalf("attempt %d: backoff %v did not grow past %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Retry-After floors the delay.
+	if d := c.backoff(1, 3*time.Second); d < 3*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+}
+
+func TestFingerprintIsValidField(t *testing.T) {
+	fp := Fingerprint()
+	if fp == "" || strings.ContainsAny(fp, " \t\n") {
+		t.Fatalf("fingerprint %q", fp)
+	}
+	// It must be usable as an upload field end to end.
+	_, ts := newRealServer(t)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	up := testUpload(9)
+	up.Machine = fp
+	if res, err := c.Do(context.Background(), up); err != nil || res.ID == "" {
+		t.Fatalf("upload with fingerprint machine: %+v err=%v", res, err)
+	}
+}
+
+func TestQueryAndRecordHelpers(t *testing.T) {
+	_, ts := newRealServer(t)
+	c := newClient(t, Config{BaseURL: ts.URL})
+	up := testUpload(1)
+	res, err := c.Do(context.Background(), up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := c.Query(context.Background(), perfstore.Query{Kind: "benchjson"})
+	if err != nil || len(metas) != 1 || metas[0].ID != res.ID {
+		t.Fatalf("query: %+v err=%v", metas, err)
+	}
+	body, err := c.Record(context.Background(), res.ID)
+	if err != nil || !bytes.Equal(body, up.Body) {
+		t.Fatalf("record: %q err=%v", body, err)
+	}
+}

@@ -1,0 +1,220 @@
+package perfstore
+
+// Offline integrity checking for a store directory: fsck walks every
+// shard segment read-only, re-validates every CRC and every content hash,
+// and classifies damage. `tcperf fsck` prints the report; with -fix it
+// truncates torn tails the same way a store reopen would, so a crashed
+// server's directory can be certified clean without starting the server.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FsckIssue is one problem found in a segment file.
+type FsckIssue struct {
+	Path string `json:"path"`
+	// Kind is "torn-tail" (undecodable bytes after the last good record —
+	// normal crash damage, repairable by truncation), "hash-mismatch" (a
+	// record whose body no longer matches its content-hash ID — real
+	// corruption), or "stray-file" (an unexpected file in a shard dir).
+	Kind string `json:"kind"`
+	// Offset is where the clean prefix ends (torn-tail) or the record
+	// starts (hash-mismatch).
+	Offset int64 `json:"offset"`
+	// LostBytes counts bytes past the clean prefix for torn tails.
+	LostBytes int64  `json:"lost_bytes,omitempty"`
+	Detail    string `json:"detail"`
+	// Fixed is set when FsckOptions.Fix truncated the damage away.
+	Fixed bool `json:"fixed,omitempty"`
+}
+
+// FsckReport summarises one fsck pass.
+type FsckReport struct {
+	Dir        string      `json:"dir"`
+	Shards     int         `json:"shards"`
+	Segments   int         `json:"segments"`
+	Records    int64       `json:"records"`
+	BodyBytes  int64       `json:"body_bytes"`
+	Duplicates int64       `json:"duplicate_rows"`
+	Issues     []FsckIssue `json:"issues,omitempty"`
+}
+
+// Clean reports whether the store needs no attention: no issues at all,
+// or only torn tails that were fixed.
+func (r *FsckReport) Clean() bool {
+	for _, is := range r.Issues {
+		if !is.Fixed {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a one-line human digest.
+func (r *FsckReport) Summary() string {
+	state := "clean"
+	if !r.Clean() {
+		state = fmt.Sprintf("%d issue(s)", len(r.Issues))
+	} else if len(r.Issues) > 0 {
+		state = fmt.Sprintf("clean after %d fix(es)", len(r.Issues))
+	}
+	return fmt.Sprintf("%s: %d records in %d segments across %d shards (%d body bytes, %d duplicate rows): %s",
+		r.Dir, r.Records, r.Segments, r.Shards, r.BodyBytes, r.Duplicates, state)
+}
+
+// FsckOptions configure Fsck.
+type FsckOptions struct {
+	// Fix truncates torn tails back to the clean prefix, exactly as a
+	// store reopen would. Hash mismatches are never auto-fixed.
+	Fix bool
+	// FS overrides the filesystem; nil means the real one.
+	FS VFS
+}
+
+// Fsck verifies the store directory at dir without opening it for
+// writing. It is safe to run against a directory no server is using; a
+// running server's active appends would be reported as torn tails.
+func Fsck(dir string, opts FsckOptions) (*FsckReport, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS()
+	}
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FsckReport{Dir: dir, Shards: m.Shards}
+	seen := make(map[string]string) // content ID -> first path holding it
+	for i := 0; i < m.Shards; i++ {
+		shardDir := filepath.Join(dir, shardName(i))
+		entries, err := fsys.ReadDir(shardDir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // shard never received an upload
+			}
+			return nil, err
+		}
+		var segs []int
+		for _, e := range entries {
+			n := parseSegName(e.Name())
+			if n == 0 || e.IsDir() {
+				rep.Issues = append(rep.Issues, FsckIssue{
+					Path:   filepath.Join(shardDir, e.Name()),
+					Kind:   "stray-file",
+					Detail: "unexpected entry in shard directory",
+				})
+				continue
+			}
+			segs = append(segs, n)
+		}
+		sort.Ints(segs)
+		for _, n := range segs {
+			path := filepath.Join(shardDir, segName(n))
+			if err := fsckSegment(fsys, path, opts.Fix, rep, seen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// readManifest loads the manifest without creating one.
+func readManifest(fsys VFS, dir string) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	if _, err := fsys.Stat(path); err != nil {
+		return manifest{}, fmt.Errorf("perfstore: %s is not a store (no %s): %w", dir, manifestName, err)
+	}
+	return loadOrInitManifest(fsys, dir, 0)
+}
+
+// fsckSegment scans one segment, verifying CRCs and content hashes.
+func fsckSegment(fsys VFS, path string, fix bool, rep *FsckReport, seen map[string]string) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := st.Size()
+	rep.Segments++
+	cleanLen, scanErr := scanSegment(io.NewSectionReader(f, 0, size), func(rec scannedRecord) error {
+		m := rec.Meta
+		rep.Records++
+		rep.BodyBytes += int64(len(rec.Body))
+		if got := ContentID(m.Kind, m.Machine, m.Commit, m.Experiment, rec.Body); got != m.ID {
+			rep.Issues = append(rep.Issues, FsckIssue{
+				Path:   path,
+				Kind:   "hash-mismatch",
+				Offset: rec.Off,
+				Detail: fmt.Sprintf("record claims ID %s but content hashes to %s", short(m.ID), short(got)),
+			})
+			return nil
+		}
+		if _, dup := seen[m.ID]; dup {
+			// Byte-identical re-append from a crash-retry window; harmless.
+			rep.Duplicates++
+		} else {
+			seen[m.ID] = path
+		}
+		return nil
+	})
+	f.Close()
+	if scanErr != nil {
+		issue := FsckIssue{
+			Path:      path,
+			Kind:      "torn-tail",
+			Offset:    cleanLen,
+			LostBytes: size - cleanLen,
+			Detail:    scanErr.Error(),
+		}
+		if fix {
+			wf, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return fmt.Errorf("perfstore: fsck fix %s: %w", path, err)
+			}
+			terr := wf.Truncate(cleanLen)
+			if cerr := wf.Close(); terr == nil {
+				terr = cerr
+			}
+			if terr != nil {
+				return fmt.Errorf("perfstore: fsck truncating %s: %w", path, terr)
+			}
+			issue.Fixed = true
+		}
+		rep.Issues = append(rep.Issues, issue)
+	}
+	return nil
+}
+
+// short abbreviates a content hash for human-facing messages.
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12] + "…"
+	}
+	return id
+}
+
+// WriteText renders the report for terminals: the summary line, then one
+// line per issue.
+func (r *FsckReport) WriteText(w io.Writer) {
+	fmt.Fprintln(w, r.Summary())
+	for _, is := range r.Issues {
+		status := ""
+		if is.Fixed {
+			status = " [fixed]"
+		}
+		extra := ""
+		if is.LostBytes > 0 {
+			extra = fmt.Sprintf(", %d bytes lost", is.LostBytes)
+		}
+		fmt.Fprintf(w, "  %-13s %s @%d%s: %s%s\n", is.Kind, is.Path, is.Offset, extra, strings.TrimPrefix(is.Detail, "perfstore: corrupt data: "), status)
+	}
+}

@@ -1,0 +1,156 @@
+package perfstore
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore writes n records and closes the store, returning the dir.
+func seedStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Put(testMeta(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestFsckCleanStore(t *testing.T) {
+	dir := seedStore(t, 12)
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Records != 12 || len(rep.Issues) != 0 {
+		t.Fatalf("clean store fsck: %s", rep.Summary())
+	}
+}
+
+func TestFsckTornTailReportAndFix(t *testing.T) {
+	dir := seedStore(t, 6)
+	// Tear the tail of whichever segment holds records.
+	var seg string
+	for i := 0; i < 2; i++ {
+		entries, _ := os.ReadDir(filepath.Join(dir, shardName(i)))
+		for _, e := range entries {
+			seg = filepath.Join(dir, shardName(i), e.Name())
+		}
+		if seg != "" {
+			break
+		}
+	}
+	if seg == "" {
+		t.Fatal("no segments written")
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 9)) // zero header bytes: metaLen 0 → corrupt
+	f.Close()
+
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || len(rep.Issues) != 1 || rep.Issues[0].Kind != "torn-tail" {
+		t.Fatalf("torn-tail fsck: %s", rep.Summary())
+	}
+
+	rep, err = Fsck(dir, FsckOptions{Fix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || !rep.Issues[0].Fixed {
+		t.Fatalf("fsck -fix: %s", rep.Summary())
+	}
+	// After the fix the store is pristine again.
+	rep, err = Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(rep.Issues) != 0 {
+		t.Fatalf("fsck after fix: %s", rep.Summary())
+	}
+}
+
+func TestFsckHashMismatch(t *testing.T) {
+	dir := seedStore(t, 1)
+	var seg string
+	for i := 0; i < 2; i++ {
+		entries, _ := os.ReadDir(filepath.Join(dir, shardName(i)))
+		for _, e := range entries {
+			seg = filepath.Join(dir, shardName(i), e.Name())
+		}
+	}
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a body byte AND refresh the CRC so the record still decodes:
+	// only the content hash can catch this class of damage.
+	var rec scannedRecord
+	if _, err := scanSegment(strings.NewReader(string(raw)), func(r scannedRecord) error {
+		rec = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw[rec.BodyOff] ^= 0x01
+	metaLen := rec.BodyOff - rec.Off - recHeaderLen
+	payload := raw[rec.Off+recHeaderLen : rec.Off+recHeaderLen+metaLen+int64(len(rec.Body))]
+	crc := crc32.ChecksumIEEE(payload)
+	raw[rec.Off+8] = byte(crc)
+	raw[rec.Off+9] = byte(crc >> 8)
+	raw[rec.Off+10] = byte(crc >> 16)
+	raw[rec.Off+11] = byte(crc >> 24)
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || len(rep.Issues) != 1 || rep.Issues[0].Kind != "hash-mismatch" {
+		t.Fatalf("hash-mismatch fsck: %s", rep.Summary())
+	}
+}
+
+func TestFsckNotAStore(t *testing.T) {
+	if _, err := Fsck(t.TempDir(), FsckOptions{}); err == nil {
+		t.Fatal("fsck of an empty dir succeeded")
+	}
+}
+
+func TestFsckStrayFile(t *testing.T) {
+	dir := seedStore(t, 2)
+	if err := os.WriteFile(filepath.Join(dir, shardName(0), "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, is := range rep.Issues {
+		if is.Kind == "stray-file" {
+			found = true
+		}
+	}
+	if !found || rep.Clean() {
+		t.Fatalf("stray file not reported: %s", rep.Summary())
+	}
+}

@@ -1,0 +1,111 @@
+package perfserver
+
+// Fuzzing the upload request surface: the meta parser and the full
+// handler path. Whatever hostile query strings and bodies arrive, the
+// server must never panic, and everything it accepts must round-trip
+// byte-identical through the store.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/perfstore"
+)
+
+func jsonDecode(raw []byte, v any) error { return json.Unmarshal(raw, v) }
+
+func FuzzParseUploadMeta(f *testing.F) {
+	f.Add("benchjson", "host/linux/amd64/8", "6674f86", "table2")
+	f.Add("telemetry", "m", "deadbeef", "all")
+	f.Add("", "", "", "")
+	f.Add("a b", "..", "c\x00d", "�")
+	f.Fuzz(func(t *testing.T, kind, machine, commit, experiment string) {
+		vals := url.Values{}
+		if kind != "" {
+			vals.Set("kind", kind)
+		}
+		if machine != "" {
+			vals.Set("machine", machine)
+		}
+		if commit != "" {
+			vals.Set("commit", commit)
+		}
+		if experiment != "" {
+			vals.Set("experiment", experiment)
+		}
+		m, err := parseUploadMeta(vals)
+		if err != nil {
+			return
+		}
+		// Accepted fields obey the documented contract exactly.
+		for _, v := range []string{m.Kind, m.Machine, m.Commit, m.Experiment} {
+			if !validField(v) {
+				t.Fatalf("parseUploadMeta accepted invalid field %q", v)
+			}
+		}
+	})
+}
+
+// fuzzStack is one store+server shared across fuzz iterations (a fresh
+// store per exec would turn the fuzzer into a mkdir benchmark).
+var fuzzStack struct {
+	once sync.Once
+	srv  *Server
+}
+
+func fuzzServer(f *testing.F) *Server {
+	fuzzStack.once.Do(func() {
+		dir, err := os.MkdirTemp("", "perfserver-fuzz-*")
+		if err != nil {
+			f.Fatal(err)
+		}
+		store, err := perfstore.Open(dir, perfstore.Options{Shards: 2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzStack.srv = New(store, Config{MaxBodyBytes: 1 << 20})
+	})
+	return fuzzStack.srv
+}
+
+func FuzzUploadHandler(f *testing.F) {
+	f.Add("kind=benchjson&machine=m1&commit=c1&experiment=table2",
+		[]byte(`{"table2":{"wall_ms":1042.7,"cells":30}}`))
+	f.Add("kind=telemetry&machine=host/linux/amd64/8&commit=abc&experiment=all",
+		[]byte(`{"run":{"workers":8},"cells":[{"sites":[{"pc":4199088}]}]}`))
+	f.Add("kind=sites&machine=m&commit=c&experiment=e", []byte(`not json`))
+	f.Add("", []byte(`{}`))
+	f.Fuzz(func(t *testing.T, rawQuery string, body []byte) {
+		srv := fuzzServer(f)
+		h := srv.Handler()
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/upload", bytes.NewReader(body))
+		req.URL.RawQuery = rawQuery
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			return // rejected is fine; not panicking is the property
+		}
+		var ack UploadResponse
+		if err := jsonDecode(rr.Body.Bytes(), &ack); err != nil {
+			t.Fatalf("200 with undecodable ack: %v", err)
+		}
+		// Anything acknowledged must read back byte-identical.
+		req2 := httptest.NewRequest(http.MethodGet, "/api/v1/record/"+ack.ID, nil)
+		rr2 := httptest.NewRecorder()
+		h.ServeHTTP(rr2, req2)
+		if rr2.Code != http.StatusOK {
+			t.Fatalf("acknowledged record %s not readable: %d", ack.ID, rr2.Code)
+		}
+		got, _ := io.ReadAll(rr2.Body)
+		if !bytes.Equal(got, body) {
+			t.Fatalf("round trip mismatch: put %q, got %q", body, got)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package perfserver
+
+// Load test: a thousand simulated clients hammering the query, trend,
+// record, and upload endpoints at once. The assertions are the service's
+// robustness contract under overload: every request gets a well-formed
+// answer (200 from reads, 200-or-429 from writes — never a 5xx, never a
+// hang), no acknowledged upload is lost, and the process's heap stays
+// bounded because the admission queue is the only place request bodies
+// can pile up.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/perfstore"
+)
+
+func TestLoadThousandClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	store, err := perfstore.Open(t.TempDir(), perfstore.Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store, Config{QueueDepth: 16, MaxBodyBytes: 1 << 20})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Seed a history the read endpoints can chew on.
+	for i := 0; i < 50; i++ {
+		body := fmt.Sprintf(`{"table2":{"wall_ms":%d.5},"table4":{"wall_ms":%d.5}}`, 1000+i, 2000+i)
+		resp, err := http.Post(
+			fmt.Sprintf("%s/api/v1/upload?kind=benchjson&machine=seed&commit=c%03d&experiment=all", ts.URL, i),
+			"application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed upload %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	httpc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	const clients = 1000
+	const reqsPerClient = 4
+	var (
+		wg          sync.WaitGroup
+		ackedIDs    sync.Map
+		badStatus   atomic.Int64
+		netErrs     atomic.Int64
+		shed        atomic.Int64
+		readOK      atomic.Int64
+		exampleFail atomic.Value
+	)
+	for cid := 0; cid < clients; cid++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			for r := 0; r < reqsPerClient; r++ {
+				switch (cid + r) % 4 {
+				case 0: // query
+					resp, err := httpc.Get(ts.URL + "/api/v1/query?kind=benchjson&limit=20")
+					if err != nil {
+						netErrs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						badStatus.Add(1)
+						exampleFail.Store(fmt.Sprintf("query: %d", resp.StatusCode))
+					} else {
+						readOK.Add(1)
+					}
+				case 1: // trend
+					resp, err := httpc.Get(ts.URL + "/api/v1/trend?bench=table2&machine=seed&limit=50")
+					if err != nil {
+						netErrs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						badStatus.Add(1)
+						exampleFail.Store(fmt.Sprintf("trend: %d", resp.StatusCode))
+					} else {
+						readOK.Add(1)
+					}
+				case 2: // upload (unique content per client)
+					body := fmt.Sprintf(`{"load":{"client":%d,"r":%d}}`, cid, r)
+					resp, err := httpc.Post(
+						fmt.Sprintf("%s/api/v1/upload?kind=loadtest&machine=lt%02d&commit=x%d&experiment=load", ts.URL, cid%8, cid),
+						"application/json", strings.NewReader(body))
+					if err != nil {
+						netErrs.Add(1)
+						continue
+					}
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var ack UploadResponse
+						if err := jsonDecode(raw, &ack); err == nil {
+							ackedIDs.Store(ack.ID, body)
+						}
+					case http.StatusTooManyRequests:
+						shed.Add(1) // shedding is correct behaviour under load
+					default:
+						badStatus.Add(1)
+						exampleFail.Store(fmt.Sprintf("upload: %d %s", resp.StatusCode, raw))
+					}
+				case 3: // statsz keeps the counters path hot
+					resp, err := httpc.Get(ts.URL + "/statsz")
+					if err != nil {
+						netErrs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						badStatus.Add(1)
+					} else {
+						readOK.Add(1)
+					}
+				}
+			}
+		}(cid)
+	}
+	wg.Wait()
+
+	if n := badStatus.Load(); n > 0 {
+		t.Fatalf("%d non-contract statuses under load (e.g. %v)", n, exampleFail.Load())
+	}
+	// A few dials may fail under FD pressure on tiny CI machines, but the
+	// overwhelming majority must get real answers.
+	total := int64(clients * reqsPerClient)
+	if n := netErrs.Load(); n > total/20 {
+		t.Fatalf("%d/%d network errors", n, total)
+	}
+	if readOK.Load() == 0 {
+		t.Fatal("no successful reads")
+	}
+
+	// Zero dropped-but-acknowledged records: every acked upload reads
+	// back byte-identical.
+	var checked int
+	ackedIDs.Range(func(k, v any) bool {
+		resp, err := httpc.Get(ts.URL + "/api/v1/record/" + k.(string))
+		if err != nil {
+			t.Fatalf("record %s: %v", k, err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(got) != v.(string) {
+			t.Fatalf("acknowledged record %s: status %d body %q want %q", k, resp.StatusCode, got, v)
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no uploads were acknowledged at all")
+	}
+
+	// Bounded RSS proxy: heap growth across the whole campaign stays far
+	// below what unbounded body buffering would cost. 4000 requests with
+	// 1 MB body caps and a 16-deep queue must not balloon the heap.
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const budget = 192 << 20
+	if growth > budget {
+		t.Fatalf("heap grew %d bytes across load test (budget %d)", growth, budget)
+	}
+	t.Logf("load: %d clients × %d reqs, %d acked, %d shed(429), %d net errs, heap growth %.1f MB",
+		clients, reqsPerClient, checked, shed.Load(), netErrs.Load(), float64(growth)/(1<<20))
+}

@@ -1,0 +1,447 @@
+// Package perfserver is the HTTP layer of tcperf: stdlib net/http
+// handlers over a perfstore.Store. Robustness is the contract:
+//
+//   - uploads pass through a bounded admission queue — when it is full
+//     the server sheds load with 429 + Retry-After instead of buffering
+//     unbounded request bodies in memory;
+//   - request bodies are hard-capped (413 past the limit), and the
+//     listener-level read/write timeouts live on the http.Server that
+//     cmd/tcperf builds around this handler;
+//   - an upload is acknowledged (200) only after the store has fsynced
+//     it, so an acknowledged upload survives any crash;
+//   - acknowledgements carry the content-hash ID, and re-uploading the
+//     same content returns the same row with "duplicate": true — client
+//     retries are idempotent by construction;
+//   - during drain (SIGINT/SIGTERM) new uploads get 503 + Retry-After
+//     while in-flight ones finish and ack normally.
+package perfserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perfstore"
+)
+
+// Config tunes the handler. The zero value selects the defaults.
+type Config struct {
+	// QueueDepth is the number of uploads admitted concurrently; further
+	// uploads are shed with 429. 0 means 32.
+	QueueDepth int
+	// MaxBodyBytes caps one upload body. 0 means 16 MB.
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429/503 responses. 0 means 1s.
+	RetryAfter time.Duration
+	// Now overrides the upload timestamp clock in tests.
+	Now func() time.Time
+}
+
+const (
+	defaultQueueDepth = 32
+	defaultMaxBody    = 16 << 20
+	defaultRetryAfter = time.Second
+)
+
+// Server serves the tcperf HTTP API over one Store.
+type Server struct {
+	store *perfstore.Store
+	cfg   Config
+	sem   chan struct{}
+	now   func() time.Time
+
+	draining atomic.Bool
+
+	accepted, duplicates atomic.Int64
+	shed, badRequests    atomic.Int64
+	tooLarge, storeErrs  atomic.Int64
+	drainRejects         atomic.Int64
+	queries, trends      atomic.Int64
+}
+
+// New builds a Server over store.
+func New(store *perfstore.Store, cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	if cfg.MaxBodyBytes > perfstore.MaxBodyBytes {
+		cfg.MaxBodyBytes = perfstore.MaxBodyBytes
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultRetryAfter
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.QueueDepth),
+		now:   now,
+	}
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/upload", s.handleUpload)
+	mux.HandleFunc("GET /api/v1/record/{id}", s.handleRecord)
+	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /api/v1/trend", s.handleTrend)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	return mux
+}
+
+// StartDrain flips the server into drain mode: new uploads are rejected
+// with 503 + Retry-After while requests already admitted keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain mode is on.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) rejectRetryable(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	http.Error(w, msg, code)
+}
+
+// UploadResponse is the ack body for POST /api/v1/upload.
+type UploadResponse struct {
+	ID        string `json:"id"`
+	Duplicate bool   `json:"duplicate"`
+	Bytes     int64  `json:"bytes"`
+	UnixMS    int64  `json:"unix_ms"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.drainRejects.Add(1)
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "tcperf: draining, retry against the restarted server")
+		return
+	}
+	// Admission control before the body is read: the queue bounds how
+	// many bodies (each itself capped) can sit in memory at once, so a
+	// thundering herd degrades into 429s, not an OOM kill.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		s.rejectRetryable(w, http.StatusTooManyRequests, "tcperf: upload queue full, retry later")
+		return
+	}
+
+	meta, err := parseUploadMeta(r.URL.Query())
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, "tcperf: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.tooLarge.Add(1)
+			http.Error(w, fmt.Sprintf("tcperf: body exceeds %d bytes", s.cfg.MaxBodyBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.badRequests.Add(1)
+		http.Error(w, "tcperf: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 || !json.Valid(body) {
+		s.badRequests.Add(1)
+		http.Error(w, "tcperf: body must be non-empty JSON", http.StatusBadRequest)
+		return
+	}
+
+	meta.Time = s.now().UnixMilli()
+	stored, dup, err := s.store.Put(meta, body)
+	if err != nil {
+		// The append failed (disk fault, ENOSPC, …): nothing was
+		// acknowledged, the store already cut any torn bytes, and the
+		// client's retry is safe because a later success is idempotent.
+		s.storeErrs.Add(1)
+		http.Error(w, "tcperf: store append failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if dup {
+		s.duplicates.Add(1)
+	} else {
+		s.accepted.Add(1)
+	}
+	writeJSON(w, UploadResponse{ID: stored.ID, Duplicate: dup, Bytes: stored.Bytes, UnixMS: stored.Time})
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validHash(id) {
+		http.Error(w, "tcperf: malformed record id", http.StatusBadRequest)
+		return
+	}
+	meta, body, err := s.store.Get(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, perfstore.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, "tcperf: "+err.Error(), code)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-TCPerf-Kind", meta.Kind)
+	h.Set("X-TCPerf-Machine", meta.Machine)
+	h.Set("X-TCPerf-Commit", meta.Commit)
+	h.Set("X-TCPerf-Experiment", meta.Experiment)
+	h.Set("X-TCPerf-Unix-Ms", strconv.FormatInt(meta.Time, 10))
+	w.Write(body)
+}
+
+const maxQueryLimit = 10000
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	q, err := parseQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, "tcperf: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.store.Query(q))
+}
+
+// TrendPoint is one sample in a GET /api/v1/trend response: the wall time
+// of one benchmark in one uploaded benchjson snapshot.
+type TrendPoint struct {
+	ID     string  `json:"id"`
+	Commit string  `json:"commit"`
+	UnixMS int64   `json:"unix_ms"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	s.trends.Add(1)
+	vals := r.URL.Query()
+	bench := vals.Get("bench")
+	if bench == "" {
+		http.Error(w, "tcperf: trend needs ?bench=<experiment table id>", http.StatusBadRequest)
+		return
+	}
+	q, err := parseQuery(vals)
+	if err != nil {
+		http.Error(w, "tcperf: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q.Kind = "benchjson"
+	if q.Limit == 0 {
+		q.Limit = 50
+	}
+	var points []TrendPoint
+	for _, m := range s.store.Query(q) {
+		_, body, err := s.store.Get(m.ID)
+		if err != nil {
+			continue // a damaged row degrades the trend, not the endpoint
+		}
+		var rows map[string]struct {
+			WallMS float64 `json:"wall_ms"`
+		}
+		if err := json.Unmarshal(body, &rows); err != nil {
+			continue
+		}
+		row, ok := rows[bench]
+		if !ok {
+			continue
+		}
+		points = append(points, TrendPoint{ID: m.ID, Commit: m.Commit, UnixMS: m.Time, WallMS: row.WallMS})
+	}
+	// Query returns newest first; a trend reads left to right in time.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].UnixMS != points[j].UnixMS {
+			return points[i].UnixMS < points[j].UnixMS
+		}
+		return points[i].ID < points[j].ID
+	})
+	if points == nil {
+		points = []TrendPoint{}
+	}
+	writeJSON(w, points)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// StatsResponse is the /statsz payload.
+type StatsResponse struct {
+	Store  perfstore.Stats `json:"store"`
+	Server struct {
+		Accepted     int64 `json:"accepted"`
+		Duplicates   int64 `json:"duplicates"`
+		Shed429      int64 `json:"shed_429"`
+		DrainReject  int64 `json:"drain_rejects"`
+		BadRequests  int64 `json:"bad_requests"`
+		TooLarge     int64 `json:"too_large"`
+		StoreErrors  int64 `json:"store_errors"`
+		Queries      int64 `json:"queries"`
+		Trends       int64 `json:"trends"`
+		QueueDepth   int   `json:"queue_depth"`
+		QueueInUse   int   `json:"queue_in_use"`
+		Draining     bool  `json:"draining"`
+		MaxBodyBytes int64 `json:"max_body_bytes"`
+	} `json:"server"`
+}
+
+// Snapshot returns current counters (also used by cmd/tcperf's drain log).
+func (s *Server) Snapshot() StatsResponse {
+	var resp StatsResponse
+	resp.Store = s.store.Stats()
+	resp.Server.Accepted = s.accepted.Load()
+	resp.Server.Duplicates = s.duplicates.Load()
+	resp.Server.Shed429 = s.shed.Load()
+	resp.Server.DrainReject = s.drainRejects.Load()
+	resp.Server.BadRequests = s.badRequests.Load()
+	resp.Server.TooLarge = s.tooLarge.Load()
+	resp.Server.StoreErrors = s.storeErrs.Load()
+	resp.Server.Queries = s.queries.Load()
+	resp.Server.Trends = s.trends.Load()
+	resp.Server.QueueDepth = cap(s.sem)
+	resp.Server.QueueInUse = len(s.sem)
+	resp.Server.Draining = s.draining.Load()
+	resp.Server.MaxBodyBytes = s.cfg.MaxBodyBytes
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ---- request parsing (fuzzed in fuzz_test.go) ----
+
+// maxFieldLen bounds one meta field.
+const maxFieldLen = 128
+
+// validField accepts the conservative charset meta fields may use:
+// letters, digits, and ._-/:+ — enough for commit hashes, host/os/arch
+// fingerprints, and experiment ids, and nothing that can smuggle path
+// separators' tricks (.. is harmless: fields never become file paths) or
+// control bytes into logs.
+func validField(v string) bool {
+	if v == "" || len(v) > maxFieldLen {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-' || c == '/' || c == ':' || c == '+':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validHash accepts a 64-char lowercase hex content hash.
+func validHash(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUploadMeta validates the identity fields of an upload request.
+func parseUploadMeta(vals url.Values) (perfstore.Meta, error) {
+	var m perfstore.Meta
+	for _, f := range []struct {
+		name     string
+		dst      *string
+		required bool
+	}{
+		{"kind", &m.Kind, true},
+		{"machine", &m.Machine, true},
+		{"commit", &m.Commit, true},
+		{"experiment", &m.Experiment, true},
+	} {
+		v := vals.Get(f.name)
+		if v == "" {
+			if f.required {
+				return perfstore.Meta{}, fmt.Errorf("missing required query parameter %q", f.name)
+			}
+			continue
+		}
+		if !validField(v) {
+			return perfstore.Meta{}, fmt.Errorf("invalid %s %q: 1-%d chars of [A-Za-z0-9._/:+-]", f.name, v, maxFieldLen)
+		}
+		*f.dst = v
+	}
+	return m, nil
+}
+
+// parseQuery validates filter parameters shared by query and trend.
+func parseQuery(vals url.Values) (perfstore.Query, error) {
+	var q perfstore.Query
+	for _, f := range []struct {
+		name string
+		dst  *string
+	}{
+		{"kind", &q.Kind},
+		{"machine", &q.Machine},
+		{"commit", &q.Commit},
+		{"experiment", &q.Experiment},
+	} {
+		v := vals.Get(f.name)
+		if v == "" {
+			continue
+		}
+		if !validField(v) {
+			return perfstore.Query{}, fmt.Errorf("invalid %s %q", f.name, v)
+		}
+		*f.dst = v
+	}
+	if v := vals.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > maxQueryLimit {
+			return perfstore.Query{}, fmt.Errorf("invalid limit %q (0-%d)", v, maxQueryLimit)
+		}
+		q.Limit = n
+	} else {
+		q.Limit = 100
+	}
+	return q, nil
+}

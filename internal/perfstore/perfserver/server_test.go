@@ -1,0 +1,342 @@
+package perfserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perfstore"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := perfstore.Open(t.TempDir(), perfstore.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func uploadURL(base string, i int) string {
+	return fmt.Sprintf("%s/api/v1/upload?kind=benchjson&machine=m1&commit=c%03d&experiment=table2", base, i)
+}
+
+func doUpload(t *testing.T, base string, i int, body string) UploadResponse {
+	t.Helper()
+	resp, err := http.Post(uploadURL(base, i), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload %d: status %d: %s", i, resp.StatusCode, b)
+	}
+	var ack UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack
+}
+
+func TestUploadQueryRecordRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bodies := map[string]string{}
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`{"table2":{"wall_ms":%d.25}}`, 100+i)
+		ack := doUpload(t, ts.URL, i, body)
+		if ack.Duplicate || ack.ID == "" {
+			t.Fatalf("upload %d ack: %+v", i, ack)
+		}
+		bodies[ack.ID] = body
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/query?kind=benchjson&machine=m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metas []perfstore.Meta
+	if err := json.NewDecoder(resp.Body).Decode(&metas); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(metas) != 10 {
+		t.Fatalf("query returned %d rows", len(metas))
+	}
+
+	// Every record must read back byte-identical.
+	for id, want := range bodies {
+		resp, err := http.Get(ts.URL + "/api/v1/record/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("record %s: status %d body %q, want %q", id, resp.StatusCode, got, want)
+		}
+	}
+}
+
+func TestUploadIdempotent(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	first := doUpload(t, ts.URL, 1, `{"a":1}`)
+	second := doUpload(t, ts.URL, 1, `{"a":1}`)
+	if !second.Duplicate || second.ID != first.ID {
+		t.Fatalf("retry ack: %+v, want duplicate of %s", second, first.ID)
+	}
+	if st := srv.Snapshot(); st.Store.Records != 1 || st.Server.Duplicates != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"missing kind", ts.URL + "/api/v1/upload?machine=m&commit=c&experiment=e", "{}", 400},
+		{"bad charset", ts.URL + "/api/v1/upload?kind=a%20b&machine=m&commit=c&experiment=e", "{}", 400},
+		{"empty body", uploadURL(ts.URL, 0), "", 400},
+		{"not json", uploadURL(ts.URL, 0), "not json", 400},
+		{"field too long", ts.URL + "/api/v1/upload?kind=" + strings.Repeat("k", 200) + "&machine=m&commit=c&experiment=e", "{}", 400},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestUploadBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	big := `{"pad":"` + strings.Repeat("x", 2048) + `"}`
+	resp, err := http.Post(uploadURL(ts.URL, 0), "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBackpressure floods a queue of depth 1 whose lone slot is blocked,
+// and expects 429 + Retry-After rather than queueing.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	store, err := perfstore.Open(t.TempDir(), perfstore.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store, Config{QueueDepth: 1, RetryAfter: 3 * time.Second})
+	// Wrap the handler so the admitted upload parks inside the semaphore.
+	h := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// Occupy the only queue slot with a slow body: the reader blocks until
+	// release closes.
+	go func() {
+		pr, pw := io.Pipe()
+		req, _ := http.NewRequest("POST", uploadURL(ts.URL, 0), pr)
+		go func() {
+			pw.Write([]byte(`{"a":`))
+			close(blocked)
+			<-release
+			pw.Write([]byte(`1}`))
+			pw.Close()
+		}()
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-blocked
+
+	// While the slot is held, further uploads shed with 429.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(uploadURL(ts.URL, 1), "application/json", strings.NewReader(`{"b":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if code == http.StatusTooManyRequests {
+			if ra != "3" {
+				t.Fatalf("Retry-After %q, want 3", ra)
+			}
+			break
+		}
+		// 200 can happen if the blocked upload has not yet acquired the
+		// slot; retry briefly.
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 429 (last status %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+
+	if srv.Snapshot().Server.Shed429 == 0 {
+		t.Fatal("shed counter did not advance")
+	}
+}
+
+func TestDrainRejectsNewUploads(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	doUpload(t, ts.URL, 0, `{"a":1}`)
+	srv.StartDrain()
+
+	resp, err := http.Post(uploadURL(ts.URL, 1), "application/json", strings.NewReader(`{"b":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("upload during drain: status %d, want 503 + Retry-After", resp.StatusCode)
+	}
+	// Health reports draining too.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentUploads(t *testing.T) {
+	srv, ts := newTestServer(t, Config{QueueDepth: 64})
+	const n = 80
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"t":{"wall_ms":%d}}`, i)
+			resp, err := http.Post(uploadURL(ts.URL, i), "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				errs <- fmt.Errorf("upload %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Snapshot()
+	if st.Store.Records == 0 || st.Store.Records != st.Server.Accepted {
+		t.Fatalf("stats after concurrent uploads: %+v", st)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	ms := int64(1000)
+	_, ts := newTestServer(t, Config{Now: func() time.Time {
+		ms += 1000
+		return time.UnixMilli(ms)
+	}})
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"table2":{"wall_ms":%d.0},"table4":{"wall_ms":%d.0}}`, 100-i, 500+i)
+		doUpload(t, ts.URL, i, body)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/trend?bench=table2&machine=m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []TrendPoint
+	if err := json.NewDecoder(resp.Body).Decode(&points); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(points) != 5 {
+		t.Fatalf("trend returned %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].UnixMS < points[i-1].UnixMS {
+			t.Fatalf("trend not chronological: %+v", points)
+		}
+	}
+	if points[0].WallMS != 100 || points[4].WallMS != 96 {
+		t.Fatalf("trend values: %+v", points)
+	}
+
+	// Missing bench parameter is a 400.
+	resp, err = http.Get(ts.URL + "/api/v1/trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trend without bench: %d", resp.StatusCode)
+	}
+}
+
+func TestRecordNotFoundAndBadID(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/api/v1/record/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing record: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/record/" + url.PathEscape("../../etc/passwd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed id: %d", resp.StatusCode)
+	}
+}
+
+func TestStatsz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doUpload(t, ts.URL, 0, `{"a":1}`)
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Server.Accepted != 1 || st.Store.Records != 1 {
+		t.Fatalf("statsz: %+v", st)
+	}
+}

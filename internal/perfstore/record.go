@@ -1,0 +1,191 @@
+package perfstore
+
+// On-disk record and segment encoding. A segment is an append-only log:
+//
+//	magic     8 bytes  "TCPLOG1\n"
+//	record 0..R-1:
+//	    uint32 metaLen | uint32 bodyLen | uint32 CRC32(meta‖body) |
+//	    meta (JSON Meta) | body
+//
+// All integers are little-endian. The CRC guards both the meta JSON and
+// the body, so any torn or flipped byte surfaces as an ErrCorrupt at scan
+// time; scanning stops at the first damaged record (clean-prefix
+// contract, as in internal/trace) and reports the byte offset where the
+// clean prefix ends so reopen can truncate a torn tail.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unicode/utf8"
+)
+
+const (
+	segMagic     = "TCPLOG1\n"
+	recHeaderLen = 4 + 4 + 4
+
+	// maxMetaLen bounds the meta JSON so a corrupt length field cannot
+	// drive a giant allocation.
+	maxMetaLen = 1 << 20
+	// MaxBodyBytes is the hard ceiling on a record body, shared by the
+	// decoder and the HTTP layer's request limits.
+	MaxBodyBytes = 1 << 30
+)
+
+// ErrCorrupt marks damaged store bytes: a bad segment magic, an
+// out-of-range length field, a checksum mismatch, or meta JSON that does
+// not parse. Wrapped errors carry the segment path and byte offset.
+var ErrCorrupt = errors.New("perfstore: corrupt data")
+
+// ErrNotFound is returned by lookups for IDs the store does not hold.
+var ErrNotFound = errors.New("perfstore: record not found")
+
+// Meta identifies one uploaded result row. ID is the content hash of
+// (kind, machine, commit, experiment, body): uploads with identical
+// content collapse onto one row, which is what makes client retries
+// idempotent.
+type Meta struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	Machine    string `json:"machine"`
+	Commit     string `json:"commit"`
+	Experiment string `json:"experiment"`
+	// Time is the server-stamped upload time in Unix milliseconds. It is
+	// excluded from the content hash: re-uploading the same content later
+	// is a duplicate, not a new row.
+	Time int64 `json:"unix_ms"`
+	// Bytes is the body length, recorded so queries can report sizes
+	// without touching segment files.
+	Bytes int64 `json:"bytes"`
+}
+
+// Key returns the (machine, commit, experiment) sharding key string.
+func (m Meta) Key() string {
+	return m.Machine + "/" + m.Commit + "/" + m.Experiment
+}
+
+// ContentID computes the content-hash ID for a record: a SHA-256 over the
+// length-prefixed identity fields and the body. Length prefixes keep the
+// encoding injective (("a","bc") never collides with ("ab","c")).
+func ContentID(kind, machine, commit, experiment string, body []byte) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, field := range []string{kind, machine, commit, experiment} {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(field)))
+		h.Write(n[:])
+		io.WriteString(h, field)
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(len(body)))
+	h.Write(n[:])
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// corruptf builds an ErrCorrupt with position context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// encodeRecord appends meta+body as one wire record to buf.
+func encodeRecord(buf []byte, meta Meta, body []byte) ([]byte, error) {
+	// Meta travels as JSON, and encoding/json silently rewrites invalid
+	// UTF-8 to U+FFFD — which would break the decode-to-identical-meta
+	// guarantee (and the content hash with it). Refuse instead.
+	for _, field := range []string{meta.Kind, meta.Machine, meta.Commit, meta.Experiment} {
+		if !utf8.ValidString(field) {
+			return buf, fmt.Errorf("perfstore: meta field %q is not valid UTF-8", field)
+		}
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return buf, err
+	}
+	if len(mj) > maxMetaLen {
+		return buf, fmt.Errorf("perfstore: meta too large (%d bytes)", len(mj))
+	}
+	if int64(len(body)) > MaxBodyBytes {
+		return buf, fmt.Errorf("perfstore: body too large (%d bytes)", len(body))
+	}
+	crc := crc32.ChecksumIEEE(mj)
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mj)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, mj...)
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// scannedRecord is one decoded record plus its position inside the
+// segment, as reported by scanSegment.
+type scannedRecord struct {
+	Meta Meta
+	Body []byte
+	// Off is the record's start offset (its header); BodyOff the body's.
+	Off, BodyOff int64
+}
+
+// scanSegment decodes records from r, calling fn for each. It returns the
+// clean-prefix length in bytes — the offset up to which every byte
+// decoded correctly — and a nil error on a clean end, or an ErrCorrupt
+// describing the first damage. A scan error does not invalidate the
+// records already delivered: they are the clean prefix. fn may return an
+// error to stop the scan early (propagated verbatim).
+func scanSegment(r io.Reader, fn func(rec scannedRecord) error) (cleanLen int64, err error) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, corruptf("segment header: %v", err)
+	}
+	if string(magic) != segMagic {
+		return 0, corruptf("bad segment magic %q", magic)
+	}
+	off := int64(len(segMagic))
+	var hdr [recHeaderLen]byte
+	for {
+		n, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return off, nil // clean end on a record boundary
+		}
+		if err != nil {
+			return off, corruptf("offset %d: torn record header (%d of %d bytes)", off, n, recHeaderLen)
+		}
+		metaLen := binary.LittleEndian.Uint32(hdr[0:])
+		bodyLen := binary.LittleEndian.Uint32(hdr[4:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[8:])
+		if metaLen == 0 || metaLen > maxMetaLen {
+			return off, corruptf("offset %d: meta length %d out of range", off, metaLen)
+		}
+		if int64(bodyLen) > MaxBodyBytes {
+			return off, corruptf("offset %d: body length %d out of range", off, bodyLen)
+		}
+		payload := make([]byte, int64(metaLen)+int64(bodyLen))
+		if n, err := io.ReadFull(r, payload); err != nil {
+			return off, corruptf("offset %d: torn record payload (%d of %d bytes)", off, n, len(payload))
+		}
+		if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+			return off, corruptf("offset %d: record checksum %#x, want %#x", off, crc, wantCRC)
+		}
+		var meta Meta
+		dec := json.NewDecoder(bytes.NewReader(payload[:metaLen]))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&meta); err != nil {
+			return off, corruptf("offset %d: record meta: %v", off, err)
+		}
+		rec := scannedRecord{
+			Meta:    meta,
+			Body:    payload[metaLen:],
+			Off:     off,
+			BodyOff: off + recHeaderLen + int64(metaLen),
+		}
+		off += recHeaderLen + int64(len(payload))
+		if err := fn(rec); err != nil {
+			return off, err
+		}
+	}
+}

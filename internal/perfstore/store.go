@@ -1,0 +1,606 @@
+// Package perfstore is the durable results store behind cmd/tcperf: an
+// append-only, sharded, CRC-guarded on-disk log of uploaded benchmark and
+// telemetry JSON, keyed by content hash so retried uploads are idempotent.
+//
+// Durability contract (what "acknowledged" means):
+//
+//   - Put returns nil only after the record's bytes are written AND
+//     fsynced to the shard's active segment. An acknowledged record
+//     survives process kill, including SIGKILL, and power-loss-style torn
+//     writes to anything after it.
+//   - A failed or interrupted Put leaves either no trace or a torn tail;
+//     reopening the store truncates torn tails back to the last durable
+//     record (clean-prefix contract, like internal/trace's ErrCorrupt).
+//     Unacknowledged data is never half-applied: it is either invisible
+//     or a byte-identical duplicate of a record that was later re-uploaded
+//     (content-hash IDs make duplicates harmless).
+//   - Records are immutable once written; there is no update or delete
+//     path, so crash recovery never has to reason about overwrites.
+//
+// Layout under the store directory:
+//
+//	MANIFEST.json            {"version":1,"shards":N}  (atomic temp+rename)
+//	shard-00/ … shard-NN/    seg-000001.log …          (append-only segments)
+//
+// A record's shard is derived from its content hash, so one upload's
+// durability never depends on another shard's health, and concurrent
+// uploads to different shards append in parallel.
+package perfstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+
+	defaultShards   = 8
+	maxShards       = 256
+	defaultSegBytes = 64 << 20
+)
+
+// Options configure Open. The zero value selects defaults.
+type Options struct {
+	// Shards is the shard-directory count used when the store is first
+	// created; an existing store keeps the count in its manifest. 0 means 8.
+	Shards int
+	// SegmentMaxBytes rotates a shard's active segment once it grows past
+	// this size. 0 means 64 MB.
+	SegmentMaxBytes int64
+	// FS is the filesystem the store runs on; nil means the real one.
+	// Tests inject fault-carrying filesystems here.
+	FS VFS
+}
+
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// recLoc is the in-memory index entry for one record: enough to find and
+// read its body without rescanning the segment.
+type recLoc struct {
+	meta    Meta
+	shard   int
+	seg     int
+	bodyOff int64
+}
+
+type shard struct {
+	id  int
+	dir string
+
+	mu     sync.Mutex
+	seg    int   // active segment number (1-based)
+	size   int64 // bytes in the active segment file
+	f      File  // open append handle, nil until first Put
+	broken bool  // active segment unusable; rotate on next Put
+	buf    []byte
+}
+
+// RepairNote records one torn tail truncated while opening the store.
+type RepairNote struct {
+	Path      string `json:"path"`
+	CleanLen  int64  `json:"clean_len"`
+	LostBytes int64  `json:"lost_bytes"`
+	Cause     string `json:"cause"`
+}
+
+// Store is a durable, sharded, idempotent record store. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir    string
+	fsys   VFS
+	segMax int64
+
+	shards []*shard
+
+	mu   sync.RWMutex
+	byID map[string]*recLoc
+	recs []*recLoc
+
+	repairs    []RepairNote
+	duplicates int64
+
+	puts, dups, putErrors atomic.Int64
+	bodyBytes             atomic.Int64
+}
+
+// Open opens (creating if necessary) the store rooted at dir, replaying
+// every shard's segments to rebuild the index. Torn tails — the signature
+// of a crash mid-append — are truncated back to the last durable record
+// and reported in RepairNotes; damage that eats whole records surfaces
+// the same way, keeping the clean prefix readable.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OS()
+	}
+	segMax := opts.SegmentMaxBytes
+	if segMax <= 0 {
+		segMax = defaultSegBytes
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m, err := loadOrInitManifest(fsys, dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:    dir,
+		fsys:   fsys,
+		segMax: segMax,
+		byID:   make(map[string]*recLoc),
+	}
+	for i := 0; i < m.Shards; i++ {
+		sh := &shard{id: i, dir: filepath.Join(dir, shardName(i)), seg: 1}
+		if err := fsys.MkdirAll(sh.dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.replayShard(sh); err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+func loadOrInitManifest(fsys VFS, dir string, shards int) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	if f, err := fsys.Open(path); err == nil {
+		st, err := f.Stat()
+		var raw []byte
+		if err == nil {
+			raw = make([]byte, st.Size())
+			_, err = f.ReadAt(raw, 0)
+		}
+		f.Close()
+		if err != nil && err != io.EOF {
+			return manifest{}, fmt.Errorf("perfstore: manifest: %w", err)
+		}
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return manifest{}, corruptf("manifest %s: %v", path, err)
+		}
+		if m.Version != manifestVersion {
+			return manifest{}, fmt.Errorf("perfstore: manifest version %d, want %d", m.Version, manifestVersion)
+		}
+		if m.Shards <= 0 || m.Shards > maxShards {
+			return manifest{}, corruptf("manifest shard count %d out of range", m.Shards)
+		}
+		return m, nil
+	}
+	if shards == 0 {
+		shards = defaultShards
+	}
+	if shards < 0 || shards > maxShards {
+		return manifest{}, fmt.Errorf("perfstore: shard count %d out of range [1,%d]", shards, maxShards)
+	}
+	m := manifest{Version: manifestVersion, Shards: shards}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return manifest{}, err
+	}
+	// Atomic create: write a temp file, fsync it, rename into place, fsync
+	// the directory. A crash at any point leaves either no manifest (next
+	// open re-creates it) or the complete one — never a torn manifest.
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return manifest{}, err
+	}
+	_, werr := f.Write(raw)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fsys.Remove(tmp)
+		return manifest{}, werr
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return manifest{}, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return manifest{}, err
+	}
+	return m, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+func segName(n int) string { return fmt.Sprintf("seg-%06d.log", n) }
+
+// parseSegName returns the segment number of a seg-NNNNNN.log name, or 0.
+func parseSegName(name string) int {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log"))
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// replayShard scans a shard's segments in order, indexing every durable
+// record and truncating torn tails.
+func (s *Store) replayShard(sh *shard) error {
+	entries, err := s.fsys.ReadDir(sh.dir)
+	if err != nil {
+		return err
+	}
+	var segs []int
+	for _, e := range entries {
+		if n := parseSegName(e.Name()); n > 0 && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	for _, n := range segs {
+		path := filepath.Join(sh.dir, segName(n))
+		cleanLen, err := s.replaySegment(sh, n, path)
+		if err != nil {
+			return err
+		}
+		if n >= sh.seg {
+			sh.seg, sh.size = n, cleanLen
+		}
+	}
+	return nil
+}
+
+// replaySegment scans one segment file, indexes its clean prefix, and
+// truncates anything after it. Returns the clean length.
+func (s *Store) replaySegment(sh *shard, seg int, path string) (int64, error) {
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	size := st.Size()
+	r := io.NewSectionReader(f, 0, size)
+	cleanLen, scanErr := scanSegment(r, func(rec scannedRecord) error {
+		loc := &recLoc{meta: rec.Meta, shard: sh.id, seg: seg, bodyOff: rec.BodyOff}
+		if _, ok := s.byID[loc.meta.ID]; ok {
+			// A crash between fsync and acknowledgement followed by a
+			// client retry leaves two byte-identical rows; the first one
+			// wins and the copy is skipped.
+			s.duplicates++
+			return nil
+		}
+		s.byID[loc.meta.ID] = loc
+		s.recs = append(s.recs, loc)
+		s.bodyBytes.Add(loc.meta.Bytes)
+		return nil
+	})
+	f.Close()
+	if scanErr != nil {
+		// The tail past cleanLen did not decode: a torn append or on-disk
+		// damage. Cut back to the clean prefix so the segment is again a
+		// pure sequence of durable records.
+		wf, err := s.fsys.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("perfstore: repairing %s: %w", path, err)
+		}
+		terr := wf.Truncate(cleanLen)
+		if cerr := wf.Close(); terr == nil {
+			terr = cerr
+		}
+		if terr != nil {
+			return 0, fmt.Errorf("perfstore: truncating %s to %d: %w", path, cleanLen, terr)
+		}
+		s.repairs = append(s.repairs, RepairNote{
+			Path:      path,
+			CleanLen:  cleanLen,
+			LostBytes: size - cleanLen,
+			Cause:     scanErr.Error(),
+		})
+	}
+	return cleanLen, nil
+}
+
+// shardOf maps a content-hash ID onto a shard index.
+func (s *Store) shardOf(id string) *shard {
+	var b byte
+	if len(id) >= 2 {
+		// The ID is hex; fold the first byte's value.
+		hi, lo := hexVal(id[0]), hexVal(id[1])
+		b = hi<<4 | lo
+	}
+	return s.shards[int(b)%len(s.shards)]
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	}
+	return 0
+}
+
+// Put appends one record durably and returns its stamped meta. The
+// returned bool is true when the content was already stored: the existing
+// row's meta is returned and nothing is written, which is what makes
+// client retries and duplicate uploads free. meta.ID and meta.Bytes are
+// derived here; callers set the identity fields and Time.
+func (s *Store) Put(meta Meta, body []byte) (Meta, bool, error) {
+	if meta.Kind == "" {
+		return Meta{}, false, fmt.Errorf("perfstore: record kind must be set")
+	}
+	meta.ID = ContentID(meta.Kind, meta.Machine, meta.Commit, meta.Experiment, body)
+	meta.Bytes = int64(len(body))
+
+	s.mu.RLock()
+	loc, ok := s.byID[meta.ID]
+	s.mu.RUnlock()
+	if ok {
+		s.dups.Add(1)
+		return loc.meta, true, nil
+	}
+
+	sh := s.shardOf(meta.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Re-check under the shard lock: a concurrent Put of the same content
+	// maps to the same shard, so the second caller sees the first's row.
+	s.mu.RLock()
+	loc, ok = s.byID[meta.ID]
+	s.mu.RUnlock()
+	if ok {
+		s.dups.Add(1)
+		return loc.meta, true, nil
+	}
+
+	if err := s.ensureActive(sh); err != nil {
+		s.putErrors.Add(1)
+		return Meta{}, false, err
+	}
+	sh.buf = sh.buf[:0]
+	buf, err := encodeRecord(sh.buf, meta, body)
+	if err != nil {
+		s.putErrors.Add(1)
+		return Meta{}, false, err
+	}
+	sh.buf = buf
+
+	off := sh.size
+	n, werr := sh.f.Write(buf)
+	if werr == nil && n < len(buf) {
+		werr = io.ErrShortWrite
+	}
+	if werr == nil {
+		// The ack barrier: data is only durable once fsync returns.
+		werr = sh.f.Sync()
+	}
+	if werr != nil {
+		// The append failed part-way: the file may hold a torn record.
+		// Cut back to the pre-append offset so in-process readers and a
+		// clean shutdown leave no garbage; if even that fails, abandon
+		// the segment — the reopen scan truncates the torn tail then.
+		s.putErrors.Add(1)
+		if terr := sh.f.Truncate(off); terr != nil {
+			sh.broken = true
+			sh.f.Close()
+			sh.f = nil
+		}
+		return Meta{}, false, fmt.Errorf("perfstore: append to %s: %w", segName(sh.seg), werr)
+	}
+	sh.size = off + int64(len(buf))
+
+	loc = &recLoc{meta: meta, shard: sh.id, seg: sh.seg, bodyOff: off + recHeaderLen + metaJSONLen(buf)}
+	s.mu.Lock()
+	s.byID[meta.ID] = loc
+	s.recs = append(s.recs, loc)
+	s.mu.Unlock()
+	s.puts.Add(1)
+	s.bodyBytes.Add(meta.Bytes)
+
+	if sh.size >= s.segMax {
+		sh.f.Close()
+		sh.f = nil
+		sh.seg++
+		sh.size = 0
+	}
+	return meta, false, nil
+}
+
+// metaJSONLen reads the meta length back out of an encoded record.
+func metaJSONLen(rec []byte) int64 {
+	return int64(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+}
+
+// ensureActive opens (or creates) the shard's active segment for append.
+func (s *Store) ensureActive(sh *shard) error {
+	if sh.broken {
+		// The previous segment could not even be truncated after a failed
+		// append; leave its torn tail for the reopen scan and move on.
+		sh.broken = false
+		sh.seg++
+		sh.size = 0
+	}
+	if sh.f != nil {
+		return nil
+	}
+	path := filepath.Join(sh.dir, segName(sh.seg))
+	if sh.size > 0 && sh.size < int64(len(segMagic)) {
+		// A crash landed between file creation and the magic write; the
+		// reopen scan truncated it below a full header. Start it over.
+		sh.size = 0
+	}
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if sh.size == 0 {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		// Make the directory entry itself durable before the first record
+		// is acknowledged out of this file.
+		if err := s.fsys.SyncDir(sh.dir); err != nil {
+			f.Close()
+			return err
+		}
+		sh.size = int64(len(segMagic))
+	}
+	sh.f = f
+	return nil
+}
+
+// Get returns the meta and body for id. The body is re-hashed before it
+// is returned, so silent on-disk damage surfaces as ErrCorrupt instead of
+// wrong bytes.
+func (s *Store) Get(id string) (Meta, []byte, error) {
+	s.mu.RLock()
+	loc, ok := s.byID[id]
+	s.mu.RUnlock()
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	path := filepath.Join(s.dir, shardName(loc.shard), segName(loc.seg))
+	f, err := s.fsys.Open(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	body := make([]byte, loc.meta.Bytes)
+	_, rerr := f.ReadAt(body, loc.bodyOff)
+	f.Close()
+	if rerr != nil {
+		return Meta{}, nil, fmt.Errorf("perfstore: reading %s: %w", path, rerr)
+	}
+	m := loc.meta
+	if got := ContentID(m.Kind, m.Machine, m.Commit, m.Experiment, body); got != m.ID {
+		return Meta{}, nil, corruptf("record %s: stored body hashes to %s", m.ID, got)
+	}
+	return m, body, nil
+}
+
+// Query selects records matching q, newest first (upload time descending,
+// ID as the deterministic tiebreak).
+type Query struct {
+	Kind       string
+	Machine    string
+	Commit     string
+	Experiment string
+	// Limit caps the result count; 0 means no cap.
+	Limit int
+}
+
+func (q Query) matches(m Meta) bool {
+	return (q.Kind == "" || q.Kind == m.Kind) &&
+		(q.Machine == "" || q.Machine == m.Machine) &&
+		(q.Commit == "" || q.Commit == m.Commit) &&
+		(q.Experiment == "" || q.Experiment == m.Experiment)
+}
+
+// Query returns the metas matching q.
+func (s *Store) Query(q Query) []Meta {
+	s.mu.RLock()
+	out := make([]Meta, 0, 16)
+	for _, loc := range s.recs {
+		if q.matches(loc.meta) {
+			out = append(out, loc.meta)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].ID < out[j].ID
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	Records    int64 `json:"records"`
+	Shards     int   `json:"shards"`
+	BodyBytes  int64 `json:"body_bytes"`
+	Puts       int64 `json:"puts"`
+	DupPuts    int64 `json:"dup_puts"`
+	PutErrors  int64 `json:"put_errors"`
+	Repairs    int64 `json:"repairs"`
+	Duplicates int64 `json:"duplicate_rows"`
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	records := int64(len(s.recs))
+	s.mu.RUnlock()
+	return Stats{
+		Records:    records,
+		Shards:     len(s.shards),
+		BodyBytes:  s.bodyBytes.Load(),
+		Puts:       s.puts.Load(),
+		DupPuts:    s.dups.Load(),
+		PutErrors:  s.putErrors.Load(),
+		Repairs:    int64(len(s.repairs)),
+		Duplicates: s.duplicates,
+	}
+}
+
+// RepairNotes returns the torn tails truncated when the store was opened.
+func (s *Store) RepairNotes() []RepairNote {
+	return append([]RepairNote(nil), s.repairs...)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and closes every shard's active segment. Records were
+// already durable at acknowledgement time; Close only releases handles.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}

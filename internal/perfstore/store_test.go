@@ -1,0 +1,360 @@
+package perfstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testMeta(i int) Meta {
+	return Meta{
+		Kind:       "benchjson",
+		Machine:    "mach-a",
+		Commit:     fmt.Sprintf("commit-%03d", i),
+		Experiment: "table2",
+		Time:       int64(1000 + i),
+	}
+}
+
+func testBody(i int) []byte {
+	return []byte(fmt.Sprintf(`{"table2":{"wall_ms":%d.5,"cells":%d}}`, 100+i, i))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var ids []string
+	for i := 0; i < 20; i++ {
+		m, dup, err := s.Put(testMeta(i), testBody(i))
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if dup {
+			t.Fatalf("Put %d: unexpected duplicate", i)
+		}
+		if m.ID == "" || m.Bytes != int64(len(testBody(i))) {
+			t.Fatalf("Put %d: bad stamped meta %+v", i, m)
+		}
+		ids = append(ids, m.ID)
+	}
+	for i, id := range ids {
+		m, body, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("Get %d: body %q, want %q", i, body, testBody(i))
+		}
+		if m.Commit != testMeta(i).Commit {
+			t.Fatalf("Get %d: meta %+v", i, m)
+		}
+	}
+	if _, _, err := s.Get("no-such-id"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m1, dup, err := s.Put(testMeta(1), testBody(1))
+	if err != nil || dup {
+		t.Fatalf("first Put: %v dup=%v", err, dup)
+	}
+	// Same content, different timestamp: must collapse onto the first row.
+	later := testMeta(1)
+	later.Time = 999999
+	m2, dup, err := s.Put(later, testBody(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup || m2.ID != m1.ID || m2.Time != m1.Time {
+		t.Fatalf("retry: dup=%v meta=%+v, want original %+v", dup, m2, m1)
+	}
+	if st := s.Stats(); st.Records != 1 || st.DupPuts != 1 {
+		t.Fatalf("stats after dup: %+v", st)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 30; i++ {
+		m, _, err := s.Put(testMeta(i), testBody(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.ID)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen ignores Options.Shards in favour of the manifest.
+	s2, err := Open(dir, Options{Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Records != 30 || st.Shards != 4 || st.Repairs != 0 {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+	for i, id := range ids {
+		_, body, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("Get %d after reopen: %v", i, err)
+		}
+		if !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("Get %d after reopen: wrong body", i)
+		}
+	}
+	// And appends still work after a reopen.
+	if _, dup, err := s2.Put(testMeta(99), testBody(99)); err != nil || dup {
+		t.Fatalf("Put after reopen: %v dup=%v", err, dup)
+	}
+}
+
+// TestTornTailTruncatedOnReopen simulates a crash mid-append: garbage
+// bytes after the last acknowledged record must be truncated away, and
+// every acknowledged record must still be readable.
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		m, _, err := s.Put(testMeta(i), testBody(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.ID)
+	}
+	s.Close()
+
+	seg := filepath.Join(dir, shardName(0), segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: half a header and some payload bytes.
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	notes := s2.RepairNotes()
+	if len(notes) != 1 || notes[0].LostBytes != 7 {
+		t.Fatalf("repair notes: %+v", notes)
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() != before.Size()-7 {
+		t.Fatalf("segment size %d, want %d", after.Size(), before.Size()-7)
+	}
+	for i, id := range ids {
+		if _, body, err := s2.Get(id); err != nil || !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("acknowledged record %d lost after torn-tail repair: %v", i, err)
+		}
+	}
+	// New appends after repair land cleanly.
+	if _, _, err := s2.Put(testMeta(50), testBody(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptRecordDropsSuffix flips a byte inside an early record: the
+// clean-prefix contract keeps everything before it and drops the rest of
+// that segment.
+func TestCorruptRecordDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := s.Put(testMeta(0), testBody(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if _, _, err := s.Put(testMeta(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	seg := filepath.Join(dir, shardName(0), segName(1))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the second record's payload (the first record occupies
+	// [len(magic), len(magic)+rec0); rec0 spans header+meta+body).
+	scanOff := int64(0)
+	_, scanErr := scanSegment(bytes.NewReader(raw), func(rec scannedRecord) error {
+		if rec.Off > int64(len(segMagic)) {
+			scanOff = rec.BodyOff
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if scanErr == nil || scanOff == 0 {
+		t.Fatalf("could not locate second record (off=%d err=%v)", scanOff, scanErr)
+	}
+	raw[scanOff] ^= 0xFF
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Records != 1 {
+		t.Fatalf("records after mid-file damage: %+v, want 1 survivor", st)
+	}
+	if _, _, err := s2.Get(first.ID); err != nil {
+		t.Fatalf("clean-prefix record lost: %v", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 1, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Put(testMeta(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	entries, err := os.ReadDir(filepath.Join(dir, shardName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("rotation produced %d segments, want several", len(entries))
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Records != 10 {
+		t.Fatalf("records across rotated segments: %+v", st)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		m := testMeta(i)
+		if i%2 == 0 {
+			m.Machine = "mach-b"
+		}
+		if i%3 == 0 {
+			m.Kind = "telemetry"
+		}
+		if _, _, err := s.Put(m, testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Query(Query{})); got != 6 {
+		t.Fatalf("unfiltered query: %d", got)
+	}
+	if got := len(s.Query(Query{Machine: "mach-b"})); got != 3 {
+		t.Fatalf("machine filter: %d", got)
+	}
+	if got := len(s.Query(Query{Kind: "benchjson", Machine: "mach-a"})); got != 2 {
+		t.Fatalf("kind+machine filter: %d", got)
+	}
+	res := s.Query(Query{Limit: 2})
+	if len(res) != 2 || res[0].Time < res[1].Time {
+		t.Fatalf("limit/newest-first: %+v", res)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Shards: 8, SegmentMaxBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				// Half the keys collide across writers to exercise the
+				// duplicate path under contention.
+				key := w*each + i
+				if i%2 == 0 {
+					key = i
+				}
+				if _, _, err := s.Put(testMeta(key), testBody(key)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records == 0 || st.PutErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Every recorded row must read back hash-clean.
+	for _, m := range s.Query(Query{}) {
+		if _, _, err := s.Get(m.ID); err != nil {
+			t.Fatalf("Get %s: %v", m.ID, err)
+		}
+	}
+}
+
+func TestPutRequiresKind(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Put(Meta{}, []byte("{}")); err == nil {
+		t.Fatal("Put without kind succeeded")
+	}
+}

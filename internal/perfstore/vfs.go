@@ -1,0 +1,90 @@
+package perfstore
+
+// The store never touches the os package directly: every filesystem
+// operation goes through a VFS so the fault-injection harness
+// (internal/faultinject) can interpose short writes, ENOSPC, fsync
+// failures, and rename failures on the exact syscalls the durability
+// protocol depends on. Production code always uses OS(), which is a thin
+// pass-through to the os package.
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the store writes and reads through.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file to stable storage; an upload is acknowledged
+	// only after its record's Sync returns nil.
+	Sync() error
+	// Truncate discards bytes past size; the store uses it to cut a torn
+	// tail back to the last durable record.
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+	Stat() (fs.FileInfo, error)
+}
+
+// VFS is the filesystem surface the store depends on. The zero store uses
+// OS(); tests swap in a fault-injecting implementation.
+type VFS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	// OpenFile opens for writing/appending with the given flags.
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	// Open opens for reading.
+	Open(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Stat(path string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory so freshly created or renamed entries
+	// survive a crash.
+	SyncDir(path string) error
+}
+
+// osFS is the production VFS: direct pass-through to the os package.
+type osFS struct{}
+
+// OS returns the production VFS backed by the os package.
+func OS() VFS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	return os.ReadDir(path)
+}
+func (osFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
