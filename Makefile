@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-diff experiments perf-smoke fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-fmt bench-diff bench-gate experiments perf-smoke fmt cover clean
 
 all: build vet test
 
@@ -43,6 +43,7 @@ fuzz:
 	for t in FuzzParseUploadMeta FuzzUploadHandler; do \
 		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/perfstore/perfserver || exit 1; \
 	done
+	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/benchfmt
 
 test-short:
 	$(GO) test -short ./...
@@ -62,13 +63,34 @@ BENCH_JSON ?= BENCH_baseline.json
 bench-json:
 	$(GO) run ./cmd/tcsim -exp all -benchjson $(BENCH_JSON) > /dev/null
 
-# Compare a new bench snapshot against the committed baseline; fails if
-# any experiment regressed more than 10%. Either side accepts a
-# comma-separated list of snapshots (per-experiment min-of-N).
+# Write an N-repetition snapshot in the standard Go benchmark format —
+# the statistically useful sibling of bench-json. The first (warm-up)
+# repetition is discarded so the one-time capture build does not pollute
+# the samples; the result interops with stock benchstat.
+BENCH_FMT ?= BENCH_baseline.txt
+bench-fmt:
+	$(GO) run ./cmd/tcsim -exp all -count 5 -warmup 1 -benchfmt $(BENCH_FMT) > /dev/null
+
+# Compare bench snapshots with real statistics: per experiment, medians
+# with order-statistic confidence intervals, a Mann-Whitney p-value, and
+# an exit code that fires only on statistically significant regressions
+# past the tolerance floor. Either side accepts a comma-separated list of
+# snapshots; files may be benchfmt (tcsim -benchfmt -count N) or legacy
+# benchjson — every (file, repetition) contributes one sample.
 BENCH_OLD ?= BENCH_pr5.json
 BENCH_NEW ?= BENCH_pr6.json
 bench-diff:
 	$(GO) run ./cmd/tcbenchdiff $(BENCH_OLD) $(BENCH_NEW)
+
+# The CI significance gate, runnable locally: two 5-rep short-budget
+# snapshots of the same build must not differ significantly. -tolerance
+# is loose here because short budgets amplify relative jitter.
+bench-gate:
+	$(GO) build -o /tmp/tcsim ./cmd/tcsim
+	$(GO) build -o /tmp/tcbenchdiff ./cmd/tcbenchdiff
+	/tmp/tcsim -exp table2 -n 300000 -count 5 -warmup 1 -benchfmt /tmp/bench-old.txt -quiet > /dev/null
+	/tmp/tcsim -exp table2 -n 300000 -count 5 -warmup 1 -benchfmt /tmp/bench-new.txt -quiet > /dev/null
+	/tmp/tcbenchdiff -tolerance 0.05 /tmp/bench-old.txt /tmp/bench-new.txt
 
 # Regenerate every paper table and figure at full budgets.
 experiments:

@@ -1,0 +1,348 @@
+package main
+
+// The diff engine: load N-repetition snapshots per side, group them into
+// per-experiment samples, and compare old vs. new with real statistics —
+// median + order-statistic confidence interval per side, Mann-Whitney U
+// p-value per row, and a gate that fires only on statistically
+// significant regressions past a practical-significance floor.
+//
+// The retired gate compared two single runs against a 10% threshold,
+// which conflates two questions the statistics here separate:
+//
+//   - is the difference real? (significance: the p-value against -alpha)
+//   - is it big enough to care? (practical floor: delta against -tolerance)
+//
+// A single pair of runs can easily differ by 14% of pure scheduler
+// noise (the seeded-noise test proves it); five quiet runs per side can
+// confidently call a 2% shift.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/benchfmt"
+	"repro/internal/benchmath"
+	"repro/internal/benchproc"
+)
+
+// options carry every flag runDiff needs, so tests drive it directly.
+type options struct {
+	alpha      float64 // significance level for the Mann-Whitney test
+	tolerance  float64 // practical floor: smaller significant regressions do not gate
+	confidence float64 // level for the per-side confidence intervals
+	maxNoise   float64 // CI half-width fraction above which a row is too noisy to call
+	filter     string  // benchproc filter expression
+	groupBy    string  // benchproc projection for row keys
+	uploadURL  string
+	commit     string
+	experiment string
+}
+
+func defaultOptions() options {
+	return options{
+		alpha:      0.05,
+		tolerance:  0.01,
+		confidence: 0.95,
+		maxNoise:   0.25,
+		groupBy:    "exp",
+	}
+}
+
+// verdict classifies one row's comparison.
+type verdict string
+
+const (
+	verdictRegression  verdict = "regression"  // significant and past the tolerance floor: gates
+	verdictImprovement verdict = "improvement" // significant and faster
+	verdictSmall       verdict = "small"       // significant but under the tolerance floor
+	verdictNone        verdict = "none"        // no significant difference
+	verdictNoisy       verdict = "noisy"       // CI too wide to support any call
+	verdictFewRuns     verdict = "few-runs"    // n < 2 on a side: no interval, no test power
+	verdictGone        verdict = "gone"        // experiment only in OLD
+	verdictNew         verdict = "new"         // experiment only in NEW
+)
+
+// row is one rendered comparison.
+type row struct {
+	Key     string             `json:"key"`
+	Old     *benchmath.Summary `json:"old,omitempty"` // ms
+	New     *benchmath.Summary `json:"new,omitempty"` // ms
+	P       float64            `json:"p"`             // NaN when no test ran
+	Delta   float64            `json:"delta"`         // fractional change of medians
+	Verdict verdict            `json:"verdict"`
+}
+
+// runDiff is the whole program behind flag parsing; it returns the
+// process exit code. Each side argument is a comma-separated list of
+// snapshot files, every file either Go benchmark format (`tcsim
+// -benchfmt`, possibly with `-count` reps) or legacy bench JSON
+// (`tcsim -benchjson`). Every (file, rep) contributes one sample.
+func runDiff(opts options, oldArg, newArg string, stdout, stderr io.Writer) int {
+	filter, err := benchproc.NewFilter(opts.filter)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcbenchdiff:", err)
+		return 2
+	}
+	proj, err := benchproc.NewProjection(opts.groupBy)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcbenchdiff:", err)
+		return 2
+	}
+	oldS, err := loadSide(oldArg, filter, proj, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcbenchdiff:", err)
+		return 1
+	}
+	newS, err := loadSide(newArg, filter, proj, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tcbenchdiff:", err)
+		return 1
+	}
+
+	rows := compare(opts, oldS, newS)
+	render(rows, stdout)
+
+	// Upload before the verdict: a regressed measurement is still a
+	// measurement, and the trend endpoint is how cross-commit regressions
+	// get spotted in the first place.
+	if opts.uploadURL != "" {
+		if err := uploadAll(opts, newArg, rows); err != nil {
+			fmt.Fprintln(stderr, "tcbenchdiff: upload:", err)
+			return 1
+		}
+	}
+
+	var regressions []string
+	for _, r := range rows {
+		if r.Verdict == verdictRegression {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s -> %s (%+.1f%%, p=%.3f)", r.Key,
+					formatMS(r.Old.Center), formatMS(r.New.Center), 100*r.Delta, r.P))
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "tcbenchdiff: %d statistically significant regression(s) (p < %g, slowdown >= %.0f%%):\n",
+			len(regressions), opts.alpha, opts.tolerance*100)
+		for _, r := range regressions {
+			fmt.Fprintln(stderr, "  "+r)
+		}
+		return 1
+	}
+	return 0
+}
+
+// loadSide reads one side's snapshot list into per-key samples of wall
+// milliseconds.
+func loadSide(arg string, filter *benchproc.Filter, proj *benchproc.Projection, stderr io.Writer) (map[string][]float64, error) {
+	samples := map[string][]float64{}
+	for _, path := range strings.Split(arg, ",") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		results, err := parseSnapshot(path, data, stderr)
+		if err != nil {
+			return nil, err
+		}
+		for i := range results {
+			r := &results[i]
+			if !filter.Match(r) {
+				continue
+			}
+			ns, ok := r.Value("ns/op")
+			if !ok {
+				continue
+			}
+			key := proj.Project(r)
+			samples[key] = append(samples[key], ns/1e6)
+		}
+	}
+	return samples, nil
+}
+
+// legacyEntry mirrors one experiment's record in `tcsim -benchjson`
+// output, the pre-benchfmt snapshot format this tool keeps accepting.
+type legacyEntry struct {
+	WallMS       float64 `json:"wall_ms"`
+	Cells        int64   `json:"cells"`
+	Instructions int64   `json:"instructions"`
+}
+
+// parseSnapshot turns one snapshot file into benchfmt results. Legacy
+// JSON entries are synthesized into the same shape benchfmt yields
+// ("BenchmarkSuite/exp=<id>"), so filters and projections treat both
+// formats identically.
+func parseSnapshot(path string, data []byte, stderr io.Writer) ([]benchfmt.Result, error) {
+	if isLegacyJSON(data) {
+		var m map[string]legacyEntry
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		results := make([]benchfmt.Result, 0, len(m))
+		for _, name := range names {
+			e := m[name]
+			results = append(results, benchfmt.Result{
+				FullName: "BenchmarkSuite/exp=" + name,
+				Iters:    1,
+				Values: []benchfmt.Value{
+					{Value: e.WallMS * 1e6, Unit: "ns/op"},
+					{Value: float64(e.Cells), Unit: "cells/op"},
+					{Value: float64(e.Instructions), Unit: "instrs/op"},
+				},
+			})
+		}
+		return results, nil
+	}
+	results, problems, err := benchfmt.ReadAll(bytes.NewReader(data), path)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range problems {
+		fmt.Fprintln(stderr, "tcbenchdiff: warning:", p)
+	}
+	return results, nil
+}
+
+// isLegacyJSON sniffs a snapshot: benchjson documents are a JSON object.
+func isLegacyJSON(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// compare builds the comparison rows for the union of keys, sorted.
+func compare(opts options, oldS, newS map[string][]float64) []row {
+	keys := map[string]bool{}
+	for k := range oldS {
+		keys[k] = true
+	}
+	for k := range newS {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	rows := make([]row, 0, len(sorted))
+	for _, key := range sorted {
+		rows = append(rows, compareKey(opts, key, oldS[key], newS[key]))
+	}
+	return rows
+}
+
+// compareKey classifies one experiment. The decision order matters:
+// missing sides first, then sample-size sufficiency, then the
+// variance-aware noise skip, then the significance test. The noise skip
+// comes before significance because a test over garbage samples can
+// still produce a small p — "too noisy to call" must win.
+func compareKey(opts options, key string, oldV, newV []float64) row {
+	r := row{Key: key, P: math.NaN()}
+	if len(newV) == 0 {
+		sum := benchmath.NewSample(oldV).Summary(opts.confidence)
+		r.Old, r.Verdict = &sum, verdictGone
+		return r
+	}
+	if len(oldV) == 0 {
+		sum := benchmath.NewSample(newV).Summary(opts.confidence)
+		r.New, r.Verdict = &sum, verdictNew
+		return r
+	}
+	oldSum := benchmath.NewSample(oldV).Summary(opts.confidence)
+	newSum := benchmath.NewSample(newV).Summary(opts.confidence)
+	r.Old, r.New = &oldSum, &newSum
+	if oldSum.Center != 0 {
+		r.Delta = newSum.Center/oldSum.Center - 1
+	}
+	if test, err := benchmath.MannWhitneyUTest(oldV, newV); err == nil {
+		r.P = test.P
+	}
+	switch {
+	case oldSum.N < 2 || newSum.N < 2:
+		// One run is a point, not a distribution: no interval, and the
+		// rank test cannot reach significance. Report, never gate.
+		r.Verdict = verdictFewRuns
+	case oldSum.Noise() > opts.maxNoise || newSum.Noise() > opts.maxNoise:
+		r.Verdict = verdictNoisy
+	case r.P < opts.alpha && r.Delta >= opts.tolerance:
+		r.Verdict = verdictRegression
+	case r.P < opts.alpha && r.Delta < 0:
+		r.Verdict = verdictImprovement
+	case r.P < opts.alpha:
+		r.Verdict = verdictSmall
+	default:
+		r.Verdict = verdictNone
+	}
+	return r
+}
+
+// render prints the comparison table.
+func render(rows []row, w io.Writer) {
+	fmt.Fprintf(w, "%-18s %22s %22s %8s %7s\n", "experiment", "old", "new", "delta", "p")
+	var oldTotal, newTotal float64
+	bothSides := 0
+	for _, r := range rows {
+		note := ""
+		switch r.Verdict {
+		case verdictGone:
+			fmt.Fprintf(w, "%-18s %22s %22s %8s %7s  (gone)\n", r.Key, formatSide(r.Old), "-", "-", "-")
+			continue
+		case verdictNew:
+			fmt.Fprintf(w, "%-18s %22s %22s %8s %7s  (new)\n", r.Key, "-", formatSide(r.New), "-", "-")
+			continue
+		case verdictRegression:
+			note = "  REGRESSION"
+		case verdictImprovement:
+			note = "  improvement"
+		case verdictSmall:
+			note = "  (significant but within tolerance)"
+		case verdictNoisy:
+			note = fmt.Sprintf("  (too noisy to call: old %s, new %s)", r.Old.FormatCI(), r.New.FormatCI())
+		case verdictFewRuns:
+			note = "  (need >= 2 runs per side to call)"
+		case verdictNone:
+			note = "  ~"
+		}
+		oldTotal += r.Old.Center
+		newTotal += r.New.Center
+		bothSides++
+		fmt.Fprintf(w, "%-18s %22s %22s %8s %7s%s\n",
+			r.Key, formatSide(r.Old), formatSide(r.New), formatDelta(r.Delta), formatP(r.P), note)
+	}
+	if bothSides > 0 && newTotal > 0 {
+		fmt.Fprintf(w, "%-18s %22s %22s %7.2fx\n", "TOTAL(medians)",
+			formatMS(oldTotal), formatMS(newTotal), oldTotal/newTotal)
+	}
+}
+
+// formatSide renders one side's summary: "22.0ms ±3.1% (n=5)".
+func formatSide(s *benchmath.Summary) string {
+	return fmt.Sprintf("%s %s (n=%d)", formatMS(s.Center), s.FormatCI(), s.N)
+}
+
+// formatMS renders a millisecond quantity at a tidy scale.
+func formatMS(ms float64) string {
+	return benchmath.FormatValue(ms*1e6, "ns")
+}
+
+func formatDelta(d float64) string {
+	return fmt.Sprintf("%+.1f%%", 100*d)
+}
+
+func formatP(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", p)
+}

@@ -1,83 +1,54 @@
-// tcbenchdiff compares two per-experiment benchmark JSON files written by
-// `tcsim -benchjson` (or `make bench-json`) and prints a per-experiment
-// speedup table: old wall time, new wall time, and the ratio between them.
+// tcbenchdiff compares two sets of benchmark snapshots with real
+// statistics: per experiment it reports old and new medians with
+// order-statistic confidence intervals, the delta between them, and a
+// Mann-Whitney U p-value — and exits non-zero only when a regression is
+// statistically significant (p < -alpha) AND past the practical floor
+// (-tolerance). One noisy run can no longer fail a build, and a
+// consistent 2% slowdown no longer hides under a 10% threshold.
 //
-// It exits non-zero when any experiment regresses by more than the
-// tolerance (default 10%), so CI and pre-merge checks can gate on "no
-// experiment got meaningfully slower". Experiments faster than -min-ms in
-// the old file are reported but never fail the check: at sub-millisecond
-// scale the numbers are scheduler jitter, not simulation work.
+// Each side is a comma-separated list of snapshot files. A file is
+// either the standard Go benchmark format (`tcsim -benchfmt`, ideally
+// with `-count N -warmup 1` so it carries N repetitions) or legacy
+// `tcsim -benchjson` output. Every (file, repetition) contributes one
+// sample, so all of these work:
 //
-// Each side accepts a comma-separated list of files from repeated runs;
-// per experiment the minimum wall time across the list is used. Min-of-N
-// is the standard defence against one-off scheduler noise: the fastest
-// observed run is the closest estimate of the code's actual cost.
+//	tcbenchdiff old.txt new.txt                    # N-rep benchfmt sets
+//	tcbenchdiff OLD1.json,OLD2.json NEW1.json,NEW2.json
+//	tcbenchdiff -filter "exp:table4" -group-by exp old.txt new.txt
 //
-// Usage:
+// Verdicts per experiment:
 //
-//	tcbenchdiff [-tolerance 0.10] [-min-ms 5] OLD.json NEW.json
-//	tcbenchdiff OLD1.json,OLD2.json,OLD3.json NEW1.json,NEW2.json,NEW3.json
+//	REGRESSION      significant slowdown >= tolerance: gates (exit 1)
+//	improvement     significant speedup
+//	~               no significant difference
+//	too noisy       a side's CI is too wide to support any call (-max-noise)
+//	need >= 2 runs  a side has a single sample: a point, not a distribution
+//
+// The "too noisy" skip replaces the old point-estimate -min-ms floor:
+// instead of exempting experiments that were fast once, it exempts
+// experiments whose measured variance genuinely cannot support a claim.
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
-	"time"
-
-	"repro/internal/perfstore/client"
 )
 
-// entry mirrors one experiment's record in the bench JSON.
-type entry struct {
-	WallMS       float64 `json:"wall_ms"`
-	Cells        int64   `json:"cells"`
-	Instructions int64   `json:"instructions"`
-}
-
-func load(path string) (map[string]entry, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var m map[string]entry
-	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return m, nil
-}
-
-// loadMin loads a comma-separated list of bench JSON files and keeps, per
-// experiment, the entry with the minimum wall time across the list. An
-// experiment missing from some files is kept from the files that have it.
-func loadMin(arg string) (map[string]entry, error) {
-	min := map[string]entry{}
-	for _, path := range strings.Split(arg, ",") {
-		m, err := load(path)
-		if err != nil {
-			return nil, err
-		}
-		for name, e := range m {
-			if best, ok := min[name]; !ok || e.WallMS < best.WallMS {
-				min[name] = e
-			}
-		}
-	}
-	return min, nil
-}
-
 func main() {
-	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed slowdown per experiment (0.10 = 10%)")
-	minMS := flag.Float64("min-ms", 5, "experiments faster than this in OLD are informational only")
-	uploadURL := flag.String("upload", "", "tcperf server base URL; uploads each NEW snapshot after the diff")
-	commit := flag.String("commit", "", "commit id to tag uploads with (required by -upload)")
-	experiment := flag.String("experiment", "all", "experiment tag for uploads")
+	opts := defaultOptions()
+	flag.Float64Var(&opts.alpha, "alpha", opts.alpha, "significance level: regressions with p >= alpha do not gate")
+	flag.Float64Var(&opts.tolerance, "tolerance", opts.tolerance, "practical floor: significant slowdowns below this fraction do not gate (0.01 = 1%)")
+	flag.Float64Var(&opts.confidence, "confidence", opts.confidence, "confidence level for the per-side median intervals")
+	flag.Float64Var(&opts.maxNoise, "max-noise", opts.maxNoise, "CI half-width fraction above which an experiment is too noisy to call")
+	flag.StringVar(&opts.filter, "filter", "", `result filter, e.g. "exp:table4" or "workload:cxx !model:event"`)
+	flag.StringVar(&opts.groupBy, "group-by", opts.groupBy, `projection for row keys, e.g. "exp" or ".name,workload"`)
+	flag.StringVar(&opts.uploadURL, "upload", "", "tcperf server base URL; uploads the NEW snapshots and the diff rows after the comparison")
+	flag.StringVar(&opts.commit, "commit", "", "commit id to tag uploads with (required by -upload)")
+	flag.StringVar(&opts.experiment, "experiment", "all", "experiment tag for uploads")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD.json[,OLD2.json,...] NEW.json[,NEW2.json,...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcbenchdiff [flags] OLD[,OLD2,...] NEW[,NEW2,...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Files are Go benchmark format (tcsim -benchfmt -count N) or legacy bench JSON.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,117 +56,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *uploadURL != "" && *commit == "" {
+	if opts.uploadURL != "" && opts.commit == "" {
 		fmt.Fprintln(os.Stderr, "tcbenchdiff: -upload needs -commit to tag the results")
 		os.Exit(2)
 	}
-	oldM, err := loadMin(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
-		os.Exit(1)
+	if opts.alpha <= 0 || opts.alpha >= 1 {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff: -alpha must be in (0, 1)")
+		os.Exit(2)
 	}
-	newM, err := loadMin(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcbenchdiff:", err)
-		os.Exit(1)
+	if opts.confidence <= 0 || opts.confidence >= 1 {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff: -confidence must be in (0, 1)")
+		os.Exit(2)
 	}
-
-	names := make([]string, 0, len(oldM))
-	for name := range oldM {
-		names = append(names, name)
+	if opts.tolerance < 0 || opts.maxNoise <= 0 {
+		fmt.Fprintln(os.Stderr, "tcbenchdiff: -tolerance must be >= 0 and -max-noise > 0")
+		os.Exit(2)
 	}
-	sort.Strings(names)
-
-	var oldTotal, newTotal float64
-	var regressions []string
-	fmt.Printf("%-18s %10s %10s %8s\n", "experiment", "old ms", "new ms", "speedup")
-	for _, name := range names {
-		o := oldM[name]
-		n, ok := newM[name]
-		if !ok {
-			fmt.Printf("%-18s %10.1f %10s %8s\n", name, o.WallMS, "-", "gone")
-			continue
-		}
-		oldTotal += o.WallMS
-		newTotal += n.WallMS
-		ratio := "-"
-		if n.WallMS > 0 {
-			ratio = fmt.Sprintf("%.2fx", o.WallMS/n.WallMS)
-		}
-		note := ""
-		switch {
-		case o.WallMS < *minMS:
-			note = "  (below min-ms, informational)"
-		case n.WallMS > o.WallMS*(1+*tolerance):
-			note = "  REGRESSION"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.1fms -> %.1fms (+%.0f%%)", name, o.WallMS, n.WallMS, (n.WallMS/o.WallMS-1)*100))
-		}
-		fmt.Printf("%-18s %10.1f %10.1f %8s%s\n", name, o.WallMS, n.WallMS, ratio, note)
-	}
-	for _, name := range sortedNewOnly(oldM, newM) {
-		fmt.Printf("%-18s %10s %10.1f %8s\n", name, "-", newM[name].WallMS, "new")
-	}
-	if newTotal > 0 {
-		fmt.Printf("%-18s %10.1f %10.1f %7.2fx\n", "TOTAL", oldTotal, newTotal, oldTotal/newTotal)
-	}
-	// Upload before the regression verdict: a regressed measurement is
-	// still a measurement, and the trend endpoint is how regressions get
-	// spotted across commits in the first place.
-	if *uploadURL != "" {
-		if err := uploadNew(*uploadURL, *commit, *experiment, flag.Arg(1)); err != nil {
-			fmt.Fprintln(os.Stderr, "tcbenchdiff: upload:", err)
-			os.Exit(1)
-		}
-	}
-	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "tcbenchdiff: %d experiment(s) regressed more than %.0f%%:\n", len(regressions), *tolerance*100)
-		for _, r := range regressions {
-			fmt.Fprintln(os.Stderr, "  "+r)
-		}
-		os.Exit(1)
-	}
-}
-
-// uploadNew ships each NEW-side snapshot file to a tcperf server as a
-// kind=benchjson record, byte-for-byte as tcsim wrote it, so the server's
-// trend endpoint sees exactly the numbers the diff did.
-func uploadNew(baseURL, commit, experiment, arg string) error {
-	c, err := client.New(client.Config{BaseURL: baseURL})
-	if err != nil {
-		return err
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	defer cancel()
-	machine := client.Fingerprint()
-	for _, path := range strings.Split(arg, ",") {
-		body, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		res, err := c.Do(ctx, client.Upload{
-			Kind: "benchjson", Machine: machine, Commit: commit, Experiment: experiment, Body: body,
-		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if res.Duplicate {
-			fmt.Fprintf(os.Stderr, "tcbenchdiff: %s already uploaded (%s)\n", path, res.ID)
-		} else {
-			fmt.Fprintf(os.Stderr, "tcbenchdiff: uploaded %s as %s\n", path, res.ID)
-		}
-	}
-	return nil
-}
-
-// sortedNewOnly returns the experiments present only in newM, sorted.
-func sortedNewOnly(oldM, newM map[string]entry) []string {
-	var names []string
-	for name := range newM {
-		if _, ok := oldM[name]; !ok {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	return names
+	os.Exit(runDiff(opts, flag.Arg(0), flag.Arg(1), os.Stdout, os.Stderr))
 }

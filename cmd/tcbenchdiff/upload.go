@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchmath"
+	"repro/internal/perfstore/client"
+)
+
+// uploadAll ships the NEW-side snapshots byte-for-byte (so the server's
+// record is exactly what the diff read) plus one "benchdiff" document
+// carrying the statistical rows — medians, CI bounds, p-values,
+// verdicts — which is what server-side regression detection on the
+// trend endpoint will consume.
+func uploadAll(opts options, newArg string, rows []row) error {
+	c, err := client.New(client.Config{BaseURL: opts.uploadURL})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	machine := client.Fingerprint()
+	for _, path := range strings.Split(newArg, ",") {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		kind, schema := "benchfmt", "go-benchfmt/v1"
+		if isLegacyJSON(body) {
+			kind, schema = "benchjson", ""
+		}
+		res, err := c.Do(ctx, client.Upload{
+			Kind: kind, Machine: machine, Commit: opts.commit, Experiment: opts.experiment,
+			Schema: schema, Body: body,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		reportUpload(path, res)
+	}
+
+	doc, err := json.Marshal(diffDoc(opts, rows))
+	if err != nil {
+		return err
+	}
+	res, err := c.Do(ctx, client.Upload{
+		Kind: "benchdiff", Machine: machine, Commit: opts.commit, Experiment: opts.experiment,
+		Schema: "benchdiff/v1", Body: doc,
+	})
+	if err != nil {
+		return fmt.Errorf("diff rows: %w", err)
+	}
+	reportUpload("diff rows", res)
+	return nil
+}
+
+func reportUpload(what string, res client.Result) {
+	if res.Duplicate {
+		fmt.Fprintf(os.Stderr, "tcbenchdiff: %s already uploaded (%s)\n", what, res.ID)
+	} else {
+		fmt.Fprintf(os.Stderr, "tcbenchdiff: uploaded %s as %s\n", what, res.ID)
+	}
+}
+
+// diffDoc converts rows into the benchdiff/v1 upload document. P is a
+// pointer because rows without a test (gone/new) carry NaN, which JSON
+// cannot represent; they upload as null.
+func diffDoc(opts options, rows []row) any {
+	type jsonRow struct {
+		Key     string       `json:"key"`
+		Old     *summaryJSON `json:"old,omitempty"`
+		New     *summaryJSON `json:"new,omitempty"`
+		P       *float64     `json:"p,omitempty"`
+		Delta   float64      `json:"delta"`
+		Verdict verdict      `json:"verdict"`
+	}
+	out := struct {
+		Alpha      float64   `json:"alpha"`
+		Tolerance  float64   `json:"tolerance"`
+		Confidence float64   `json:"confidence"`
+		Rows       []jsonRow `json:"rows"`
+	}{opts.alpha, opts.tolerance, opts.confidence, make([]jsonRow, 0, len(rows))}
+	for _, r := range rows {
+		jr := jsonRow{Key: r.Key, Old: summarize(r.Old), New: summarize(r.New), Delta: r.Delta, Verdict: r.Verdict}
+		if !math.IsNaN(r.P) {
+			p := r.P
+			jr.P = &p
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return out
+}
+
+// summaryJSON is the stable wire shape for one side's statistics, in
+// milliseconds.
+type summaryJSON struct {
+	N          int     `json:"n"`
+	CenterMS   float64 `json:"center_ms"`
+	LoMS       float64 `json:"lo_ms"`
+	HiMS       float64 `json:"hi_ms"`
+	Confidence float64 `json:"ci_confidence"`
+}
+
+func summarize(s *benchmath.Summary) *summaryJSON {
+	if s == nil {
+		return nil
+	}
+	return &summaryJSON{N: s.N, CenterMS: s.Center, LoMS: s.Lo, HiMS: s.Hi, Confidence: s.Confidence}
+}

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/benchfmt"
 	"repro/internal/perfstore/client"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -60,6 +62,9 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchJSON  = flag.String("benchjson", "", "write per-experiment wall time and work counters to this JSON file")
+		benchFmt   = flag.String("benchfmt", "", "write per-experiment results in the standard Go benchmark format to this file")
+		count      = flag.Int("count", 1, "repetitions of the whole suite; each rep adds one result set to -benchfmt")
+		warmup     = flag.Int("warmup", 0, "unrecorded warm-up repetitions before the -count recorded ones (prime caches and capture memos)")
 		quiet      = flag.Bool("quiet", false, "suppress the per-experiment summary on stderr")
 		telemOut   = flag.String("telemetry", "", "write per-site predictor statistics and run metrics to this JSON file")
 		events     = flag.Int("events", 0, "misprediction events retained per simulation cell (0 = no event log)")
@@ -118,6 +123,14 @@ func run() int {
 			if *sitesTop < 0 {
 				usageErr = fmt.Sprintf("-sites-top must be non-negative, got %d", *sitesTop)
 			}
+		case "count":
+			if *count < 1 {
+				usageErr = fmt.Sprintf("-count must be at least 1, got %d", *count)
+			}
+		case "warmup":
+			if *warmup < 0 {
+				usageErr = fmt.Sprintf("-warmup must be non-negative, got %d", *warmup)
+			}
 		}
 	})
 	if usageErr != "" {
@@ -134,14 +147,28 @@ func run() int {
 		return fail("tcsim: unknown output format %q (want text, json or csv)", *format)
 	}
 	if *uploadURL != "" {
-		if *benchJSON == "" && *telemOut == "" {
-			return fail("tcsim: -upload needs -benchjson or -telemetry (there is nothing else to upload)")
+		if *benchJSON == "" && *telemOut == "" && *benchFmt == "" {
+			return fail("tcsim: -upload needs -benchjson, -benchfmt or -telemetry (there is nothing else to upload)")
 		}
 		if *commit == "" {
 			return fail("tcsim: -upload needs -commit to tag the results")
 		}
-	} else if *commit != "" || *outbox != "" {
-		return fail("tcsim: -commit and -outbox only make sense with -upload")
+	} else if *outbox != "" {
+		return fail("tcsim: -outbox only makes sense with -upload")
+	} else if *commit != "" && *benchFmt == "" {
+		return fail("tcsim: -commit only makes sense with -upload or -benchfmt")
+	}
+	if *count > 1 || *warmup > 0 {
+		// Repetitions exist to collect independent samples for the
+		// significance-testing tcbenchdiff; a resume manifest would replay
+		// reps 2..N from disk (zero-cost, zero-information samples) and
+		// the telemetry recorder would merge N runs into one report.
+		if *resume != "" {
+			return fail("tcsim: -count/-warmup cannot be combined with -resume")
+		}
+		if *telemOut != "" || *sites {
+			return fail("tcsim: -count/-warmup cannot be combined with -telemetry or -sites")
+		}
 	}
 
 	if *list {
@@ -221,27 +248,66 @@ func run() int {
 	}()
 
 	benchOut := make(map[string]bench.ExperimentReport, len(toRun))
+	var fmtReports []bench.ExperimentReport
 	var logw *os.File
 	if !*quiet {
 		logw = os.Stderr
 	}
-	opts := bench.SuiteOptions{
-		Experiments:  toRun,
-		Params:       params,
-		Format:       *format,
-		Timeout:      *timeout,
-		ManifestPath: *resume,
-		Out:          os.Stdout,
-		OnExperiment: func(r bench.ExperimentReport) { benchOut[r.ID] = r },
-	}
-	if logw != nil {
-		opts.Log = logw
-	}
 	before := bench.SnapshotStats()
 	start := time.Now()
-	res, err := bench.RunSuite(ctx, opts)
-	if err != nil {
-		return fail("tcsim: %v", err)
+	// -count reruns the whole suite, each rep an independent sample for
+	// tcbenchdiff's significance tests, after -warmup unrecorded reps
+	// that prime the capture memos (a cold first rep pays the one-time
+	// capture cost and would pollute the sample with a huge outlier).
+	// Only the first recorded rep renders tables (the output is
+	// byte-identical across reps by construction); every recorded rep
+	// appends its reports to the -benchfmt result set. benchjson keeps
+	// the final rep: its memoized captures are warm, making it the
+	// steadier single-number snapshot.
+	var res *bench.SuiteResult
+	var digests []string
+	for rep := 1 - *warmup; rep <= *count; rep++ {
+		recorded := rep >= 1
+		opts := bench.SuiteOptions{
+			Experiments:  toRun,
+			Params:       params,
+			Format:       *format,
+			Timeout:      *timeout,
+			ManifestPath: *resume,
+			Out:          io.Discard,
+		}
+		if recorded {
+			opts.OnExperiment = func(r bench.ExperimentReport) {
+				benchOut[r.ID] = r
+				fmtReports = append(fmtReports, r)
+			}
+		}
+		if rep == 1 {
+			opts.Out = os.Stdout
+		}
+		if logw != nil {
+			opts.Log = logw
+			switch {
+			case !recorded:
+				fmt.Fprintf(logw, "tcsim: warm-up rep %d/%d\n", rep+*warmup, *warmup)
+			case *count > 1:
+				fmt.Fprintf(logw, "tcsim: rep %d/%d\n", rep, *count)
+			}
+		}
+		var err error
+		res, err = bench.RunSuite(ctx, opts)
+		if err != nil {
+			return fail("tcsim: %v", err)
+		}
+		if d := res.Digest(); d != "" {
+			if *count > 1 || *warmup > 0 {
+				d = fmt.Sprintf("rep %d/%d: %s", rep, *count, d)
+			}
+			digests = append(digests, d)
+		}
+		if res.Interrupted {
+			break
+		}
 	}
 	wall := time.Since(start)
 	work := bench.SnapshotStats().Sub(before)
@@ -306,12 +372,17 @@ func run() int {
 			return fail("%v", err)
 		}
 	}
+	if *benchFmt != "" {
+		if err := writeBenchFmt(*benchFmt, fmtReports, params, *model, *commit); err != nil {
+			return fail("%v", err)
+		}
+	}
 	// Uploads run on their own context: the run context is already
 	// cancelled after a drained interrupt, and partial results are still
 	// worth shipping. With -outbox an unreachable server spools instead of
 	// failing the run.
 	if *uploadURL != "" {
-		if err := uploadResults(*uploadURL, *outbox, *commit, *exp, benchOut, *benchJSON != "", telemReport, *telemOut != ""); err != nil {
+		if err := uploadResults(*uploadURL, *outbox, *commit, *exp, benchOut, *benchJSON != "", telemReport, *telemOut != "", *benchFmt); err != nil {
 			return fail("tcsim: upload: %v", err)
 		}
 	}
@@ -330,8 +401,10 @@ func run() int {
 		}
 	}
 
-	if digest := res.Digest(); digest != "" {
-		fmt.Fprint(os.Stderr, "tcsim: "+digest)
+	if len(digests) > 0 {
+		for _, d := range digests {
+			fmt.Fprint(os.Stderr, "tcsim: "+d)
+		}
 		if *resume != "" && (res.Interrupted || len(res.Failures) > 0) {
 			fmt.Fprintf(os.Stderr, "tcsim: rerun with -resume %s to finish the remaining experiments\n", *resume)
 		}
@@ -340,12 +413,57 @@ func run() int {
 	return 0
 }
 
+// writeBenchFmt writes the accumulated per-experiment reports in the
+// standard Go benchmark text format (atomically: temp + rename), one
+// result line per (experiment, rep) in completion order, preceded by the
+// run configuration. The file is what stock benchstat — and this repo's
+// tcbenchdiff — consume.
+func writeBenchFmt(path string, reports []bench.ExperimentReport, params bench.Params, model, commit string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	cfg := []benchfmt.Config{
+		{Key: "suite", Value: "tcsim"},
+		{Key: "model", Value: model},
+		{Key: "accuracy-budget", Value: fmt.Sprint(params.AccuracyBudget)},
+		{Key: "timing-budget", Value: fmt.Sprint(params.TimingBudget)},
+	}
+	if commit != "" {
+		cfg = append(cfg, benchfmt.Config{Key: "commit", Value: commit})
+	}
+	w := benchfmt.NewWriter(f)
+	for _, r := range reports {
+		res := benchfmt.Result{
+			FullName: "BenchmarkSuite/exp=" + r.ID,
+			Iters:    1,
+			Values: []benchfmt.Value{
+				{Value: r.WallMS * 1e6, Unit: "ns/op"},
+				{Value: float64(r.Cells), Unit: "cells/op"},
+				{Value: float64(r.Instructions), Unit: "instrs/op"},
+			},
+			Config: cfg,
+		}
+		if err == nil {
+			err = w.Write(&res)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
 // uploadResults ships the run's JSON outputs to a tcperf server: any
 // spooled leftovers first, then the benchjson and telemetry documents,
 // tagged with this machine's fingerprint, the given commit, and the
 // experiment selector. Content-hash IDs make re-running the same upload a
 // no-op on the server.
-func uploadResults(baseURL, outbox, commit, exp string, benchOut map[string]bench.ExperimentReport, haveBench bool, telem *telemetry.Report, haveTelem bool) error {
+func uploadResults(baseURL, outbox, commit, exp string, benchOut map[string]bench.ExperimentReport, haveBench bool, telem *telemetry.Report, haveTelem bool, benchFmtPath string) error {
 	c, err := client.New(client.Config{BaseURL: baseURL, Outbox: outbox})
 	if err != nil {
 		return err
@@ -358,13 +476,9 @@ func uploadResults(baseURL, outbox, commit, exp string, benchOut map[string]benc
 		}
 	}
 	machine := client.Fingerprint()
-	upload := func(kind string, v any) error {
-		body, err := json.Marshal(v)
-		if err != nil {
-			return err
-		}
+	upload := func(kind, schema string, body []byte) error {
 		res, err := c.Do(ctx, client.Upload{
-			Kind: kind, Machine: machine, Commit: commit, Experiment: exp, Body: body,
+			Kind: kind, Machine: machine, Commit: commit, Experiment: exp, Schema: schema, Body: body,
 		})
 		if err != nil {
 			return err
@@ -380,12 +494,31 @@ func uploadResults(baseURL, outbox, commit, exp string, benchOut map[string]benc
 		return nil
 	}
 	if haveBench {
-		if err := upload("benchjson", benchOut); err != nil {
+		body, err := json.Marshal(benchOut)
+		if err != nil {
+			return err
+		}
+		if err := upload("benchjson", "", body); err != nil {
 			return err
 		}
 	}
 	if haveTelem && telem != nil {
-		if err := upload("telemetry", telem); err != nil {
+		body, err := json.Marshal(telem)
+		if err != nil {
+			return err
+		}
+		if err := upload("telemetry", "", body); err != nil {
+			return err
+		}
+	}
+	if benchFmtPath != "" {
+		// Byte-for-byte as written, so the server's record is exactly the
+		// file local tooling diffs against.
+		body, err := os.ReadFile(benchFmtPath)
+		if err != nil {
+			return err
+		}
+		if err := upload("benchfmt", "go-benchfmt/v1", body); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,376 @@
+// Package benchfmt reads and writes the standard Go benchmark text
+// format (https://golang.org/design/14313-benchmark-format), the lingua
+// franca of Go performance tooling: the same files `tcsim -benchfmt`
+// writes are accepted by stock benchstat, and benchfmt.Reader accepts
+// raw `go test -bench` output.
+//
+// A file is a sequence of lines:
+//
+//	commit: 1f2e3d               <- configuration ("key: value")
+//	BenchmarkSuite/exp=table2 1 10352000000 ns/op 42 cells/op
+//
+// Configuration lines apply to every following result until overridden.
+// Result names carry structured sub-keys ("/key=value" path elements),
+// which Result.Lookup exposes alongside the file configuration —
+// the raw material for benchproc filters and projections.
+//
+// The reader is forgiving the way the format specification demands:
+// unrecognized lines are skipped, and a line that looks like a result
+// but does not parse is recorded as a Problem rather than aborting, so
+// one corrupt line cannot hide an entire snapshot.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A Value is one measurement of a result: a magnitude and its unit,
+// e.g. 10352000000 "ns/op".
+type Value struct {
+	Value float64
+	Unit  string
+}
+
+// A Config is one "key: value" pair, either from a file configuration
+// line or parsed out of a result name.
+type Config struct {
+	Key   string
+	Value string
+}
+
+// A Result is one benchmark result line plus the file configuration in
+// effect when it was read.
+type Result struct {
+	// FullName is the complete benchmark name, including sub-name keys
+	// and any "-N" gomaxprocs suffix, without the "Benchmark" prefix
+	// stripped ("BenchmarkSuite/exp=table2-8").
+	FullName string
+	// Iters is the iteration count field.
+	Iters int64
+	// Values are the (value, unit) measurement pairs, in line order.
+	Values []Value
+	// Config is the file configuration snapshot for this result, in
+	// first-appearance order.
+	Config []Config
+	// Line is the 1-based line number the result was read from.
+	Line int
+}
+
+// BaseName returns the name up to the first "/" with any "-N"
+// gomaxprocs suffix removed: the benchmark family.
+func (r *Result) BaseName() string {
+	name := r.FullName
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return trimGomaxprocs(name)
+}
+
+// NameKeys parses the sub-name path elements of the form "key=value"
+// into Config pairs, in order. A trailing "-N" gomaxprocs suffix on the
+// last element becomes a "gomaxprocs" key. Path elements without "=" are
+// skipped — they are part of the name, not structured data.
+func (r *Result) NameKeys() []Config {
+	var keys []Config
+	var procs string
+	parts := strings.Split(r.FullName, "/")
+	for i, part := range parts {
+		if i == len(parts)-1 {
+			if trimmed, n, ok := splitGomaxprocs(part); ok {
+				part, procs = trimmed, n
+			}
+		}
+		if eq := strings.IndexByte(part, '='); eq > 0 {
+			keys = append(keys, Config{part[:eq], part[eq+1:]})
+		}
+	}
+	if procs != "" {
+		keys = append(keys, Config{"gomaxprocs", procs})
+	}
+	return keys
+}
+
+// Lookup resolves a key against this result: ".name" is the base name,
+// ".fullname" the complete name, then sub-name keys, then file
+// configuration. Sub-name keys shadow file configuration of the same
+// name, matching x/perf's projection semantics.
+func (r *Result) Lookup(key string) (string, bool) {
+	switch key {
+	case ".name":
+		return r.BaseName(), true
+	case ".fullname":
+		return r.FullName, true
+	}
+	for _, kv := range r.NameKeys() {
+		if kv.Key == key {
+			return kv.Value, true
+		}
+	}
+	for _, kv := range r.Config {
+		if kv.Key == key {
+			return kv.Value, true
+		}
+	}
+	return "", false
+}
+
+// Value returns the measurement in the given unit, if present.
+func (r *Result) Value(unit string) (float64, bool) {
+	for _, v := range r.Values {
+		if v.Unit == unit {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// trimGomaxprocs removes a trailing "-N" procs suffix, if any.
+func trimGomaxprocs(name string) string {
+	s, _, ok := splitGomaxprocs(name)
+	if !ok {
+		return name
+	}
+	return s
+}
+
+// splitGomaxprocs splits a trailing "-N" (all digits, non-empty) off a
+// name segment.
+func splitGomaxprocs(s string) (trimmed, n string, ok bool) {
+	i := strings.LastIndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return s, "", false
+	}
+	for _, c := range s[i+1:] {
+		if c < '0' || c > '9' {
+			return s, "", false
+		}
+	}
+	return s[:i], s[i+1:], true
+}
+
+// A Problem is a line that looked like a benchmark result but failed to
+// parse. Problems are diagnostics, not errors: the reader keeps going.
+type Problem struct {
+	Path string
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.Path, p.Line, p.Msg)
+}
+
+// A Reader reads benchmark results from a stream.
+type Reader struct {
+	scan    *bufio.Scanner
+	path    string
+	line    int
+	cfg     []Config
+	cfgIdx  map[string]int
+	res     Result
+	probs   []Problem
+	scanErr error
+}
+
+// maxLine bounds one input line; longer lines surface as a scan error
+// rather than an unbounded allocation.
+const maxLine = 1 << 20
+
+// NewReader reads the benchmark format from r. path is used in
+// diagnostics only.
+func NewReader(r io.Reader, path string) *Reader {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64*1024), maxLine)
+	return &Reader{scan: scan, path: path, cfgIdx: map[string]int{}}
+}
+
+// Scan advances to the next result line, skipping configuration and
+// unrecognized lines. It returns false at end of input or on an I/O
+// error (see Err).
+func (r *Reader) Scan() bool {
+	for r.scan.Scan() {
+		r.line++
+		line := r.scan.Text()
+		switch classify(line) {
+		case lineResult:
+			if r.parseResult(line) {
+				return true
+			}
+		case lineConfig:
+			r.parseConfig(line)
+		}
+	}
+	r.scanErr = r.scan.Err()
+	return false
+}
+
+// Result returns the result Scan advanced to. The returned pointer is
+// only valid until the next Scan: callers keeping results must copy.
+func (r *Reader) Result() *Result { return &r.res }
+
+// Err returns the first I/O or line-length error, if any. Parse
+// problems are not errors; see Problems.
+func (r *Reader) Err() error {
+	if r.scanErr != nil {
+		return fmt.Errorf("%s: %w", r.path, r.scanErr)
+	}
+	return nil
+}
+
+// Problems returns the malformed result lines encountered so far.
+func (r *Reader) Problems() []Problem { return r.probs }
+
+type lineKind int
+
+const (
+	lineOther lineKind = iota
+	lineResult
+	lineConfig
+)
+
+// classify decides what a line is. A result line starts with
+// "Benchmark" followed by a non-lowercase character (or end of word); a
+// configuration line starts with a lowercase key followed by ":". Per
+// the format specification everything else is ignorable text.
+func classify(line string) lineKind {
+	const prefix = "Benchmark"
+	if strings.HasPrefix(line, prefix) {
+		rest := line[len(prefix):]
+		if rest == "" || !isLower(rest[0]) {
+			return lineResult
+		}
+		return lineOther
+	}
+	if len(line) > 0 && isLower(line[0]) {
+		for i := 0; i < len(line); i++ {
+			c := line[i]
+			if c == ':' {
+				return lineConfig
+			}
+			if !isConfigKeyChar(c) {
+				return lineOther
+			}
+		}
+	}
+	return lineOther
+}
+
+func isLower(c byte) bool { return 'a' <= c && c <= 'z' }
+
+func isConfigKeyChar(c byte) bool {
+	return isLower(c) || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' || c == '-' || c == '_' || c == '.'
+}
+
+// parseConfig records a "key: value" line. An empty value is invalid
+// per the specification and clears the key instead, which keeps a
+// malformed header from leaking the previous file's value.
+func (r *Reader) parseConfig(line string) {
+	colon := strings.IndexByte(line, ':')
+	key := line[:colon]
+	val := strings.TrimSpace(line[colon+1:])
+	if i, ok := r.cfgIdx[key]; ok {
+		r.cfg[i].Value = val
+		return
+	}
+	r.cfgIdx[key] = len(r.cfg)
+	r.cfg = append(r.cfg, Config{key, val})
+}
+
+// parseResult parses a benchmark result line into r.res, or records a
+// Problem and reports false.
+func (r *Reader) parseResult(line string) bool {
+	f := strings.Fields(line)
+	bad := func(format string, args ...any) bool {
+		r.probs = append(r.probs, Problem{r.path, r.line, fmt.Sprintf(format, args...)})
+		return false
+	}
+	if len(f) < 4 {
+		return bad("result line needs name, count and at least one value-unit pair, got %d fields", len(f))
+	}
+	if (len(f))%2 != 0 {
+		return bad("odd field count %d: value without unit", len(f))
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return bad("bad iteration count %q", f[1])
+	}
+	values := make([]Value, 0, (len(f)-2)/2)
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return bad("bad value %q for unit %q", f[i], f[i+1])
+		}
+		values = append(values, Value{v, f[i+1]})
+	}
+	// Snapshot the configuration: later lines may override keys.
+	cfg := make([]Config, 0, len(r.cfg))
+	for _, kv := range r.cfg {
+		if kv.Value != "" {
+			cfg = append(cfg, kv)
+		}
+	}
+	r.res = Result{
+		FullName: f[0],
+		Iters:    iters,
+		Values:   values,
+		Config:   cfg,
+		Line:     r.line,
+	}
+	return true
+}
+
+// ReadAll drains the reader, copying every result.
+func ReadAll(rd io.Reader, path string) ([]Result, []Problem, error) {
+	r := NewReader(rd, path)
+	var out []Result
+	for r.Scan() {
+		res := *r.Result()
+		res.Values = append([]Value(nil), res.Values...)
+		res.Config = append([]Config(nil), res.Config...)
+		out = append(out, res)
+	}
+	return out, r.Problems(), r.Err()
+}
+
+// A Writer emits results in the benchmark format, writing configuration
+// lines only when their value changes — the compact form benchstat and
+// this package's Reader both accept.
+type Writer struct {
+	w   io.Writer
+	cfg map[string]string
+}
+
+// NewWriter writes the benchmark format to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, cfg: map[string]string{}}
+}
+
+// Write emits one result, preceded by any configuration lines whose
+// values differ from what has been written so far.
+func (w *Writer) Write(r *Result) error {
+	for _, kv := range r.Config {
+		if w.cfg[kv.Key] == kv.Value {
+			continue
+		}
+		if _, err := fmt.Fprintf(w.w, "%s: %s\n", kv.Key, kv.Value); err != nil {
+			return err
+		}
+		w.cfg[kv.Key] = kv.Value
+	}
+	var b strings.Builder
+	b.WriteString(r.FullName)
+	fmt.Fprintf(&b, " %d", r.Iters)
+	for _, v := range r.Values {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(v.Value, 'g', -1, 64))
+		b.WriteByte(' ')
+		b.WriteString(v.Unit)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w.w, b.String())
+	return err
+}

@@ -1,0 +1,85 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the parser. Invariants:
+//
+//   - never panic, never loop (the harness enforces both);
+//   - whatever parses must survive a write → reparse round trip
+//     bit-identically (the Writer and Reader agree on the format);
+//   - problems and results are disjoint: every returned result carries
+//     a positive iteration count and complete value-unit pairs.
+//
+// Seeds cover real tcsim -benchfmt output plus the classic malformed
+// shapes: truncated lines, unit-less values, non-UTF-8 names, counts
+// that overflow int64, exotic float syntax.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte("suite: tcsim\naccuracy-budget: 2000000\nBenchmarkSuite/exp=table2 1 1.0352e+10 ns/op 42 cells/op 2e+06 instrs/op\n"))
+	f.Add([]byte("BenchmarkSuite/exp=table1 1 5210400000 ns/op 40 cells/op 2000000 instrs/op\nBenchmarkSuite/exp=table1 1 5190000000 ns/op 40 cells/op 2000000 instrs/op\n"))
+	f.Add([]byte("goos: linux\ngoarch: amd64\nBenchmarkDecode/size=1024-8 100 12.5 ns/op 4096 B/op 12 allocs/op\n"))
+	f.Add([]byte("BenchmarkX 10"))
+	f.Add([]byte("BenchmarkX 10 12.5"))
+	f.Add([]byte("BenchmarkX 99999999999999999999999 1 ns/op"))
+	f.Add([]byte("BenchmarkX 1 NaN ns/op\nBenchmarkX 1 +Inf ns/op\nBenchmarkX 1 -0 ns/op"))
+	f.Add([]byte("Benchmark\xff\xfe 1 2 ns/op\ncommit: \xc3\x28\n"))
+	f.Add([]byte("key: value\nkey:\nkey:   spaced   \n::\n:\n"))
+	f.Add([]byte("BenchmarkA/b=c/d=e-16 1 0x1p-3 ns/op"))
+	f.Add([]byte(strings.Repeat("BenchmarkLong 1 1 ns/op\n", 100)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		results, probs, err := ReadAll(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			// Only I/O-shaped errors (line too long) are allowed here.
+			if !strings.Contains(err.Error(), "token too long") {
+				t.Fatalf("unexpected reader error: %v", err)
+			}
+			return
+		}
+		for _, r := range results {
+			if r.Iters <= 0 {
+				t.Fatalf("result with non-positive iters: %+v", r)
+			}
+			if len(r.Values) == 0 {
+				t.Fatalf("result with no values: %+v", r)
+			}
+			for _, v := range r.Values {
+				if v.Unit == "" {
+					t.Fatalf("value without unit: %+v", r)
+				}
+			}
+			// Lookup and projections must not panic on any parsed name.
+			r.Lookup(".name")
+			r.Lookup(".fullname")
+			r.NameKeys()
+		}
+		for _, p := range probs {
+			if p.Line <= 0 {
+				t.Fatalf("problem without line number: %+v", p)
+			}
+		}
+
+		// Round trip: write the parsed results and reparse; the two
+		// parses must agree bit-for-bit.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := range results {
+			if err := w.Write(&results[i]); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+		again, probs2, err := ReadAll(bytes.NewReader(buf.Bytes()), "fuzz-rt")
+		if err != nil {
+			t.Fatalf("reparse error: %v\ninput:\n%s", err, buf.String())
+		}
+		if len(probs2) != 0 {
+			t.Fatalf("reparse produced problems %v\ninput:\n%s", probs2, buf.String())
+		}
+		if !resultsEqual(results, again) {
+			t.Fatalf("round trip drifted\nwrote:\n%s", buf.String())
+		}
+	})
+}

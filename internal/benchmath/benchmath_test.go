@@ -1,0 +1,352 @@
+package benchmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// --- Summary fixtures -------------------------------------------------
+
+func TestSummaryFixture(t *testing.T) {
+	s := NewSample([]float64{12, 10, 14, 11, 13})
+	sum := s.Summary(0.95)
+	if sum.N != 5 || sum.Center != 12 || sum.Mean != 12 || sum.Min != 10 || sum.Max != 14 {
+		t.Fatalf("summary = %+v, want N=5 center=12 mean=12 min=10 max=14", sum)
+	}
+	// n=5 at 95%: even [min, max] only reaches 1 - 2/32 = 0.9375, the
+	// tabulated exact coverage for the extreme order statistics.
+	if sum.Lo != 10 || sum.Hi != 14 {
+		t.Errorf("CI = [%v, %v], want [10, 14]", sum.Lo, sum.Hi)
+	}
+	if math.Abs(sum.Confidence-0.9375) > 1e-12 {
+		t.Errorf("achieved confidence = %v, want 0.9375", sum.Confidence)
+	}
+}
+
+func TestSummaryMedianEvenN(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3, 10})
+	if got := s.Median(); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+}
+
+func TestSummaryLargeNReachesConfidence(t *testing.T) {
+	// n=30: the order-statistic interval must reach the requested 95%
+	// and tighten well inside [min, max].
+	vs := make([]float64, 30)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	sum := NewSample(vs).Summary(0.95)
+	if sum.Confidence < 0.95 {
+		t.Errorf("achieved confidence = %v, want >= 0.95", sum.Confidence)
+	}
+	if sum.Lo <= sum.Min || sum.Hi >= sum.Max {
+		t.Errorf("CI [%v, %v] should be strictly inside [%v, %v] at n=30", sum.Lo, sum.Hi, sum.Min, sum.Max)
+	}
+	if sum.Lo > sum.Center || sum.Hi < sum.Center {
+		t.Errorf("CI [%v, %v] must contain the center %v", sum.Lo, sum.Hi, sum.Center)
+	}
+}
+
+func TestSummarySingleton(t *testing.T) {
+	sum := NewSample([]float64{7}).Summary(0.95)
+	if sum.Lo != 7 || sum.Hi != 7 || sum.Confidence != 0 {
+		t.Errorf("singleton summary = %+v, want degenerate CI with 0 confidence", sum)
+	}
+	if sum.Noise() != 0 {
+		t.Errorf("singleton Noise = %v, want 0", sum.Noise())
+	}
+}
+
+func TestNoise(t *testing.T) {
+	sum := Summary{Center: 10, Lo: 9, Hi: 12}
+	if got := sum.Noise(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Noise = %v, want 0.2", got)
+	}
+}
+
+// --- Mann-Whitney fixtures --------------------------------------------
+//
+// Exact two-sided p-values below are textbook values, hand-derivable
+// from the null distribution of U (C(n1+n2, n1) equally likely rank
+// arrangements).
+
+func TestMannWhitneyExactFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		x, y  []float64
+		wantU float64
+		wantP float64
+	}{
+		// Complete separation, n=3 vs 3: U=0, p = 2 * 1/C(6,3) = 0.1.
+		{"separated3v3", []float64{1, 2, 3}, []float64{4, 5, 6}, 0, 0.1},
+		// Complete separation, n=2 vs 2: p = 2 * 1/6.
+		{"separated2v2", []float64{1, 2}, []float64{3, 4}, 0, 2.0 / 6},
+		// Interleaved, n=2 vs 2: U1=1; P(U<=1) = 2/6, two-sided 4/6.
+		{"interleaved2v2", []float64{1, 3}, []float64{2, 4}, 1, 4.0 / 6},
+		// Singletons can never be significant: p is exactly 1.
+		{"singletons", []float64{1}, []float64{2}, 0, 1},
+		// Complete separation, n=5 vs 5: p = 2/C(10,5) = 2/252.
+		{"separated5v5", []float64{1, 2, 3, 4, 5}, []float64{6, 7, 8, 9, 10}, 0, 2.0 / 252},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := MannWhitneyUTest(c.x, c.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Method != "exact" {
+				t.Errorf("method = %q, want exact", res.Method)
+			}
+			if res.U != c.wantU {
+				t.Errorf("U = %v, want %v", res.U, c.wantU)
+			}
+			if math.Abs(res.P-c.wantP) > 1e-12 {
+				t.Errorf("p = %v, want %v", res.P, c.wantP)
+			}
+		})
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1, 4, 6, 9}
+	y := []float64{2, 3, 7, 12, 15}
+	a, err := MannWhitneyUTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitneyUTest(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.P-b.P) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", a.P, b.P)
+	}
+	if a.U+b.U != float64(len(x)*len(y)) {
+		t.Errorf("U1 + U2 = %v, want n1*n2 = %d", a.U+b.U, len(x)*len(y))
+	}
+}
+
+func TestMannWhitneyTiesUseNormal(t *testing.T) {
+	x := []float64{1, 1, 2, 3, 5, 5, 5}
+	y := []float64{1, 2, 2, 4, 5, 6, 7}
+	res, err := MannWhitneyUTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "normal" {
+		t.Errorf("method = %q, want normal (ties present)", res.Method)
+	}
+	if res.P <= 0 || res.P > 1 {
+		t.Errorf("p = %v out of range", res.P)
+	}
+	if res.P < 0.3 {
+		t.Errorf("p = %v, near-identical tied samples should not look significant", res.P)
+	}
+}
+
+func TestMannWhitneyAllEqual(t *testing.T) {
+	x := []float64{3, 3, 3}
+	y := []float64{3, 3, 3, 3}
+	res, err := MannWhitneyUTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("p = %v, want exactly 1 for indistinguishable samples", res.P)
+	}
+}
+
+func TestMannWhitneyEmpty(t *testing.T) {
+	if _, err := MannWhitneyUTest(nil, []float64{1}); err == nil {
+		t.Error("want error for empty sample")
+	}
+}
+
+// TestMannWhitneyExactVsNormal checks the two methods agree where both
+// apply: for tie-free moderate samples the normal approximation with
+// continuity correction should land within a couple of percent of the
+// exact tail probability.
+func TestMannWhitneyExactVsNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 10)
+		y := make([]float64, 10)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() + 0.5
+		}
+		exact, err := MannWhitneyUTest(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Method != "exact" {
+			t.Fatalf("trial %d: method = %q, want exact", trial, exact.Method)
+		}
+		// Recompute via the normal path by exceeding exactLimit with
+		// duplicated logic: call the internal pieces through a bigger
+		// sample is not possible here, so approximate instead: compare
+		// the exact p to the normal formula evaluated directly.
+		approx := normalApproxP(exact)
+		if math.Abs(exact.P-approx) > 0.03 {
+			t.Errorf("trial %d: exact p = %.4f, normal approx = %.4f (|diff| > 0.03)", trial, exact.P, approx)
+		}
+	}
+}
+
+// normalApproxP applies the tie-free normal approximation to a test
+// result, mirroring the production formula.
+func normalApproxP(r TestResult) float64 {
+	mu := float64(r.N1) * float64(r.N2) / 2
+	nf := float64(r.N1 + r.N2)
+	sigma := math.Sqrt(float64(r.N1) * float64(r.N2) / 12 * (nf + 1))
+	d := r.U - mu
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	return math.Erfc(math.Abs(d/sigma) / math.Sqrt2)
+}
+
+// --- Property tests against known distributions -----------------------
+
+// TestPropertyIdenticalDistributions draws both samples from the same
+// distribution many times and checks the false-positive rate at
+// alpha=0.05 stays near 5% — the defining property of a calibrated test.
+// Deterministic seed, so this never flakes.
+func TestPropertyIdenticalDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	rejections := 0
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		for i := range x {
+			x[i] = 10 + rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = 10 + rng.NormFloat64()
+		}
+		res, err := MannWhitneyUTest(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejections++
+		}
+	}
+	// Binomial(400, ~0.05) stays comfortably under 40 (double the rate);
+	// the exact test is if anything conservative.
+	if rejections > 40 {
+		t.Errorf("identical distributions rejected %d/%d times at alpha=0.05 (false-positive rate %.1f%%)",
+			rejections, trials, 100*float64(rejections)/trials)
+	}
+	if rejections == 0 {
+		t.Log("note: zero rejections in 400 trials — test may be overly conservative")
+	}
+}
+
+// TestPropertyShiftDetected draws the second sample shifted by five
+// standard deviations and requires near-certain detection.
+func TestPropertyShiftDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const trials = 200
+	detected := 0
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		for i := range x {
+			x[i] = 10 + rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = 15 + rng.NormFloat64() // 5 sigma shift
+		}
+		res, err := MannWhitneyUTest(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			detected++
+		}
+	}
+	if detected < trials*95/100 {
+		t.Errorf("5-sigma shift detected only %d/%d times", detected, trials)
+	}
+}
+
+// TestPropertyCICoversTrueMedian samples from a distribution with known
+// median and checks the order-statistic interval covers it at roughly
+// its achieved confidence.
+func TestPropertyCICoversTrueMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const trials = 400
+	covered, sumConf := 0, 0.0
+	for trial := 0; trial < trials; trial++ {
+		vs := make([]float64, 15)
+		for i := range vs {
+			vs[i] = 100 + 10*rng.NormFloat64() // true median 100
+		}
+		sum := NewSample(vs).Summary(0.95)
+		sumConf += sum.Confidence
+		if sum.Lo <= 100 && 100 <= sum.Hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	want := sumConf / trials
+	if rate < want-0.05 {
+		t.Errorf("true median covered %.1f%% of the time, want about %.1f%%", 100*rate, 100*want)
+	}
+}
+
+// --- Tidy units -------------------------------------------------------
+
+func TestTidy(t *testing.T) {
+	cases := []struct {
+		v        float64
+		unit     string
+		wantV    float64
+		wantUnit string
+	}{
+		{10352000000, "ns/op", 10.352, "s/op"},
+		{123456, "ns/op", 123.456, "µs/op"},
+		{512, "ns/op", 512, "ns/op"},
+		{3.2e6, "ns", 3.2, "ms"},
+		{2000000, "instrs/op", 2, "Minstrs/op"},
+		{42, "cells/op", 42, "cells/op"},
+		{12500, "cells", 12.5, "kcells"},
+		{0, "ns/op", 0, "ns/op"},
+	}
+	for _, c := range cases {
+		gotV, gotUnit := Tidy(c.v, c.unit)
+		if math.Abs(gotV-c.wantV) > 1e-9 || gotUnit != c.wantUnit {
+			t.Errorf("Tidy(%v, %q) = (%v, %q), want (%v, %q)", c.v, c.unit, gotV, gotUnit, c.wantV, c.wantUnit)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{10352000000, "ns/op", "10.4s/op"},
+		{123456, "ns/op", "123µs/op"},
+		{2000000, "instrs/op", "2.00Minstrs/op"},
+		{1.5, "ns/op", "1.50ns/op"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v, c.unit); got != c.want {
+			t.Errorf("FormatValue(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package benchmath
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tidy-unit formatting: pick the scale a human would pick. Benchmark
+// values arrive in base units (ns/op, bytes, plain counts) whose
+// magnitudes are unreadable — 10352000000 ns/op is 10.4 s. Tidy picks a
+// prefix so the mantissa lands in [1, 1000) and rewrites the unit to
+// match.
+
+// timeScales are the time prefixes, smallest first, as factors of 1 ns.
+var timeScales = []struct {
+	factor float64
+	unit   string
+}{
+	{1, "ns"},
+	{1e3, "µs"},
+	{1e6, "ms"},
+	{1e9, "s"},
+}
+
+// countScales are SI prefixes for dimensionless counts.
+var countScales = []struct {
+	factor float64
+	prefix string
+}{
+	{1, ""},
+	{1e3, "k"},
+	{1e6, "M"},
+	{1e9, "G"},
+	{1e12, "T"},
+}
+
+// Tidy rescales v, expressed in unit, to a human scale and returns the
+// scaled value with its rewritten unit. Time units ("ns", "ns/op") walk
+// ns→µs→ms→s; other units get SI count prefixes ("instrs/op" →
+// "Minstrs/op"). Zero, NaN and infinite values pass through unscaled.
+func Tidy(v float64, unit string) (float64, string) {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v, unit
+	}
+	base, suffix := unit, ""
+	if i := strings.IndexByte(unit, '/'); i >= 0 {
+		base, suffix = unit[:i], unit[i:]
+	}
+	a := math.Abs(v)
+	if base == "ns" {
+		best := timeScales[0]
+		for _, s := range timeScales {
+			if a >= s.factor {
+				best = s
+			}
+		}
+		return v / best.factor, best.unit + suffix
+	}
+	best := countScales[0]
+	for _, s := range countScales {
+		if a >= s.factor {
+			best = s
+		}
+	}
+	return v / best.factor, best.prefix + base + suffix
+}
+
+// FormatValue renders v in unit at a tidy scale with three significant
+// digits — "10.4ms", "2.00Minstrs/op".
+func FormatValue(v float64, unit string) string {
+	sv, su := Tidy(v, unit)
+	return fmt.Sprintf("%s%s", formatMantissa(sv), su)
+}
+
+// formatMantissa renders a tidy-scaled value (|v| in [1, 1000) unless
+// tiny) with three significant digits.
+func formatMantissa(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a == 0 || math.IsNaN(v) || math.IsInf(v, 0):
+		return fmt.Sprintf("%g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,172 @@
+package benchmath
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// The Mann-Whitney U test asks: are these two samples drawn from the
+// same distribution, or is one stochastically larger? It ranks the
+// pooled measurements and tests how unevenly the ranks split, so it
+// needs no normality assumption — the right choice for benchmark wall
+// times, whose long scheduler-noise tails break t-tests.
+//
+// Small tie-free samples get the exact U distribution (enumerated by
+// dynamic programming); larger or tied samples use the normal
+// approximation with the standard tie correction and a continuity
+// correction. Two-sided p-values throughout.
+
+// exactLimit bounds the per-sample size for the exact distribution. The
+// DP is O(n1*n2*(n1*n2)); at 12x12 it is ~20k cells, instant.
+const exactLimit = 12
+
+// ErrEmptySample reports a test on an empty sample.
+var ErrEmptySample = errors.New("benchmath: empty sample")
+
+// TestResult reports a Mann-Whitney U test.
+type TestResult struct {
+	// N1, N2 are the sample sizes.
+	N1, N2 int
+	// U is sample 1's U statistic (tie mid-ranks included).
+	U float64
+	// P is the two-sided p-value.
+	P float64
+	// Method is "exact" or "normal".
+	Method string
+}
+
+// Significant reports whether the test rejects "same distribution" at
+// level alpha (e.g. 0.05).
+func (r TestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// MannWhitneyUTest runs a two-sided Mann-Whitney U test on two samples.
+func MannWhitneyUTest(x, y []float64) (TestResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return TestResult{}, ErrEmptySample
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	pool := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	// Mid-ranks: a run of t equal values spanning ranks i+1..i+t all get
+	// rank (i+1 + i+t)/2. Track tie run lengths for the variance
+	// correction.
+	n := n1 + n2
+	r1 := 0.0 // rank sum of sample 1
+	tieTerm := 0.0
+	hasTies := false
+	for i := 0; i < n; {
+		j := i
+		for j < n && pool[j].v == pool[i].v {
+			j++
+		}
+		t := j - i
+		if t > 1 {
+			hasTies = true
+			tf := float64(t)
+			tieTerm += tf*tf*tf - tf
+		}
+		rank := float64(i+1+j) / 2 // average of ranks i+1 .. j
+		for k := i; k < j; k++ {
+			if pool[k].first {
+				r1 += rank
+			}
+		}
+		i = j
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	res := TestResult{N1: n1, N2: n2, U: u1}
+
+	if !hasTies && n1 <= exactLimit && n2 <= exactLimit {
+		res.Method = "exact"
+		res.P = exactP(n1, n2, u1)
+		return res, nil
+	}
+	res.Method = "normal"
+	mu := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	sigma2 := float64(n1) * float64(n2) / 12 * ((nf + 1) - tieTerm/(nf*(nf-1)))
+	if sigma2 <= 0 {
+		// Every pooled value identical: the samples are indistinguishable.
+		res.P = 1
+		return res, nil
+	}
+	d := u1 - mu
+	switch { // continuity correction toward the mean
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	z := d / math.Sqrt(sigma2)
+	res.P = math.Erfc(math.Abs(z) / math.Sqrt2) // 2*(1 - Phi(|z|))
+	return res, nil
+}
+
+// exactP computes the two-sided p-value from the exact null distribution
+// of U for tie-free samples: twice the lower tail of min(U1, U2),
+// clamped to 1.
+func exactP(n1, n2 int, u1 float64) float64 {
+	umax := n1 * n2
+	u2 := float64(umax) - u1
+	uMin := int(math.Min(u1, u2)) // tie-free U is integral
+	counts := uCounts(n1, n2)
+	total, tail := 0.0, 0.0
+	for u, c := range counts {
+		total += c
+		if u <= uMin {
+			tail += c
+		}
+	}
+	p := 2 * tail / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// uCounts enumerates the null distribution of U1 for sample sizes
+// (n1, n2): counts[u] is the number of rank arrangements with U1 = u.
+// Classic DP on the recurrence c(i, j, u) = c(i-1, j, u-j) + c(i, j-1, u)
+// — the largest pooled value belongs either to sample 1 (beating all j
+// of sample 2's remaining values) or to sample 2.
+func uCounts(n1, n2 int) []float64 {
+	umax := n1 * n2
+	// cur[j][u] = count for (i, j); iterate i = 0..n1.
+	cur := make([][]float64, n2+1)
+	for j := range cur {
+		cur[j] = make([]float64, umax+1)
+		cur[j][0] = 1 // i = 0: only u = 0
+	}
+	for i := 1; i <= n1; i++ {
+		next := make([][]float64, n2+1)
+		for j := 0; j <= n2; j++ {
+			next[j] = make([]float64, umax+1)
+			for u := 0; u <= i*j; u++ {
+				c := 0.0
+				if u >= j {
+					c += cur[j][u-j] // largest value from sample 1
+				}
+				if j > 0 {
+					c += next[j-1][u] // largest value from sample 2
+				}
+				next[j][u] = c
+			}
+		}
+		cur = next
+	}
+	return cur[n2]
+}

@@ -1,0 +1,149 @@
+// Package benchmath computes statistics over distributions of benchmark
+// measurements, in the spirit of golang.org/x/perf/benchmath: sample
+// summaries with assumption-free confidence intervals on the median, the
+// Mann-Whitney U significance test for comparing two samples, and
+// tidy-unit formatting for rendering measurements at a human scale.
+//
+// The summary statistics are deliberately non-parametric. Benchmark
+// wall-time distributions are not normal — they are a floor (the code's
+// actual cost) plus a long right tail of scheduler and cache interference
+// — so means and t-tests systematically overweight the tail. The median
+// with an order-statistic confidence interval and a rank test are robust
+// to that shape without assuming any other.
+package benchmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// A Sample is a set of measurements of one thing (one experiment, one
+// unit), held sorted ascending.
+type Sample struct {
+	// Values are the measurements, sorted ascending.
+	Values []float64
+}
+
+// NewSample copies values into a sorted Sample.
+func NewSample(values []float64) Sample {
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+	return Sample{Values: vs}
+}
+
+// A Summary describes a sample's distribution: the median with a
+// confidence interval, plus the usual scalar statistics.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Center is the sample median.
+	Center float64
+	// Lo and Hi bound the confidence interval on the median, taken from
+	// the order statistics (no distributional assumption).
+	Lo, Hi float64
+	// Confidence is the interval's achieved coverage. Small samples
+	// cannot reach a requested 0.95 — five runs cap out at 0.9375 even
+	// using [min, max] — so callers gate decisions on this, not on the
+	// level they asked for.
+	Confidence float64
+	Mean       float64
+	Min, Max   float64
+}
+
+// Summary summarises the sample at the requested confidence level
+// (e.g. 0.95). It panics on an empty sample.
+func (s Sample) Summary(confidence float64) Summary {
+	n := len(s.Values)
+	if n == 0 {
+		panic("benchmath: Summary of empty sample")
+	}
+	sum := Summary{
+		N:      n,
+		Center: s.Median(),
+		Min:    s.Values[0],
+		Max:    s.Values[n-1],
+	}
+	total := 0.0
+	for _, v := range s.Values {
+		total += v
+	}
+	sum.Mean = total / float64(n)
+	lo, hi, cov := medianCI(n, confidence)
+	sum.Lo, sum.Hi, sum.Confidence = s.Values[lo], s.Values[hi], cov
+	return sum
+}
+
+// Median returns the sample median (mean of the middle two for even n).
+func (s Sample) Median() float64 {
+	n := len(s.Values)
+	if n == 0 {
+		panic("benchmath: Median of empty sample")
+	}
+	if n%2 == 1 {
+		return s.Values[n/2]
+	}
+	return (s.Values[n/2-1] + s.Values[n/2]) / 2
+}
+
+// medianCI picks the tightest symmetric order-statistic interval
+// [lo, hi] (0-based, inclusive) whose coverage of the true median is at
+// least confidence, using the exact binomial distribution:
+//
+//	P(X(r) <= median <= X(s)) = sum_{k=r}^{s-1} C(n,k) / 2^n
+//
+// with 1-based r and symmetric s = n-r+1. When even [min, max] cannot
+// reach the requested level (n <= 5 for 0.95), it returns [min, max]
+// with the smaller achieved coverage; callers that need the requested
+// level must collect more runs.
+func medianCI(n int, confidence float64) (lo, hi int, coverage float64) {
+	// pmf[k] = C(n,k) / 2^n, built incrementally to avoid overflow.
+	pmf := make([]float64, n+1)
+	pmf[0] = math.Pow(0.5, float64(n))
+	for k := 1; k <= n; k++ {
+		pmf[k] = pmf[k-1] * float64(n-k+1) / float64(k)
+	}
+	cover := func(r int) float64 { // 1-based lower order statistic
+		s := n - r + 1
+		c := 0.0
+		for k := r; k <= s-1; k++ {
+			c += pmf[k]
+		}
+		return c
+	}
+	best := 1
+	for r := 1; 2*r <= n; r++ {
+		if cover(r) >= confidence {
+			best = r
+		} else {
+			break
+		}
+	}
+	return best - 1, n - best, cover(best)
+}
+
+// Noise is the confidence interval's half-width as a fraction of the
+// center: max(Hi-Center, Center-Lo) / |Center|. It is the "can this
+// sample support a 1-2% claim?" number — a sample whose Noise is 0.25
+// cannot distinguish a 5% shift from jitter. Zero-width intervals (n=1,
+// or all values equal) report 0; a zero center with nonzero width
+// reports +Inf.
+func (s Summary) Noise() float64 {
+	w := math.Max(s.Hi-s.Center, s.Center-s.Lo)
+	if w == 0 {
+		return 0
+	}
+	if s.Center == 0 {
+		return math.Inf(1)
+	}
+	return w / math.Abs(s.Center)
+}
+
+// FormatCI renders the interval as a relative half-width, benchstat
+// style: "±3.2%". n=1 samples have no interval and render "± ∞".
+func (s Summary) FormatCI() string {
+	if s.N < 2 {
+		return "± ∞"
+	}
+	return fmt.Sprintf("±%.1f%%", s.Noise()*100)
+}

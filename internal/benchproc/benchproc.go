@@ -1,0 +1,138 @@
+// Package benchproc slices benchmark results along their structured
+// dimensions, after x/perf/benchproc's filter/projection design: a
+// Filter decides which results participate, a Projection maps each
+// result to the group it belongs to. Together they turn a flat stream
+// of benchfmt results into the rows of a comparison table:
+//
+//	-filter "workload:cxx table:4" -group-by experiment
+//
+// Keys resolve through benchfmt.Result.Lookup: ".name" (benchmark
+// family), ".fullname", sub-name keys ("/exp=table2"), then file
+// configuration lines — so the same expression works over tcsim
+// output, stock `go test -bench` output, and anything else in the
+// standard format.
+package benchproc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+// A Filter matches results against an expression.
+//
+// Grammar: space-separated terms, ANDed. Each term is
+//
+//	[!]key:value[,value...]   key equals any listed value (OR)
+//	[!]word                   substring match on the full name
+//
+// and "!" negates the term. A key a result does not have never matches
+// (and its negation always does). The empty expression matches all.
+type Filter struct {
+	terms []filterTerm
+}
+
+type filterTerm struct {
+	negate bool
+	key    string // empty for bare-word terms
+	vals   []string
+}
+
+// NewFilter parses a filter expression.
+func NewFilter(expr string) (*Filter, error) {
+	f := &Filter{}
+	for _, tok := range strings.Fields(expr) {
+		term := filterTerm{}
+		if strings.HasPrefix(tok, "!") {
+			term.negate = true
+			tok = tok[1:]
+		}
+		if tok == "" {
+			return nil, fmt.Errorf("benchproc: empty filter term in %q", expr)
+		}
+		if i := strings.IndexByte(tok, ':'); i >= 0 {
+			term.key = tok[:i]
+			rest := tok[i+1:]
+			if term.key == "" {
+				return nil, fmt.Errorf("benchproc: filter term %q has empty key", tok)
+			}
+			if rest == "" {
+				return nil, fmt.Errorf("benchproc: filter term %q has empty value", tok)
+			}
+			term.vals = strings.Split(rest, ",")
+		} else {
+			term.vals = []string{tok}
+		}
+		f.terms = append(f.terms, term)
+	}
+	return f, nil
+}
+
+// Match reports whether the result passes every term.
+func (f *Filter) Match(r *benchfmt.Result) bool {
+	for _, term := range f.terms {
+		if term.matches(r) == term.negate {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *filterTerm) matches(r *benchfmt.Result) bool {
+	if t.key == "" {
+		return strings.Contains(r.FullName, t.vals[0])
+	}
+	got, ok := r.Lookup(t.key)
+	if !ok {
+		return false
+	}
+	for _, v := range t.vals {
+		if got == v {
+			return true
+		}
+	}
+	return false
+}
+
+// A Projection extracts a composite group key from results: a
+// comma-separated field list, e.g. "exp" or ".name,workload".
+type Projection struct {
+	fields []string
+}
+
+// NewProjection parses a projection spec. Fields must be non-empty.
+func NewProjection(spec string) (*Projection, error) {
+	p := &Projection{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("benchproc: empty field in projection %q", spec)
+		}
+		p.fields = append(p.fields, field)
+	}
+	if len(p.fields) == 0 {
+		return nil, fmt.Errorf("benchproc: empty projection")
+	}
+	return p, nil
+}
+
+// Fields returns the projection's field names, in order.
+func (p *Projection) Fields() []string { return p.fields }
+
+// Project maps a result to its group key: the projected field values
+// joined with "/", in field order. A field the result does not have
+// projects as "?". Equal keys mean same group; the mapping is a pure
+// function of the result's content, so two parses of the same file
+// always produce identical keys.
+func (p *Projection) Project(r *benchfmt.Result) string {
+	parts := make([]string, len(p.fields))
+	for i, field := range p.fields {
+		if v, ok := r.Lookup(field); ok {
+			parts[i] = v
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return strings.Join(parts, "/")
+}

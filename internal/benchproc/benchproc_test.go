@@ -1,0 +1,143 @@
+package benchproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+const sweepFile = `suite: tcsim
+model: fast
+BenchmarkSuite/exp=table4/workload=cxx 1 5e+09 ns/op
+BenchmarkSuite/exp=table4/workload=perl 1 4e+09 ns/op
+BenchmarkSuite/exp=table5/workload=cxx 1 3e+09 ns/op
+model: event
+BenchmarkSuite/exp=table5/workload=cxx 1 6e+09 ns/op
+`
+
+func parseSweep(t *testing.T) []benchfmt.Result {
+	t.Helper()
+	results, probs, err := benchfmt.ReadAll(strings.NewReader(sweepFile), "sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("problems: %v", probs)
+	}
+	return results
+}
+
+func TestFilter(t *testing.T) {
+	results := parseSweep(t)
+	cases := []struct {
+		expr string
+		want []int // indices of matching results
+	}{
+		{"", []int{0, 1, 2, 3}},
+		{"workload:cxx", []int{0, 2, 3}},
+		{"workload:cxx exp:table4", []int{0}},
+		{"exp:table4,table5", []int{0, 1, 2, 3}},
+		{"!workload:perl", []int{0, 2, 3}},
+		{"model:event", []int{3}},
+		{"workload:cxx !model:event", []int{0, 2}},
+		{"table4", []int{0, 1}}, // bare word: substring of the full name
+		{"nosuchkey:x", nil},
+		{"!nosuchkey:x", []int{0, 1, 2, 3}}, // negated missing key matches
+	}
+	for _, c := range cases {
+		f, err := NewFilter(c.expr)
+		if err != nil {
+			t.Fatalf("NewFilter(%q): %v", c.expr, err)
+		}
+		var got []int
+		for i := range results {
+			if f.Match(&results[i]) {
+				got = append(got, i)
+			}
+		}
+		if !equalInts(got, c.want) {
+			t.Errorf("filter %q matched %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	for _, expr := range []string{":v", "key:", "!"} {
+		if _, err := NewFilter(expr); err == nil {
+			t.Errorf("NewFilter(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	results := parseSweep(t)
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"exp", []string{"table4", "table4", "table5", "table5"}},
+		{"exp,workload", []string{"table4/cxx", "table4/perl", "table5/cxx", "table5/cxx"}},
+		{".name,model", []string{"BenchmarkSuite/fast", "BenchmarkSuite/fast", "BenchmarkSuite/fast", "BenchmarkSuite/event"}},
+		{"missing", []string{"?", "?", "?", "?"}},
+	}
+	for _, c := range cases {
+		p, err := NewProjection(c.spec)
+		if err != nil {
+			t.Fatalf("NewProjection(%q): %v", c.spec, err)
+		}
+		for i := range results {
+			if got := p.Project(&results[i]); got != c.want[i] {
+				t.Errorf("projection %q on result %d = %q, want %q", c.spec, i, got, c.want[i])
+			}
+		}
+	}
+}
+
+func TestProjectionErrors(t *testing.T) {
+	for _, spec := range []string{"", "a,,b", " , "} {
+		if _, err := NewProjection(spec); err == nil {
+			t.Errorf("NewProjection(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestProjectionDeterminism pins the property the CI determinism check
+// relies on: parsing the same file twice and projecting every result
+// yields identical key sequences — no map-iteration order, no hidden
+// state.
+func TestProjectionDeterminism(t *testing.T) {
+	p, err := NewProjection("exp,workload,model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []string
+	for trial := 0; trial < 10; trial++ {
+		results := parseSweep(t)
+		keys := make([]string, len(results))
+		for i := range results {
+			keys[i] = p.Project(&results[i])
+		}
+		if trial == 0 {
+			first = keys
+			continue
+		}
+		for i := range keys {
+			if keys[i] != first[i] {
+				t.Fatalf("trial %d: projection %d = %q, first parse said %q", trial, i, keys[i], first[i])
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -93,7 +93,11 @@ type Upload struct {
 	Machine    string `json:"machine"`
 	Commit     string `json:"commit"`
 	Experiment string `json:"experiment"`
-	Body       []byte `json:"body"`
+	// Schema optionally names the body's wire format (for example
+	// "go-benchfmt/v1"); it travels as descriptive metadata and does not
+	// change the content-hash identity of the upload.
+	Schema string `json:"schema,omitempty"`
+	Body   []byte `json:"body"`
 }
 
 // Result reports how an Upload ended.
@@ -178,6 +182,9 @@ func (c *Client) once(ctx context.Context, up Upload) (ack uploadAck, retryAfter
 	q.Set("machine", up.Machine)
 	q.Set("commit", up.Commit)
 	q.Set("experiment", up.Experiment)
+	if up.Schema != "" {
+		q.Set("schema", up.Schema)
+	}
 	u := c.cfg.BaseURL + "/api/v1/upload?" + q.Encode()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(up.Body))
 	if err != nil {

@@ -79,7 +79,9 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add("telemetry", "mach-2", "commitB", "all", []byte(seedSitesJSON))
 	f.Add("sites", "", "", "", []byte("{}"))
 	f.Fuzz(func(t *testing.T, kind, machine, commit, experiment string, body []byte) {
-		meta := Meta{Kind: kind, Machine: machine, Commit: commit, Experiment: experiment, Time: 42, Bytes: int64(len(body))}
+		// Schema reuses the machine bytes so the optional field is fuzzed
+		// without changing the corpus signature.
+		meta := Meta{Kind: kind, Machine: machine, Commit: commit, Experiment: experiment, Schema: machine, Time: 42, Bytes: int64(len(body))}
 		meta.ID = ContentID(kind, machine, commit, experiment, body)
 		enc, err := encodeRecord([]byte(segMagic), meta, body)
 		if err != nil {

@@ -25,8 +25,10 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/perfstore"
 )
@@ -168,9 +170,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tcperf: reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(body) == 0 || !json.Valid(body) {
+	if err := validateBody(meta, body); err != nil {
 		s.badRequests.Add(1)
-		http.Error(w, "tcperf: body must be non-empty JSON", http.StatusBadRequest)
+		http.Error(w, "tcperf: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 
@@ -386,6 +388,27 @@ func validHash(id string) bool {
 }
 
 // parseUploadMeta validates the identity fields of an upload request.
+// validateBody checks the payload against its declared wire format.
+// Historically every upload was a JSON document and that stays the
+// default; a schema with the "go-benchfmt/" prefix declares the standard
+// Go benchmark TEXT format instead, which only has to be non-empty valid
+// UTF-8 (so stored snapshots always render as text when queried back).
+func validateBody(meta perfstore.Meta, body []byte) error {
+	if len(body) == 0 {
+		return errors.New("body must be non-empty")
+	}
+	if strings.HasPrefix(meta.Schema, "go-benchfmt/") {
+		if !utf8.Valid(body) {
+			return errors.New("benchfmt body must be valid UTF-8 text")
+		}
+		return nil
+	}
+	if !json.Valid(body) {
+		return errors.New("body must be valid JSON (or declare a text schema such as go-benchfmt/v1)")
+	}
+	return nil
+}
+
 func parseUploadMeta(vals url.Values) (perfstore.Meta, error) {
 	var m perfstore.Meta
 	for _, f := range []struct {
@@ -397,6 +420,7 @@ func parseUploadMeta(vals url.Values) (perfstore.Meta, error) {
 		{"machine", &m.Machine, true},
 		{"commit", &m.Commit, true},
 		{"experiment", &m.Experiment, true},
+		{"schema", &m.Schema, false},
 	} {
 		v := vals.Get(f.name)
 		if v == "" {

@@ -33,6 +33,10 @@ func uploadURL(base string, i int) string {
 	return fmt.Sprintf("%s/api/v1/upload?kind=benchjson&machine=m1&commit=c%03d&experiment=table2", base, i)
 }
 
+func benchfmtURL(base string, i int) string {
+	return fmt.Sprintf("%s/api/v1/upload?kind=benchfmt&machine=m1&commit=c%03d&experiment=table2&schema=go-benchfmt/v1", base, i)
+}
+
 func doUpload(t *testing.T, base string, i int, body string) UploadResponse {
 	t.Helper()
 	resp, err := http.Post(uploadURL(base, i), "application/json", strings.NewReader(body))
@@ -113,6 +117,13 @@ func TestUploadValidation(t *testing.T) {
 		{"empty body", uploadURL(ts.URL, 0), "", 400},
 		{"not json", uploadURL(ts.URL, 0), "not json", 400},
 		{"field too long", ts.URL + "/api/v1/upload?kind=" + strings.Repeat("k", 200) + "&machine=m&commit=c&experiment=e", "{}", 400},
+		// A go-benchfmt/* schema declares the benchmark TEXT format: plain
+		// text is accepted, but it must still be UTF-8 and non-empty.
+		{"benchfmt text ok", benchfmtURL(ts.URL, 1),
+			"suite: tcsim\nBenchmarkSuite/exp=table2 1 1e9 ns/op\n", 200},
+		{"benchfmt bad utf8", benchfmtURL(ts.URL, 2), "Benchmark\xff\xfe 1 1 ns/op", 400},
+		{"benchfmt empty", benchfmtURL(ts.URL, 3), "", 400},
+		{"text without schema", uploadURL(ts.URL, 4), "BenchmarkSuite 1 1 ns/op", 400},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(tc.url, "application/json", strings.NewReader(tc.body))

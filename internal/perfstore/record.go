@@ -56,6 +56,12 @@ type Meta struct {
 	Machine    string `json:"machine"`
 	Commit     string `json:"commit"`
 	Experiment string `json:"experiment"`
+	// Schema optionally names the body's wire format (for example
+	// "go-benchfmt/v1" or "benchdiff/v1"), so trend analysis can parse a
+	// record without sniffing its bytes. Schema is descriptive metadata:
+	// it is excluded from the content hash, so re-uploading identical
+	// content with a corrected schema tag is still a duplicate.
+	Schema string `json:"schema,omitempty"`
 	// Time is the server-stamped upload time in Unix milliseconds. It is
 	// excluded from the content hash: re-uploading the same content later
 	// is a duplicate, not a new row.
@@ -97,7 +103,7 @@ func encodeRecord(buf []byte, meta Meta, body []byte) ([]byte, error) {
 	// Meta travels as JSON, and encoding/json silently rewrites invalid
 	// UTF-8 to U+FFFD — which would break the decode-to-identical-meta
 	// guarantee (and the content hash with it). Refuse instead.
-	for _, field := range []string{meta.Kind, meta.Machine, meta.Commit, meta.Experiment} {
+	for _, field := range []string{meta.Kind, meta.Machine, meta.Commit, meta.Experiment, meta.Schema} {
 		if !utf8.ValidString(field) {
 			return buf, fmt.Errorf("perfstore: meta field %q is not valid UTF-8", field)
 		}

@@ -1,0 +1,58 @@
+package perfstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSchemaMetaRoundTrip pins the optional Schema metadata: it survives
+// the record encoding bit-for-bit, and it does not participate in the
+// content hash — the same body with a different schema tag is still the
+// same record identity.
+func TestSchemaMetaRoundTrip(t *testing.T) {
+	body := []byte(`BenchmarkSuite/exp=table2 1 1e9 ns/op` + "\n")
+	meta := Meta{
+		Kind:       "benchfmt",
+		Machine:    "mach-1",
+		Commit:     "abc123",
+		Experiment: "all",
+		Schema:     "go-benchfmt/v1",
+		Time:       42,
+		Bytes:      int64(len(body)),
+	}
+	meta.ID = ContentID(meta.Kind, meta.Machine, meta.Commit, meta.Experiment, body)
+
+	enc, err := encodeRecord([]byte(segMagic), meta, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []scannedRecord
+	if _, err := scanSegment(bytes.NewReader(enc), func(rec scannedRecord) error {
+		got = append(got, scannedRecord{Meta: rec.Meta, Body: append([]byte(nil), rec.Body...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Meta != meta {
+		t.Fatalf("schema lost in round trip: %+v", got)
+	}
+	if got[0].Meta.Schema != "go-benchfmt/v1" {
+		t.Fatalf("schema = %q", got[0].Meta.Schema)
+	}
+
+	// Identity is schema-independent: correcting a tag later must not
+	// mint a new row.
+	other := meta
+	other.Schema = "benchdiff/v1"
+	if ContentID(other.Kind, other.Machine, other.Commit, other.Experiment, body) != meta.ID {
+		t.Error("ContentID changed with schema, want schema excluded from identity")
+	}
+
+	// Invalid UTF-8 in the schema is refused like any other meta field,
+	// protecting the decode-to-identical-meta guarantee.
+	bad := meta
+	bad.Schema = "v1\xff\xfe"
+	if _, err := encodeRecord(nil, bad, body); err == nil {
+		t.Error("encodeRecord accepted non-UTF-8 schema")
+	}
+}
