@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-fmt bench-diff bench-gate experiments perf-smoke fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-fmt bench-diff bench-gate experiments perf-smoke sweep-smoke fmt cover clean
 
 all: build vet test
 
@@ -44,6 +44,9 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/perfstore/perfserver || exit 1; \
 	done
 	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/benchfmt
+	for t in FuzzParseSpec FuzzParseAxis; do \
+		$(GO) test -run '^$$' -fuzz "^$${t}$$" -fuzztime $(FUZZTIME) ./internal/sweep || exit 1; \
+	done
 
 test-short:
 	$(GO) test -short ./...
@@ -56,10 +59,9 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/trace ./internal/sim
 
-# Refresh the per-experiment wall-time/work snapshot used to track the
-# runner's performance. Override BENCH_JSON to write a comparison point
-# instead of the committed baseline.
-BENCH_JSON ?= BENCH_baseline.json
+# Write a legacy single-run benchjson snapshot (the committed baseline is
+# the benchfmt one below; this format remains for tooling interop).
+BENCH_JSON ?= /tmp/bench.json
 bench-json:
 	$(GO) run ./cmd/tcsim -exp all -benchjson $(BENCH_JSON) > /dev/null
 
@@ -76,9 +78,11 @@ bench-fmt:
 # an exit code that fires only on statistically significant regressions
 # past the tolerance floor. Either side accepts a comma-separated list of
 # snapshots; files may be benchfmt (tcsim -benchfmt -count N) or legacy
-# benchjson — every (file, repetition) contributes one sample.
-BENCH_OLD ?= BENCH_pr5.json
-BENCH_NEW ?= BENCH_pr6.json
+# benchjson — every (file, repetition) contributes one sample. Override
+# BENCH_NEW with a fresh `make bench-fmt BENCH_FMT=...` snapshot to gate a
+# change against the committed baseline.
+BENCH_OLD ?= BENCH_baseline.txt
+BENCH_NEW ?= BENCH_baseline.txt
 bench-diff:
 	$(GO) run ./cmd/tcbenchdiff $(BENCH_OLD) $(BENCH_NEW)
 
@@ -101,6 +105,13 @@ experiments:
 # verifies every acknowledged upload survives restart with a clean fsck.
 perf-smoke:
 	$(GO) test -run 'TestE2E' -v ./cmd/tcperf
+
+# The sweep engine smoke: builds the real tcsweep binary, interrupts a
+# checkpointed run with SIGINT and with kill -9, resumes it, requires the
+# resumed frontier report byte-identical to an uninterrupted run, and
+# publishes a sweep/v1 document to a live tcperf server.
+sweep-smoke:
+	$(GO) test -run 'TestE2E' -v ./cmd/tcsweep
 
 fmt:
 	gofmt -w .

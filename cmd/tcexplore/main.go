@@ -12,6 +12,8 @@
 //	tcexplore -w all -sweep predictors
 //	tcexplore -w perl -sweep sites
 //	tcexplore -sites telem.json -top 5
+//	tcexplore -frontier sweep-doc.json
+//	tcexplore -frontier sweep-doc.json -frontier-csv
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -37,8 +40,19 @@ func main() {
 		n     = flag.Int64("n", 1_000_000, "instructions per simulation")
 		sites = flag.String("sites", "", "render the per-site report from this telemetry JSON file (written by tcsim -telemetry) and exit")
 		top   = flag.Int("top", 10, "sites shown per cell in per-site reports (0 = all)")
+
+		frontier    = flag.String("frontier", "", "render the Pareto frontier from this sweep/v1 JSON document (written by tcsweep -doc) and exit")
+		frontierCSV = flag.Bool("frontier-csv", false, "with -frontier: emit every swept point as CSV instead of the frontier tables")
 	)
 	flag.Parse()
+
+	if *frontier != "" {
+		if err := renderFrontierFile(*frontier, *frontierCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *sites != "" {
 		if err := renderSitesFile(*sites, *top); err != nil {
@@ -85,6 +99,25 @@ func main() {
 		os.Exit(2)
 	}
 	t.Render(os.Stdout)
+}
+
+// renderFrontierFile re-renders a sweep/v1 document previously written by
+// tcsweep -doc (or fetched back from a tcperf server), so a recorded
+// design-space sweep can be inspected without re-simulating.
+func renderFrontierFile(path string, asCSV bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := sweep.ParseDocument(data)
+	if err != nil {
+		return fmt.Errorf("tcexplore: %s: %w", path, err)
+	}
+	if asCSV {
+		return doc.WriteCSV(os.Stdout)
+	}
+	doc.Render(os.Stdout)
+	return nil
 }
 
 // renderSitesFile re-renders the per-site report of a telemetry document

@@ -1,0 +1,284 @@
+package main
+
+// End-to-end interrupt/resume and publish campaign against the real
+// tcsweep binary:
+//
+//   - SIGINT drain: the run checkpoints completed shards, exits asking to
+//     be resumed, and the resumed run's report is byte-identical to an
+//     uninterrupted one;
+//   - SIGKILL (kill -9): same contract with no chance to drain — the
+//     atomic manifest protocol alone must carry the run;
+//   - publish: the sweep/v1 document uploads to a live tcperf server,
+//     queries back byte-identical, and parses as a sweep document.
+//
+// CI runs these as the sweep smoke job (make sweep-smoke).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/perfstore"
+	"repro/internal/perfstore/client"
+	"repro/internal/sweep"
+)
+
+// e2eSpec is small enough to finish in well under a second unthrottled,
+// and has enough shards (at -shard 1) to interrupt reliably throttled.
+const e2eSpec = `{
+	"name": "e2e",
+	"budget": 20000,
+	"workloads": ["perl"],
+	"grids": [
+		{"family": "btb", "entries": [1024, 2048], "ways": [4]},
+		{"family": "tagless", "schemes": ["gshare"], "entries": "64..1024*2", "hist_bits": [6, 9]},
+		{"family": "ittage", "entries": [64], "tables": [3]}
+	]
+}`
+
+var binOnce struct {
+	sync.Once
+	tcsweep string
+	tcperf  string
+	err     error
+}
+
+// buildBinaries compiles cmd/tcsweep and cmd/tcperf once per test run.
+func buildBinaries(t *testing.T) (tcsweep, tcperf string) {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "tcsweep-e2e-*")
+		if err != nil {
+			binOnce.err = err
+			return
+		}
+		for _, b := range []struct {
+			name string
+			dst  *string
+		}{
+			{"tcsweep", &binOnce.tcsweep},
+			{"tcperf", &binOnce.tcperf},
+		} {
+			bin := filepath.Join(dir, b.name)
+			out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/"+b.name).CombinedOutput()
+			if err != nil {
+				binOnce.err = fmt.Errorf("go build %s: %v\n%s", b.name, err, out)
+				return
+			}
+			*b.dst = bin
+		}
+	})
+	if binOnce.err != nil {
+		t.Fatal(binOnce.err)
+	}
+	return binOnce.tcsweep, binOnce.tcperf
+}
+
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(e2eSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// referenceRun runs the spec to completion with no manifest and returns
+// the rendered frontier report.
+func referenceRun(t *testing.T, bin, specPath string) []byte {
+	t.Helper()
+	out, err := exec.Command(bin, "-spec", specPath, "-quiet", "-workers", "2").Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return out
+}
+
+// interruptAndResume starts a throttled run, fires sig once the manifest
+// holds at least one shard, waits for the child to die, and returns the
+// manifest path for the resumed run.
+func interruptAndResume(t *testing.T, bin, specPath string, sig syscall.Signal, want []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "sweep.manifest")
+
+	cmd := exec.Command(bin,
+		"-spec", specPath, "-resume", manifest, "-shard", "1",
+		"-throttle", "100ms", "-workers", "2", "-quiet")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first durable checkpoint, then kill mid-run. The
+	// throttle guarantees the run is still in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(manifest); err == nil && bytes.Contains(data, []byte(`"results"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no checkpoint appeared within 10s; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatalf("interrupted run exited 0; stderr:\n%s", stderr.String())
+	}
+	if sig == syscall.SIGINT && !strings.Contains(stderr.String(), "-resume") {
+		t.Errorf("SIGINT drain did not suggest resuming; stderr:\n%s", stderr.String())
+	}
+
+	// The manifest must reject a different spec before the real resume.
+	changed := filepath.Join(dir, "changed.json")
+	if err := os.WriteFile(changed, []byte(strings.Replace(e2eSpec, "20000", "40000", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-spec", changed, "-resume", manifest, "-shard", "1", "-quiet").CombinedOutput()
+	if err == nil || !strings.Contains(string(out), "different sweep") {
+		t.Fatalf("changed spec resumed against old manifest: err=%v out:\n%s", err, out)
+	}
+
+	// Resume at a different worker count; the report must be
+	// byte-identical to the uninterrupted reference.
+	resumeCmd := exec.Command(bin, "-spec", specPath, "-resume", manifest, "-shard", "1", "-workers", "4")
+	var resumedOut, resumedErr bytes.Buffer
+	resumeCmd.Stdout = &resumedOut
+	resumeCmd.Stderr = &resumedErr
+	if err := resumeCmd.Run(); err != nil {
+		t.Fatalf("resume: %v\n%s", err, resumedErr.String())
+	}
+	if !strings.Contains(resumedErr.String(), "resuming:") {
+		t.Errorf("resume did not report recorded shards; stderr:\n%s", resumedErr.String())
+	}
+	if !bytes.Equal(resumedOut.Bytes(), want) {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s",
+			resumedOut.String(), want)
+	}
+}
+
+func TestE2ESigintResume(t *testing.T) {
+	tcsweepBin, _ := buildBinaries(t)
+	specPath := writeSpec(t, t.TempDir())
+	want := referenceRun(t, tcsweepBin, specPath)
+	interruptAndResume(t, tcsweepBin, specPath, syscall.SIGINT, want)
+}
+
+func TestE2EKillNineResume(t *testing.T) {
+	tcsweepBin, _ := buildBinaries(t)
+	specPath := writeSpec(t, t.TempDir())
+	want := referenceRun(t, tcsweepBin, specPath)
+	interruptAndResume(t, tcsweepBin, specPath, syscall.SIGKILL, want)
+}
+
+// TestE2EPublish runs a sweep with -doc and -upload against a live tcperf
+// server, then queries the document back and checks it is byte-identical
+// and parses as sweep/v1.
+func TestE2EPublish(t *testing.T) {
+	tcsweepBin, tcperfBin := buildBinaries(t)
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir)
+
+	// Start tcperf serve on a random port.
+	srv := exec.Command(tcperfBin, "serve", "-dir", filepath.Join(dir, "store"), "-addr", "127.0.0.1:0")
+	stderrPipe, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "tcperf: listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	var baseURL string
+	select {
+	case addr := <-addrCh:
+		baseURL = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("tcperf did not report a listen address")
+	}
+
+	docPath := filepath.Join(dir, "doc.json")
+	out, err := exec.Command(tcsweepBin,
+		"-spec", specPath, "-quiet", "-workers", "2",
+		"-doc", docPath,
+		"-upload", baseURL, "-commit", "e2e-test").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tcsweep upload run: %v\n%s", err, out)
+	}
+	local, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	metas, err := c.Query(ctx, perfstore.Query{Kind: "sweep", Experiment: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 {
+		t.Fatalf("query returned %d sweep records, want 1: %+v", len(metas), metas)
+	}
+	if metas[0].Schema != sweep.DocumentSchema {
+		t.Errorf("stored schema = %q, want %q", metas[0].Schema, sweep.DocumentSchema)
+	}
+	remote, err := c.Record(ctx, metas[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote, local) {
+		t.Error("stored sweep document differs from the local -doc file")
+	}
+	doc, err := sweep.ParseDocument(remote)
+	if err != nil {
+		t.Fatalf("stored document does not parse as sweep/v1: %v", err)
+	}
+	if doc.Name != "e2e" || len(doc.Rows) == 0 {
+		t.Fatalf("stored document lost content: name=%q rows=%d", doc.Name, len(doc.Rows))
+	}
+
+	// Re-uploading the identical document is a no-op on the server.
+	out, err = exec.Command(tcsweepBin,
+		"-spec", specPath, "-quiet", "-workers", "2",
+		"-upload", baseURL, "-commit", "e2e-test").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tcsweep re-upload: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "already uploaded") {
+		t.Errorf("re-upload was not deduplicated:\n%s", out)
+	}
+}

@@ -1,0 +1,265 @@
+// Command tcsweep runs resumable design-space sweeps: it expands a
+// declarative JSON grid spec into (predictor configuration, workload)
+// points, simulates them all with work-stealing parallelism and the
+// shared capture store, and reports the per-workload Pareto frontier of
+// accuracy versus storage bits.
+//
+// Usage:
+//
+//	tcsweep -example > sweep.json
+//	tcsweep -spec sweep.json
+//	tcsweep -spec sweep.json -workers 8 -resume sweep.manifest
+//	tcsweep -spec sweep.json -csv all-points.csv -doc frontier.json
+//	tcsweep -spec sweep.json -doc frontier.json -upload http://host:8344 -commit $(git rev-parse HEAD)
+//	tcsweep -spec sweep.json -expand
+//
+// With -resume, completed shards are checkpointed atomically: an
+// interrupted run — Ctrl-C, SIGTERM, or kill -9 — restarts where it left
+// off, and the final report is byte-identical to an uninterrupted run at
+// any worker count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/perfstore/client"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		specPath = flag.String("spec", "", "grid spec JSON file (\"-\" reads stdin)")
+		example  = flag.Bool("example", false, "print an example grid spec and exit")
+		expand   = flag.Bool("expand", false, "expand the spec, print its points, and exit without simulating")
+		workers  = flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = serial)")
+		shard    = flag.Int("shard", 0, "points per checkpoint shard (default 32)")
+		resume   = flag.String("resume", "", "manifest path: completed shards are recorded there and skipped on restart")
+		csvPath  = flag.String("csv", "", "write every swept point (with frontier flags) as CSV to this file")
+		docPath  = flag.String("doc", "", "write the sweep/v1 result document as JSON to this file")
+		telemOut = flag.String("telemetry", "", "write sweep run metrics as JSON to this file")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		throttle = flag.Duration("throttle", 0, "sleep this long after each completed shard (pacing aid for interrupt/resume exercises)")
+
+		uploadURL = flag.String("upload", "", "tcperf server base URL; uploads the sweep/v1 document after the run")
+		commit    = flag.String("commit", "", "commit id to tag the upload with (required by -upload)")
+		outbox    = flag.String("outbox", "", "spool directory for uploads when the tcperf server is unreachable")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		return 2
+	}
+
+	if *example {
+		fmt.Print(sweep.ExampleSpec)
+		return 0
+	}
+	if *specPath == "" {
+		return fail("tcsweep: -spec is required (try -example for a template); workloads: %v", workload.Names())
+	}
+	if *workers < 0 {
+		return fail("tcsweep: -workers must be non-negative, got %d", *workers)
+	}
+	if *shard < 0 {
+		return fail("tcsweep: -shard must be non-negative, got %d", *shard)
+	}
+	if *uploadURL != "" && *commit == "" {
+		return fail("tcsweep: -upload needs -commit to tag the results")
+	}
+	if *uploadURL == "" && *outbox != "" {
+		return fail("tcsweep: -outbox only makes sense with -upload")
+	}
+
+	var data []byte
+	var err error
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		return fail("tcsweep: %v", err)
+	}
+	spec, err := sweep.ParseSpec(data)
+	if err != nil {
+		return fail("tcsweep: %v", err)
+	}
+
+	if *expand {
+		ex, err := spec.Expand()
+		if err != nil {
+			return fail("tcsweep: %v", err)
+		}
+		for _, p := range ex.Points {
+			fmt.Println(p.Key())
+		}
+		fmt.Fprintf(os.Stderr, "tcsweep: %d points (%d invalid combinations skipped)\n",
+			len(ex.Points), ex.SkippedInvalid)
+		return 0
+	}
+
+	opts := sweep.Options{
+		Workers:      *workers,
+		ShardSize:    *shard,
+		ManifestPath: *resume,
+	}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *throttle > 0 {
+		opts.AfterShard = func(completed, total int) { time.Sleep(*throttle) }
+	}
+
+	// First Ctrl-C or SIGTERM cancels the run context: in-flight shards
+	// stop at the kernels' next poll, clean shards stay recorded in the
+	// manifest, and the process exits asking to be resumed. A second
+	// signal terminates the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	start := time.Now()
+	outcome, err := sweep.Run(ctx, spec, opts)
+	wall := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil && *resume != "" {
+			fmt.Fprintf(os.Stderr, "tcsweep: %v\ntcsweep: rerun with -resume %s to finish\n", err, *resume)
+			return 1
+		}
+		return fail("tcsweep: %v", err)
+	}
+
+	report := outcome.Report()
+	report.Render(os.Stdout)
+
+	if *csvPath != "" {
+		if err := writeFileAtomic(*csvPath, func(w io.Writer) error { return report.WriteCSV(w) }); err != nil {
+			return fail("tcsweep: %v", err)
+		}
+	}
+	var docBytes []byte
+	if *docPath != "" || *uploadURL != "" {
+		docBytes, err = report.Document().Encode()
+		if err != nil {
+			return fail("tcsweep: %v", err)
+		}
+	}
+	if *docPath != "" {
+		if err := writeFileAtomic(*docPath, func(w io.Writer) error {
+			_, werr := w.Write(docBytes)
+			return werr
+		}); err != nil {
+			return fail("tcsweep: %v", err)
+		}
+	}
+
+	if *telemOut != "" {
+		frontier := 0
+		for _, row := range report.Rows {
+			if row.Frontier {
+				frontier++
+			}
+		}
+		replayCalls, captureCount := workload.MemoCounters()
+		metrics := telemetry.NewSweepMetrics(telemetry.SweepInfo{
+			Spec:           spec.Name,
+			Fingerprint:    outcome.Fingerprint,
+			Workers:        *workers,
+			Wall:           wall,
+			Points:         len(outcome.Results),
+			FrontierPoints: frontier,
+			SkippedInvalid: outcome.SkippedInvalid,
+			Shards:         outcome.Shards,
+			ResumedShards:  outcome.ResumedShards,
+			Instructions:   outcome.SimulatedInstructions,
+			MemoCaptures:   captureCount,
+			MemoHits:       replayCalls - captureCount,
+		})
+		if err := writeFileAtomic(*telemOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(metrics)
+		}); err != nil {
+			return fail("tcsweep: %v", err)
+		}
+	}
+
+	if *uploadURL != "" {
+		if err := uploadDoc(*uploadURL, *outbox, *commit, spec.Name, docBytes); err != nil {
+			return fail("tcsweep: upload: %v", err)
+		}
+	}
+	return 0
+}
+
+// uploadDoc ships the sweep/v1 document to a tcperf server, flushing any
+// spooled leftovers first. Content-hash IDs make re-uploading the same
+// sweep a no-op on the server.
+func uploadDoc(baseURL, outbox, commit, specName string, body []byte) error {
+	c, err := client.New(client.Config{BaseURL: baseURL, Outbox: outbox})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if outbox != "" {
+		if sent, remaining, ferr := c.FlushOutbox(ctx); ferr == nil && sent > 0 {
+			fmt.Fprintf(os.Stderr, "tcsweep: flushed %d spooled uploads (%d left)\n", sent, remaining)
+		}
+	}
+	res, err := c.Do(ctx, client.Upload{
+		Kind: "sweep", Machine: client.Fingerprint(), Commit: commit,
+		Experiment: specName, Schema: sweep.DocumentSchema, Body: body,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Spooled:
+		fmt.Fprintf(os.Stderr, "tcsweep: sweep upload spooled to %s (server unreachable)\n", res.SpoolPath)
+	case res.Duplicate:
+		fmt.Fprintf(os.Stderr, "tcsweep: sweep already uploaded (%s)\n", res.ID)
+	default:
+		fmt.Fprintf(os.Stderr, "tcsweep: uploaded sweep as %s\n", res.ID)
+	}
+	return nil
+}
+
+// writeFileAtomic writes via a temp file + rename, so an interrupt or
+// error mid-write never leaves a truncated file at path.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

@@ -1,11 +1,11 @@
 package bench
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -151,32 +151,7 @@ func (g *cellGroup) run() {
 	// cell) so the count depends only on the queue length, never on
 	// scheduling order.
 	g.p.segs = g.p.cellSegments(len(cells))
-	if g.workers <= 1 || len(cells) <= 1 {
-		for i := range cells {
-			g.exec(&cells[i])
-		}
-	} else {
-		workers := g.workers
-		if workers > len(cells) {
-			workers = len(cells)
-		}
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := next.Add(1) - 1
-					if i >= int64(len(cells)) {
-						return
-					}
-					g.exec(&cells[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	pool.Run(g.workers, len(cells), func(i int) { g.exec(&cells[i]) })
 	for i := range cells {
 		if ce := cells[i].st.cerr; ce != nil {
 			g.errs = append(g.errs, ce)
@@ -230,7 +205,7 @@ var (
 )
 
 // RunStats counts simulation work done process-wide; tcsim diffs snapshots
-// around each experiment for its stderr summary and BENCH_baseline.json.
+// around each experiment for its stderr summary and bench snapshots.
 type RunStats struct {
 	// Cells is the number of simulation cells executed.
 	Cells int64

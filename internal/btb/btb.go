@@ -6,6 +6,7 @@ package btb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/trace"
@@ -47,6 +48,26 @@ type Config struct {
 // DefaultConfig returns the paper's baseline BTB geometry.
 func DefaultConfig() Config {
 	return Config{Sets: 256, Ways: 4, Strategy: StrategyDefault}
+}
+
+// CostBits returns the BTB's storage cost in bits, pricing per entry a
+// 32-bit target, a 3-bit branch class, the word-address tag left over
+// after set selection (30 bits minus log2(Sets)), per-way LRU state and a
+// valid bit, plus the 2-bit replacement counter under StrategyTwoBit. The
+// paper treats the BTB as an unpriced baseline; this accounting exists so
+// design-space sweeps can place BTB geometries on the same
+// accuracy-vs-storage axis as the target caches. Sets and Ways must be
+// positive powers of two.
+func (c Config) CostBits() int {
+	tagBits := 30 - bits.TrailingZeros(uint(c.Sets))
+	if tagBits < 0 {
+		tagBits = 0
+	}
+	per := 32 + 3 + tagBits + bits.TrailingZeros(uint(c.Ways)) + 1
+	if c.Strategy == StrategyTwoBit {
+		per += 2
+	}
+	return c.Sets * c.Ways * per
 }
 
 // Entry is the payload stored per BTB entry: the predicted (taken) target,

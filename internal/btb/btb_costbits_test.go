@@ -1,0 +1,27 @@
+package btb
+
+import "testing"
+
+// TestConfigCostBits pins the BTB storage accounting used by the sweep
+// engine's accuracy-vs-storage frontier.
+func TestConfigCostBits(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		// 256 sets: tag 30-8=22; per entry 32+3+22+lru2+valid1 = 60.
+		{"default 256x4", Config{Sets: 256, Ways: 4}, 256 * 4 * 60},
+		// 2-bit strategy adds a 2-bit counter per entry.
+		{"2bit 256x4", Config{Sets: 256, Ways: 4, Strategy: StrategyTwoBit}, 256 * 4 * 62},
+		// 1 set, 1 way: tag 30, no LRU: 32+3+30+0+1 = 66.
+		{"1x1", Config{Sets: 1, Ways: 1}, 66},
+		// Huge set count cannot drive the tag negative.
+		{"deep sets", Config{Sets: 1 << 30, Ways: 1}, 1 << 30 * (32 + 3 + 0 + 0 + 1)},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.CostBits(); got != tt.want {
+			t.Errorf("%s: CostBits = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}

@@ -102,11 +102,15 @@ func (c *Cascaded) Update(pc, hist, target uint64) {
 	*v = target
 }
 
-// CostBits implements TargetCache (32-bit targets plus second-stage
-// accounting).
-func (c *Cascaded) CostBits() int {
-	return c.cfg.Stage1Entries*32 + c.stage2.CostBits()
+// CostBits returns the configuration's storage cost in bits: 32-bit
+// last-target entries in the first stage plus the second stage's tagged
+// accounting.
+func (c CascadedConfig) CostBits() int {
+	return c.Stage1Entries*32 + c.Stage2.CostBits()
 }
+
+// CostBits implements TargetCache via the configuration's accounting.
+func (c *Cascaded) CostBits() int { return c.cfg.CostBits() }
 
 // Reset implements TargetCache.
 func (c *Cascaded) Reset() {

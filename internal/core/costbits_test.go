@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// TestConfigCostBits pins the per-config storage accounting across every
+// predictor family the sweep engine prices. Each expectation is computed
+// from the documented per-entry formula, so a change to the accounting
+// must be deliberate (it shifts every Pareto frontier).
+func TestConfigCostBits(t *testing.T) {
+	tests := []struct {
+		name string
+		bits int
+		want int
+	}{
+		// Tagless: 32 x entries, any scheme.
+		{"tagless GAg 512", TaglessConfig{Entries: 512, Scheme: SchemeGAg}.CostBits(), 32 * 512},
+		{"tagless gshare 64", TaglessConfig{Entries: 64, Scheme: SchemeGshare}.CostBits(), 32 * 64},
+		{"tagless GAs 512", TaglessConfig{Entries: 512, Scheme: SchemeGAs, HistBits: 7, AddrBits: 2}.CostBits(), 32 * 512},
+
+		// Tagged: entries x (32 target + tag + lru + valid). TagBits 0
+		// means a full 32-bit tag; Ways=1 has no LRU bits.
+		{"tagged 256/4w full tag", TaggedConfig{Entries: 256, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9}.CostBits(),
+			256 * (32 + 32 + 2 + 1)},
+		{"tagged 256/1w full tag", TaggedConfig{Entries: 256, Ways: 1, Scheme: SchemeAddress, HistBits: 9}.CostBits(),
+			256 * (32 + 32 + 0 + 1)},
+		{"tagged 512/8w 10-bit tag", TaggedConfig{Entries: 512, Ways: 8, Scheme: SchemeHistoryConcat, HistBits: 16, TagBits: 10}.CostBits(),
+			512 * (32 + 10 + 3 + 1)},
+		{"tagged wide tag clamps to 32", TaggedConfig{Entries: 128, Ways: 2, Scheme: SchemeHistoryXor, HistBits: 9, TagBits: 48}.CostBits(),
+			128 * (32 + 32 + 1 + 1)},
+
+		// Cascaded: 32-bit stage-1 last targets plus the tagged stage 2.
+		{"cascaded default", DefaultCascadedConfig().CostBits(),
+			128*32 + 256*(32+32+2+1)},
+
+		// ITTAGE: 32-bit base table plus per tagged entry
+		// 32 target + tag + 2 conf + 2 useful + 1 valid, per history table.
+		{"ittage default", DefaultITTAGEConfig().CostBits(),
+			256*32 + 5*128*(32+9+2+2+1)},
+		{"ittage 3 tables", ITTAGEConfig{BaseEntries: 128, TableEntries: 64, HistLens: []int{2, 8, 32}, TagBits: 7}.CostBits(),
+			128*32 + 3*64*(32+7+2+2+1)},
+	}
+	for _, tt := range tests {
+		if tt.bits != tt.want {
+			t.Errorf("%s: CostBits = %d, want %d", tt.name, tt.bits, tt.want)
+		}
+	}
+}
+
+// TestInstanceCostBitsMatchesConfig proves the instances delegate to their
+// configs, so pricing a geometry without instantiating it can never drift
+// from what a built predictor reports.
+func TestInstanceCostBitsMatchesConfig(t *testing.T) {
+	tl := TaglessConfig{Entries: 256, Scheme: SchemeGshare}
+	if NewTagless(tl).CostBits() != tl.CostBits() {
+		t.Error("tagless instance CostBits != config CostBits")
+	}
+	tg := TaggedConfig{Entries: 256, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9, TagBits: 12}
+	if NewTagged(tg).CostBits() != tg.CostBits() {
+		t.Error("tagged instance CostBits != config CostBits")
+	}
+	ca := DefaultCascadedConfig()
+	if NewCascaded(ca).CostBits() != ca.CostBits() {
+		t.Error("cascaded instance CostBits != config CostBits")
+	}
+	it := DefaultITTAGEConfig()
+	if NewITTAGE(it).CostBits() != it.CostBits() {
+		t.Error("ittage instance CostBits != config CostBits")
+	}
+}

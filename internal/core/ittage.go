@@ -222,12 +222,16 @@ func (p *ITTAGE) allocate(from int, pc, hist, target uint64) {
 	}
 }
 
-// CostBits implements TargetCache (32-bit targets; tagged entries carry
-// tag + confidence + usefulness + valid).
-func (p *ITTAGE) CostBits() int {
-	per := 32 + p.cfg.TagBits + 2 + 2 + 1
-	return p.cfg.BaseEntries*32 + len(p.tables)*p.cfg.TableEntries*per
+// CostBits returns the configuration's storage cost in bits: a 32-bit
+// last-target base table, and per tagged entry a 32-bit target plus
+// tag + 2-bit confidence + 2-bit usefulness + valid.
+func (c ITTAGEConfig) CostBits() int {
+	per := 32 + c.TagBits + 2 + 2 + 1
+	return c.BaseEntries*32 + len(c.HistLens)*c.TableEntries*per
 }
+
+// CostBits implements TargetCache via the configuration's accounting.
+func (p *ITTAGE) CostBits() int { return p.cfg.CostBits() }
 
 // Reset implements TargetCache.
 func (p *ITTAGE) Reset() {

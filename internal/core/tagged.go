@@ -83,6 +83,19 @@ func (c TaggedConfig) Name() string {
 	return fmt.Sprintf("%s %d-way", c.Scheme, c.Ways)
 }
 
+// CostBits returns the configuration's storage cost in bits: 32 bits of
+// target per entry (the tagless accounting) plus the stored tag, the
+// per-entry LRU state and a valid bit. A pure function of a valid
+// configuration, usable without instantiating the cache.
+func (c TaggedConfig) CostBits() int {
+	tagBits := c.TagBits
+	if tagBits == 0 || tagBits > 32 {
+		tagBits = 32
+	}
+	lruBits := log2(c.Ways)
+	return c.Entries * (32 + tagBits + lruBits + 1)
+}
+
 // Tagged is a tagged target cache (Figure 11): a set-associative cache
 // whose payload is the predicted target address. A tag mismatch produces no
 // prediction instead of another branch's target, trading capacity for the
@@ -161,16 +174,8 @@ func (t *Tagged) Update(pc, hist, target uint64) {
 	*v = target
 }
 
-// CostBits implements TargetCache: 32 bits of target per entry, as in the
-// tagless accounting, plus the stored tag and LRU state per entry.
-func (t *Tagged) CostBits() int {
-	tagBits := t.cfg.TagBits
-	if tagBits == 0 || tagBits > 32 {
-		tagBits = 32
-	}
-	lruBits := log2(t.cfg.Ways)
-	return t.cfg.Entries * (32 + tagBits + lruBits + 1)
-}
+// CostBits implements TargetCache via the configuration's accounting.
+func (t *Tagged) CostBits() int { return t.cfg.CostBits() }
 
 // Reset implements TargetCache.
 func (t *Tagged) Reset() { t.c.Reset() }

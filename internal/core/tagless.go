@@ -74,6 +74,12 @@ func (c TaglessConfig) Validate() error {
 	return nil
 }
 
+// CostBits returns the configuration's storage cost in bits under the
+// paper's accounting of 32 bits per entry ("target cache(n) = 32 x n
+// bits"); it is a pure function of the configuration so design-space
+// sweeps can price a geometry without instantiating it.
+func (c TaglessConfig) CostBits() int { return 32 * c.Entries }
+
 // Tagless is a tagless target cache (Figure 10): a flat table of target
 // addresses selected by a hash of fetch address and branch history.
 // Interference between branches that alias to the same entry is possible
@@ -128,9 +134,8 @@ func (t *Tagless) Update(pc, hist, target uint64) {
 	t.table[t.index(pc, hist)] = target
 }
 
-// CostBits implements TargetCache using the paper's accounting of 32 bits
-// per entry ("target cache(n) = 32 x n bits").
-func (t *Tagless) CostBits() int { return 32 * t.cfg.Entries }
+// CostBits implements TargetCache via the configuration's accounting.
+func (t *Tagless) CostBits() int { return t.cfg.CostBits() }
 
 // Reset implements TargetCache.
 func (t *Tagless) Reset() {

@@ -393,6 +393,10 @@ func validHash(id string) bool {
 // default; a schema with the "go-benchfmt/" prefix declares the standard
 // Go benchmark TEXT format instead, which only has to be non-empty valid
 // UTF-8 (so stored snapshots always render as text when queried back).
+// A schema with the "sweep/" prefix declares a tcsweep design-space
+// document, which must be JSON whose top-level schema field matches the
+// declared schema — a mislabelled sweep is rejected at the door rather
+// than discovered by the first query that tries to parse it.
 func validateBody(meta perfstore.Meta, body []byte) error {
 	if len(body) == 0 {
 		return errors.New("body must be non-empty")
@@ -400,6 +404,18 @@ func validateBody(meta perfstore.Meta, body []byte) error {
 	if strings.HasPrefix(meta.Schema, "go-benchfmt/") {
 		if !utf8.Valid(body) {
 			return errors.New("benchfmt body must be valid UTF-8 text")
+		}
+		return nil
+	}
+	if strings.HasPrefix(meta.Schema, "sweep/") {
+		var doc struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return errors.New("sweep body must be a JSON document")
+		}
+		if doc.Schema != meta.Schema {
+			return fmt.Errorf("sweep body declares schema %q but the upload declares %q", doc.Schema, meta.Schema)
 		}
 		return nil
 	}

@@ -1,0 +1,53 @@
+// Package pool is the bounded worker pool shared by the experiment suite's
+// cell scheduler and the design-space sweep engine.
+//
+// The pool is a work-stealing loop in its simplest form: items live in a
+// virtual queue addressed by index, and every worker claims the next
+// unclaimed index with one atomic increment. A worker that finishes a cheap
+// item immediately steals the next pending one, so long-running items never
+// leave the rest of the queue idle behind a static partition. Claim order is
+// queue order, which keeps schedules deterministic enough for callers that
+// render results positionally (byte-identical output at any worker count).
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every i in [0, n), running at most workers calls
+// concurrently, and returns when all calls have finished. workers <= 1 (or
+// n <= 1) degenerates to a serial loop on the calling goroutine, so
+// single-worker runs have no scheduling overhead and trivially reproduce
+// queue order. fn must contain its own panics: a panic escaping fn on a
+// pooled worker crashes the process, exactly as `go fn()` would.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// diffSpec is the differential-test grid: at least one point per
+// predictor family, two workloads, small budget.
+const diffSpec = `{
+	"name": "differential",
+	"budget": 30000,
+	"workloads": ["perl", "gcc"],
+	"grids": [
+		{"family": "btb", "schemes": ["default", "2bit"], "entries": [1024], "ways": [4]},
+		{"family": "tagless", "schemes": ["gag", "gshare"], "entries": [512], "hist_bits": [9]},
+		{"family": "tagged", "schemes": ["xor"], "entries": [256], "ways": [4], "hist_bits": [9], "tag_bits": [32], "history": ["pattern", "path-indjmp"]},
+		{"family": "cascaded", "entries": [256], "ways": [4], "hist_bits": [9]},
+		{"family": "ittage", "entries": [128], "tables": [5]}
+	]
+}`
+
+// TestDifferentialAgainstDirectSim pins the sweep engine bit-for-bit to
+// direct single-config simulation: for every point, at worker counts 1
+// and 8, the engine's counts must equal what sim.RunAccuracy reports for
+// a freshly built config over a fresh streaming trace source. This is the
+// harness that keeps the batched, memoized, work-stolen sweep path honest
+// against the reference path.
+func TestDifferentialAgainstDirectSim(t *testing.T) {
+	spec, err := ParseSpec([]byte(diffSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Points) < 8 {
+		t.Fatalf("differential grid too small: %d points", len(ex.Points))
+	}
+
+	direct := make([]Result, len(ex.Points))
+	for i, p := range ex.Points {
+		w, err := workload.ByName(p.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := p.SimConfig()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Key(), err)
+		}
+		// The reference path: a fresh looping VM source through the
+		// streaming kernel, no memo, no batching, no pool.
+		res := sim.RunAccuracy(w, spec.Budget, cfg)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", p.Key(), res.Err)
+		}
+		bits, err := p.StorageBits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[i] = Result{
+			Point:        p,
+			StorageBits:  bits,
+			Instructions: res.Instructions,
+			Branches:     res.Branches,
+			Indirect:     res.Indirect.Predictions,
+			IndirectMiss: res.Indirect.Mispredicts,
+			Overall:      res.Overall.Predictions,
+			OverallMiss:  res.Overall.Mispredicts,
+			TCCovered:    res.TCCovered,
+		}
+	}
+
+	for _, workers := range []int{1, 8} {
+		out, err := Run(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out.Results) != len(direct) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out.Results), len(direct))
+		}
+		for i := range direct {
+			if out.Results[i] != direct[i] {
+				t.Errorf("workers=%d point %s:\n sweep  %+v\n direct %+v",
+					workers, direct[i].Point.Key(), out.Results[i], direct[i])
+			}
+		}
+	}
+}
+
+const resumeSpec = `{
+	"name": "resume",
+	"budget": 20000,
+	"workloads": ["perl"],
+	"grids": [
+		{"family": "tagless", "schemes": ["gshare"], "entries": "64..1024*2", "hist_bits": [6, 9]},
+		{"family": "btb", "entries": [1024, 2048], "ways": [4]}
+	]
+}`
+
+func renderAll(t *testing.T, o *Outcome) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	o.Report().Render(&buf)
+	if err := o.Report().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeByteIdentical interrupts a sweep mid-run via context
+// cancellation, resumes it from the manifest, and requires the final
+// frontier report and CSV to be byte-identical to an uninterrupted run —
+// at a different worker count, for good measure.
+func TestResumeByteIdentical(t *testing.T) {
+	spec, err := ParseSpec([]byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: uninterrupted, serial, no manifest.
+	ref, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, ref)
+
+	// Interrupted run: shard size 1 so progress is fine-grained; the
+	// progress hook cancels the context partway through.
+	manifest := filepath.Join(t.TempDir(), "sweep.manifest")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		Workers: 2, ShardSize: 1, ManifestPath: manifest,
+		Log: func(string, ...any) { cancel() },
+	}
+	if _, err := Run(ctx, spec, opts); err == nil {
+		t.Fatal("interrupted run reported success")
+	} else if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// The manifest must hold some but not all shards, recorded cleanly.
+	resumed, err := Run(context.Background(), spec, Options{
+		Workers: 4, ShardSize: 1, ManifestPath: manifest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedShards == 0 {
+		t.Error("resume simulated everything; no shards came from the manifest")
+	}
+	if got := renderAll(t, resumed); !bytes.Equal(got, want) {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", got, want)
+	}
+
+	// A third run resumes everything and touches no simulation.
+	again, err := Run(context.Background(), spec, Options{
+		Workers: 2, ShardSize: 1, ManifestPath: manifest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ResumedShards != again.Shards {
+		t.Errorf("full resume ran %d/%d shards from scratch", again.Shards-again.ResumedShards, again.Shards)
+	}
+	if again.SimulatedInstructions != 0 {
+		t.Errorf("full resume simulated %d instructions", again.SimulatedInstructions)
+	}
+	if got := renderAll(t, again); !bytes.Equal(got, want) {
+		t.Error("fully resumed output differs from uninterrupted run")
+	}
+}
+
+// TestResumeRejectsFingerprintMismatch: a manifest recorded for one sweep
+// must not be consumed by a different one.
+func TestResumeRejectsFingerprintMismatch(t *testing.T) {
+	spec, err := ParseSpec([]byte(resumeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(t.TempDir(), "sweep.manifest")
+	if _, err := Run(context.Background(), spec, Options{Workers: 2, ManifestPath: manifest}); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := *spec
+	changed.Budget = spec.Budget * 2
+	_, err = Run(context.Background(), &changed, Options{Workers: 2, ManifestPath: manifest})
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("budget change: err = %v, want fingerprint-mismatch error", err)
+	}
+
+	// Same spec, different shard size: also a different run shape.
+	_, err = Run(context.Background(), spec, Options{Workers: 2, ShardSize: 4, ManifestPath: manifest})
+	if err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("shard-size change: err = %v, want fingerprint-mismatch error", err)
+	}
+
+	// A corrupt manifest is an error, not silently ignored.
+	if err := os.WriteFile(manifest, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), spec, Options{Workers: 2, ManifestPath: manifest})
+	if err == nil || !strings.Contains(err.Error(), "corrupt manifest") {
+		t.Fatalf("corrupt manifest: err = %v, want corrupt-manifest error", err)
+	}
+}
+
+// TestRunUnknownWorkload: a spec naming a workload the registry does not
+// have fails before any simulation.
+func TestRunUnknownWorkload(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "nope", "budget": 1000, "workloads": ["spice"],
+		"grids": [{"family": "btb"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), spec, Options{}); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("err = %v, want unknown-workload error", err)
+	}
+}
+
+// TestStorageBitsAcrossFamilies pins the cross-family pricing rule:
+// btb-family points are priced as their own geometry, target-cache
+// points as baseline BTB plus the cache.
+func TestStorageBitsAcrossFamilies(t *testing.T) {
+	baseline := 256 * 4 * (32 + 3 + 22 + 2 + 1) // default 256x4 BTB
+	tests := []struct {
+		p    Point
+		want int
+	}{
+		{Point{Workload: "perl", Family: "btb", Scheme: "default", Entries: 1024, Ways: 4}, baseline},
+		{Point{Workload: "perl", Family: "btb", Scheme: "2bit", Entries: 1024, Ways: 4}, 256 * 4 * (32 + 3 + 22 + 2 + 1 + 2)},
+		{Point{Workload: "perl", Family: "tagless", Scheme: "gshare", Entries: 512, HistBits: 9, History: "pattern"}, baseline + 512*32},
+		{Point{Workload: "perl", Family: "tagged", Scheme: "xor", Entries: 256, Ways: 4, HistBits: 9, TagBits: 32, History: "pattern"}, baseline + 256*(32+32+2+1)},
+		{Point{Workload: "perl", Family: "cascaded", Scheme: "filtered", Stage1: 128, Entries: 256, Ways: 4, HistBits: 9, TagBits: 32, History: "pattern"}, baseline + 128*32 + 256*(32+32+2+1)},
+		{Point{Workload: "perl", Family: "ittage", Stage1: 256, Entries: 128, Tables: 5, TagBits: 9, HistBits: 64, History: "pattern"}, baseline + 256*32 + 5*128*(32+9+2+2+1)},
+	}
+	for _, tt := range tests {
+		got, err := tt.p.StorageBits()
+		if err != nil {
+			t.Errorf("%s: %v", tt.p.Key(), err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("%s: StorageBits = %d, want %d", tt.p.Key(), got, tt.want)
+		}
+	}
+}
