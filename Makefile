@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-fmt bench-diff bench-gate experiments perf-smoke sweep-smoke fmt cover clean
+.PHONY: all build vet test test-short race fault fuzz bench bench-smoke bench-json bench-fmt bench-diff bench-gate bench-sweep experiments perf-smoke sweep-smoke fmt cover clean
 
 all: build vet test
 
@@ -95,6 +95,20 @@ bench-gate:
 	/tmp/tcsim -exp table2 -n 300000 -count 5 -warmup 1 -benchfmt /tmp/bench-old.txt -quiet > /dev/null
 	/tmp/tcsim -exp table2 -n 300000 -count 5 -warmup 1 -benchfmt /tmp/bench-new.txt -quiet > /dev/null
 	/tmp/tcbenchdiff -tolerance 0.05 /tmp/bench-old.txt /tmp/bench-new.txt
+
+# Sweep wall-clock snapshot in the standard benchmark format: 5 recorded
+# reps (after one warm-up) of the 568-point smoke grid, serial workers so
+# the number measures the replay kernel rather than the scheduler.
+# Committed baselines: BENCH_sweep.txt (auto gang width) and
+# BENCH_sweep_direct.txt (SWEEP_GANG=1, fusion off). Diff them with
+#   make bench-diff BENCH_OLD=BENCH_sweep_direct.txt BENCH_NEW=BENCH_sweep.txt
+# to see the fusion win, or regenerate one side to significance-gate a
+# sweep-performance change like the suite's bench-gate.
+BENCH_SWEEP ?= BENCH_sweep.txt
+SWEEP_GANG ?= 0
+bench-sweep:
+	$(GO) build -o /tmp/tcsweep ./cmd/tcsweep
+	/tmp/tcsweep -spec sweep_smoke.json -workers 1 -gang $(SWEEP_GANG) -count 5 -warmup 1 -benchfmt $(BENCH_SWEEP) -quiet > /dev/null
 
 # Regenerate every paper table and figure at full budgets.
 experiments:

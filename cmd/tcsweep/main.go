@@ -4,6 +4,10 @@
 // shared capture store, and reports the per-workload Pareto frontier of
 // accuracy versus storage bits.
 //
+// Points sharing a workload and history scheme are fused into gangs: one
+// trace pass updates up to -gang predictor instances in lockstep, with
+// results byte-identical to per-point simulation at any width.
+//
 // Usage:
 //
 //	tcsweep -example > sweep.json
@@ -12,11 +16,14 @@
 //	tcsweep -spec sweep.json -csv all-points.csv -doc frontier.json
 //	tcsweep -spec sweep.json -doc frontier.json -upload http://host:8344 -commit $(git rev-parse HEAD)
 //	tcsweep -spec sweep.json -expand
+//	tcsweep -spec sweep.json -gang 8 -benchfmt sweep.txt -count 5 -warmup 1
 //
 // With -resume, completed shards are checkpointed atomically: an
 // interrupted run — Ctrl-C, SIGTERM, or kill -9 — restarts where it left
 // off, and the final report is byte-identical to an uninterrupted run at
-// any worker count.
+// any worker count. -expand prints the planned gang grouping alongside
+// the point list, so the memory footprint of a gang width is predictable
+// before simulating.
 package main
 
 import (
@@ -28,9 +35,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/perfstore/client"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -49,11 +59,16 @@ func run() int {
 		workers  = flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = serial)")
 		shard    = flag.Int("shard", 0, "points per checkpoint shard (default 32)")
 		resume   = flag.String("resume", "", "manifest path: completed shards are recorded there and skipped on restart")
+		gang     = flag.Int("gang", 0, "points fused per trace pass (0 = auto width from a memory budget, 1 = no fusion)")
 		csvPath  = flag.String("csv", "", "write every swept point (with frontier flags) as CSV to this file")
 		docPath  = flag.String("doc", "", "write the sweep/v1 result document as JSON to this file")
 		telemOut = flag.String("telemetry", "", "write sweep run metrics as JSON to this file")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines on stderr")
 		throttle = flag.Duration("throttle", 0, "sleep this long after each completed shard (pacing aid for interrupt/resume exercises)")
+
+		benchFmt = flag.String("benchfmt", "", "write per-rep sweep wall time in the standard Go benchmark format to this file")
+		count    = flag.Int("count", 1, "repetitions of the whole sweep; each rep adds one result line to -benchfmt")
+		warmup   = flag.Int("warmup", 0, "unrecorded warm-up repetitions before the -count recorded ones (prime capture memos)")
 
 		uploadURL = flag.String("upload", "", "tcperf server base URL; uploads the sweep/v1 document after the run")
 		commit    = flag.String("commit", "", "commit id to tag the upload with (required by -upload)")
@@ -78,6 +93,21 @@ func run() int {
 	}
 	if *shard < 0 {
 		return fail("tcsweep: -shard must be non-negative, got %d", *shard)
+	}
+	if *gang < 0 {
+		return fail("tcsweep: -gang must be non-negative, got %d", *gang)
+	}
+	if *count < 1 {
+		return fail("tcsweep: -count must be at least 1, got %d", *count)
+	}
+	if *warmup < 0 {
+		return fail("tcsweep: -warmup must be non-negative, got %d", *warmup)
+	}
+	if (*count > 1 || *warmup > 0) && *benchFmt == "" {
+		return fail("tcsweep: -count/-warmup only make sense with -benchfmt")
+	}
+	if *benchFmt != "" && *resume != "" {
+		return fail("tcsweep: -benchfmt repetitions cannot be combined with -resume (resumed reps would skip the simulation being timed)")
 	}
 	if *uploadURL != "" && *commit == "" {
 		return fail("tcsweep: -upload needs -commit to tag the results")
@@ -111,6 +141,7 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "tcsweep: %d points (%d invalid combinations skipped)\n",
 			len(ex.Points), ex.SkippedInvalid)
+		printGangPlan(ex.Points, *shard, *gang)
 		return 0
 	}
 
@@ -118,6 +149,7 @@ func run() int {
 		Workers:      *workers,
 		ShardSize:    *shard,
 		ManifestPath: *resume,
+		GangWidth:    *gang,
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {
@@ -139,15 +171,30 @@ func run() int {
 		stop()
 	}()
 
-	start := time.Now()
-	outcome, err := sweep.Run(ctx, spec, opts)
-	wall := time.Since(start)
-	if err != nil {
-		if ctx.Err() != nil && *resume != "" {
-			fmt.Fprintf(os.Stderr, "tcsweep: %v\ntcsweep: rerun with -resume %s to finish\n", err, *resume)
-			return 1
+	// -count reruns the whole sweep, each rep an independent wall-clock
+	// sample for tcbenchdiff's significance tests, after -warmup
+	// unrecorded reps have primed the capture memos. Results are
+	// deterministic, so every rep's outcome is identical; only the
+	// recorded timings vary.
+	var (
+		outcome *sweep.Outcome
+		wall    time.Duration
+		walls   []time.Duration
+	)
+	for rep := 1 - *warmup; rep <= *count; rep++ {
+		start := time.Now()
+		outcome, err = sweep.Run(ctx, spec, opts)
+		wall = time.Since(start)
+		if err != nil {
+			if ctx.Err() != nil && *resume != "" {
+				fmt.Fprintf(os.Stderr, "tcsweep: %v\ntcsweep: rerun with -resume %s to finish\n", err, *resume)
+				return 1
+			}
+			return fail("tcsweep: %v", err)
 		}
-		return fail("tcsweep: %v", err)
+		if rep >= 1 {
+			walls = append(walls, wall)
+		}
 	}
 
 	report := outcome.Report()
@@ -174,6 +221,12 @@ func run() int {
 		}
 	}
 
+	if *benchFmt != "" {
+		if err := writeBenchFmt(*benchFmt, spec.Name, spec.Budget, *gang, *workers, *commit, walls, outcome); err != nil {
+			return fail("tcsweep: %v", err)
+		}
+	}
+
 	if *telemOut != "" {
 		frontier := 0
 		for _, row := range report.Rows {
@@ -195,6 +248,11 @@ func run() int {
 			Instructions:   outcome.SimulatedInstructions,
 			MemoCaptures:   captureCount,
 			MemoHits:       replayCalls - captureCount,
+			GangWidth:      *gang,
+			FusedGangs:     outcome.FusedGangs,
+			FusedPoints:    outcome.FusedPoints,
+			DirectPoints:   outcome.DirectPoints,
+			GangFallbacks:  outcome.GangFallbacks,
 		})
 		if err := writeFileAtomic(*telemOut, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
@@ -211,6 +269,80 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// printGangPlan summarizes the planned gang grouping on stderr: trace
+// passes per workload, gang-width distribution, and the largest gang's
+// predictor-state footprint, so the memory cost of a width is visible
+// before anything simulates.
+func printGangPlan(points []sweep.Point, shardSize, width int) {
+	plans := sweep.PlanGangs(points, shardSize, width)
+	mode := fmt.Sprintf("width %d", width)
+	if width == 0 {
+		mode = "auto width"
+	}
+	fmt.Fprintf(os.Stderr, "tcsweep: gang plan (%s):\n", mode)
+	for _, pl := range plans {
+		widths := make([]int, 0, len(pl.Gangs))
+		for w := range pl.Gangs {
+			widths = append(widths, w)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(widths)))
+		var parts []string
+		for _, w := range widths {
+			parts = append(parts, fmt.Sprintf("%dx%d-point", pl.Gangs[w], w))
+		}
+		fmt.Fprintf(os.Stderr, "tcsweep:   %-8s %4d points in %4d passes (%s), peak gang state %s\n",
+			pl.Workload, pl.Points, pl.Passes, strings.Join(parts, ", "), formatBytes(pl.MaxStateBytes))
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// writeBenchFmt writes one benchfmt result line per recorded rep:
+// wall-clock as ns/op plus the run's work and amortization counters. The
+// benchmark name carries only the spec, so snapshots taken at different
+// gang widths diff cleanly under tcbenchdiff; the width lands in the
+// file-level config lines.
+func writeBenchFmt(path, specName string, budget int64, gang, workers int, commit string, walls []time.Duration, outcome *sweep.Outcome) error {
+	return writeFileAtomic(path, func(out io.Writer) error {
+		cfg := []benchfmt.Config{
+			{Key: "suite", Value: "tcsweep"},
+			{Key: "gang-width", Value: fmt.Sprint(gang)},
+			{Key: "workers", Value: fmt.Sprint(workers)},
+			{Key: "budget", Value: fmt.Sprint(budget)},
+		}
+		if commit != "" {
+			cfg = append(cfg, benchfmt.Config{Key: "commit", Value: commit})
+		}
+		w := benchfmt.NewWriter(out)
+		passes := outcome.FusedGangs + outcome.DirectPoints
+		for _, wall := range walls {
+			res := benchfmt.Result{
+				FullName: "BenchmarkSweep/exp=sweep-" + specName,
+				Iters:    1,
+				Values: []benchfmt.Value{
+					{Value: float64(wall.Nanoseconds()), Unit: "ns/op"},
+					{Value: float64(len(outcome.Results)), Unit: "points/op"},
+					{Value: float64(passes), Unit: "passes/op"},
+					{Value: float64(outcome.SimulatedInstructions), Unit: "instrs/op"},
+				},
+				Config: cfg,
+			}
+			if err := w.Write(&res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // uploadDoc ships the sweep/v1 document to a tcperf server, flushing any

@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+// The gang planner divides a memory budget by ApproxStateBytes, so the
+// estimates must be positive and grow with the geometry axes.
+func TestApproxStateBytes(t *testing.T) {
+	if got := (TaglessConfig{Entries: 512}).ApproxStateBytes(); got != 512*8 {
+		t.Errorf("tagless 512 = %d bytes, want %d", got, 512*8)
+	}
+	small := TaggedConfig{Entries: 256, Ways: 4, Scheme: SchemeHistoryXor, HistBits: 9, TagBits: 32}
+	big := small
+	big.Entries *= 4
+	if s, b := small.ApproxStateBytes(), big.ApproxStateBytes(); s <= 0 || b != 4*s {
+		t.Errorf("tagged scaling: %d entries = %d bytes, %d entries = %d bytes", small.Entries, s, big.Entries, b)
+	}
+	ca := DefaultCascadedConfig()
+	if got := ca.ApproxStateBytes(); got != int64(ca.Stage1Entries)*32+ca.Stage2.ApproxStateBytes() {
+		t.Errorf("cascaded = %d bytes, want stage1 + stage2 sum", got)
+	}
+	it := DefaultITTAGEConfig()
+	wider := it
+	wider.TableEntries *= 2
+	if s, w := it.ApproxStateBytes(), wider.ApproxStateBytes(); s <= 0 || w <= s {
+		t.Errorf("ittage estimate not monotone in table entries: %d -> %d", s, w)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -37,6 +38,10 @@ type Plan struct {
 	// PanicCells panics on entry to each listed cell; keys are full cell
 	// labels ("experiment/workload/config"), values the panic message.
 	PanicCells map[string]string
+	// PanicPoints panics just before each listed sweep point simulates
+	// (inside the sweep engine's per-unit recover scope); keys are point
+	// keys ("workload/config-label"), values the panic message.
+	PanicPoints map[string]string
 	// DelayCells sleeps before each listed cell runs, reshuffling worker
 	// scheduling without changing results.
 	DelayCells map[string]time.Duration
@@ -67,6 +72,7 @@ func (p *Plan) hit(what string) {
 }
 
 // Install activates the plan: cell faults through bench.TestCellHook,
+// sweep-point faults through sweep.TestPointHook,
 // capture faults through workload.TestCaptureTransform. It resets the
 // workload memo so already-captured healthy replays are re-captured under
 // the transform. The returned restore function removes the hooks and
@@ -74,8 +80,15 @@ func (p *Plan) hit(what string) {
 // Plans must not be installed concurrently.
 func (p *Plan) Install() (restore func()) {
 	prevHook := bench.TestCellHook
+	prevPointHook := sweep.TestPointHook
 	prevTransform := workload.TestCaptureTransform
 
+	sweep.TestPointHook = func(key string) {
+		if msg, ok := p.PanicPoints[key]; ok {
+			p.hit("point:" + key)
+			panic(msg)
+		}
+	}
 	bench.TestCellHook = func(label string) {
 		if msg, ok := p.PanicCells[label]; ok {
 			p.hit(label)
@@ -112,6 +125,7 @@ func (p *Plan) Install() (restore func()) {
 
 	return func() {
 		bench.TestCellHook = prevHook
+		sweep.TestPointHook = prevPointHook
 		workload.TestCaptureTransform = prevTransform
 		workload.ResetMemo()
 	}

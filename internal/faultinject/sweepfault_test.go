@@ -1,0 +1,65 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+const sweepFaultSpec = `{
+	"name": "fault",
+	"budget": 20000,
+	"workloads": ["perl"],
+	"grids": [
+		{"family": "btb", "entries": [1024], "ways": [4]},
+		{"family": "tagless", "schemes": ["gshare"], "entries": [64, 128, 256, 512], "hist_bits": [9]}
+	]
+}`
+
+// TestSweepSurvivesPanickingPoint drives the sweep engine's robustness
+// contract through the fault plan: a point that panics mid-sweep (fused
+// or direct) surfaces as a structured PointError naming the point — the
+// process survives, and with a manifest the healthy shards stay
+// checkpointed for resume.
+func TestSweepSurvivesPanickingPoint(t *testing.T) {
+	spec, err := sweep.ParseSpec([]byte(sweepFaultSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = "perl/tagless-gshare-e256-h9-pattern"
+	plan := &Plan{PanicPoints: map[string]string{victim: "injected sweep fault"}}
+	restore := plan.Install()
+	defer restore()
+
+	for _, width := range []int{1, 0} {
+		_, err := sweep.Run(context.Background(), spec, sweep.Options{Workers: 2, GangWidth: width})
+		if err == nil {
+			t.Fatalf("gang=%d: sweep survived the fault without reporting it", width)
+		}
+		var pe *sweep.PointError
+		if !errors.As(err, &pe) {
+			t.Fatalf("gang=%d: error is not a PointError: %v", width, err)
+		}
+		if !strings.Contains(err.Error(), "injected sweep fault") || !strings.Contains(err.Error(), victim) {
+			t.Errorf("gang=%d: error does not name the fault and point: %v", width, err)
+		}
+	}
+	hits := plan.Triggered()
+	if len(hits) < 2 {
+		t.Fatalf("fault fired %d times %v, want once per run", len(hits), hits)
+	}
+	for _, h := range hits {
+		if h != "point:"+victim {
+			t.Errorf("unexpected fault hit %q", h)
+		}
+	}
+
+	// The uninstalled plan leaves the sweep healthy.
+	restore()
+	if _, err := sweep.Run(context.Background(), spec, sweep.Options{Workers: 2}); err != nil {
+		t.Fatalf("sweep after restore: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -27,6 +28,81 @@ func TestRunSerialPreservesOrder(t *testing.T) {
 		if v != i {
 			t.Fatalf("serial order[%d] = %d, want %d", i, v, i)
 		}
+	}
+}
+
+// TestRunZeroItems: an empty queue returns immediately without invoking
+// fn, at any worker count (including degenerate ones).
+func TestRunZeroItems(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 8} {
+		calls := 0
+		Run(workers, 0, func(i int) { calls++ })
+		if calls != 0 {
+			t.Fatalf("workers=%d n=0: fn called %d times", workers, calls)
+		}
+		Run(workers, -3, func(i int) { calls++ })
+		if calls != 0 {
+			t.Fatalf("workers=%d n=-3: fn called %d times", workers, calls)
+		}
+	}
+}
+
+// TestRunSingleWorkerStaysOnCaller: workers <= 1 must run every item on
+// the calling goroutine — callers rely on this for zero-overhead serial
+// runs (and it is what makes single-worker schedules trivially
+// deterministic).
+func TestRunSingleWorkerStaysOnCaller(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1} {
+		caller := goroutineID(t)
+		Run(workers, 5, func(i int) {
+			if got := goroutineID(t); got != caller {
+				t.Fatalf("workers=%d: item %d ran on goroutine %s, caller is %s", workers, i, got, caller)
+			}
+		})
+	}
+}
+
+// goroutineID extracts the current goroutine's id from a stack header;
+// test-only introspection.
+func goroutineID(t *testing.T) string {
+	t.Helper()
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	// The header is "goroutine N [state]:..."; the id ends at the second
+	// space.
+	fields := strings.Fields(string(buf))
+	if len(fields) < 2 {
+		t.Fatalf("unparseable stack header %q", buf)
+	}
+	return fields[1]
+}
+
+// TestRunMoreWorkersThanItems: worker count far above the item count must
+// still execute every item exactly once and spawn no more goroutines than
+// items (observable as peak concurrency <= n).
+func TestRunMoreWorkersThanItems(t *testing.T) {
+	const n = 3
+	hits := make([]atomic.Int32, n)
+	var cur, peak atomic.Int32
+	Run(64, n, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		hits[i].Add(1)
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times, want 1", i, got)
+		}
+	}
+	if p := peak.Load(); p > n {
+		t.Fatalf("observed %d concurrent calls over %d items", p, n)
 	}
 }
 

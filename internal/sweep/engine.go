@@ -58,6 +58,13 @@ type Options struct {
 	// recorded there atomically, and a later run with the same spec and
 	// shard size skips them. Empty disables checkpointing.
 	ManifestPath string
+	// GangWidth bounds how many points one fused trace pass updates:
+	// 0 picks a width per gang automatically from a memory budget, 1
+	// disables fusion (every point runs its own pass), higher values force
+	// that width. Results are byte-identical at any width — the gang
+	// kernel is equivalence-pinned against per-point simulation — so the
+	// width, like the worker count, is absent from the resume fingerprint.
+	GangWidth int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 	// AfterShard, when non-nil, runs after each shard completes (and its
@@ -97,7 +104,17 @@ type Outcome struct {
 	// SimulatedInstructions counts instructions simulated by this run
 	// (resumed shards contribute nothing).
 	SimulatedInstructions int64
+	// FusedGangs/FusedPoints count fused trace passes this run made and
+	// the points simulated inside them; DirectPoints ran one pass each
+	// (btb-family points, gang width 1, singleton groups, or fallbacks);
+	// GangFallbacks counts gangs the fused kernel refused and the engine
+	// re-ran per point. FusedPoints - FusedGangs is the passes avoided.
+	FusedGangs, FusedPoints, DirectPoints, GangFallbacks int64
 }
+
+// PassesAvoided reports the trace passes a per-point sweep would have
+// made that fusion did not.
+func (o *Outcome) PassesAvoided() int64 { return o.FusedPoints - o.FusedGangs }
 
 // Fingerprint identifies the run shape a manifest's recorded shards are
 // valid for: a digest of the canonical spec JSON plus the shard size.
@@ -258,11 +275,12 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Outcome, error) {
 	}
 
 	var (
-		mu      sync.Mutex // guards man, saveErr, runErr, comp, instrs
+		mu      sync.Mutex // guards man, saveErr, runErr, comp, instrs, units
 		saveErr error
 		runErr  error
 		comp    int
 		instrs  int64
+		units   unitCounters
 	)
 	pool.Run(opts.Workers, nShards, func(si int) {
 		if done[si] || ctx.Err() != nil {
@@ -276,15 +294,15 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Outcome, error) {
 		}
 		lo := si * shardSize
 		hi := lo + shardLen(n, shardSize, si)
-		shard := make([]Result, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			p := ex.Points[i]
-			r, err := runPoint(ctx, workloads[p.Workload], p, spec.Budget)
+		shard := make([]Result, hi-lo)
+		var uc unitCounters
+		for _, unit := range planUnits(ex.Points, lo, hi, opts.GangWidth) {
+			rs, key, err := runUnit(ctx, workloads[ex.Points[unit[0]].Workload], ex.Points, unit, spec.Budget, &uc)
 			if err != nil {
 				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 					mu.Lock()
 					if runErr == nil {
-						runErr = fmt.Errorf("sweep: point %s: %w", p.Key(), err)
+						runErr = fmt.Errorf("sweep: point %s: %w", key, err)
 					}
 					mu.Unlock()
 				}
@@ -293,7 +311,11 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Outcome, error) {
 				// re-simulates exactly the unfinished work.
 				return
 			}
-			shard = append(shard, r)
+			// Units place results positionally, so the recorded shard is
+			// byte-identical to a per-point walk at any gang width.
+			for ui, i := range unit {
+				shard[i-lo] = rs[ui]
+			}
 		}
 		copy(results[lo:hi], shard)
 		var shardInstrs int64
@@ -303,6 +325,10 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Outcome, error) {
 		mu.Lock()
 		comp++
 		instrs += shardInstrs
+		units.fusedGangs += uc.fusedGangs
+		units.fusedPoints += uc.fusedPoints
+		units.directPoints += uc.directPoints
+		units.fallbacks += uc.fallbacks
 		completed := comp + resumed
 		if man != nil && saveErr == nil {
 			man.Shards = append(man.Shards, manifestShard{Index: si, Results: shard})
@@ -337,6 +363,10 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Outcome, error) {
 		ResumedShards:         resumed,
 		Shards:                nShards,
 		SimulatedInstructions: instrs,
+		FusedGangs:            units.fusedGangs,
+		FusedPoints:           units.fusedPoints,
+		DirectPoints:          units.directPoints,
+		GangFallbacks:         units.fallbacks,
 	}, nil
 }
 

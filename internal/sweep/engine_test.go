@@ -79,18 +79,35 @@ func TestDifferentialAgainstDirectSim(t *testing.T) {
 		}
 	}
 
-	for _, workers := range []int{1, 8} {
-		out, err := Run(context.Background(), spec, Options{Workers: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if len(out.Results) != len(direct) {
-			t.Fatalf("workers=%d: %d results, want %d", workers, len(out.Results), len(direct))
-		}
-		for i := range direct {
-			if out.Results[i] != direct[i] {
-				t.Errorf("workers=%d point %s:\n sweep  %+v\n direct %+v",
-					workers, direct[i].Point.Key(), out.Results[i], direct[i])
+	// Gang widths: 1 (fusion off), 4, auto (0), and max (every fusable
+	// point of a (workload, history) group in one pass).
+	for _, width := range []int{1, 4, 0, len(ex.Points)} {
+		for _, workers := range []int{1, 8} {
+			out, err := Run(context.Background(), spec, Options{Workers: workers, GangWidth: width})
+			if err != nil {
+				t.Fatalf("gang=%d workers=%d: %v", width, workers, err)
+			}
+			if len(out.Results) != len(direct) {
+				t.Fatalf("gang=%d workers=%d: %d results, want %d", width, workers, len(out.Results), len(direct))
+			}
+			for i := range direct {
+				if out.Results[i] != direct[i] {
+					t.Errorf("gang=%d workers=%d point %s:\n sweep  %+v\n direct %+v",
+						width, workers, direct[i].Point.Key(), out.Results[i], direct[i])
+				}
+			}
+			if out.GangFallbacks != 0 {
+				t.Errorf("gang=%d workers=%d: %d gangs fell back to per-point runs", width, workers, out.GangFallbacks)
+			}
+			if out.FusedPoints+out.DirectPoints != int64(len(direct)) {
+				t.Errorf("gang=%d workers=%d: fused %d + direct %d points, want %d total",
+					width, workers, out.FusedPoints, out.DirectPoints, len(direct))
+			}
+			if width == 1 && out.FusedPoints != 0 {
+				t.Errorf("gang=1 fused %d points; width 1 must run everything direct", out.FusedPoints)
+			}
+			if width != 1 && out.PassesAvoided() == 0 {
+				t.Errorf("gang=%d avoided no passes over this multi-family grid", width)
 			}
 		}
 	}

@@ -22,6 +22,12 @@ type SweepInfo struct {
 	// MemoCaptures and MemoHits describe the trace memo: captures
 	// executed the VM, hits reused a capture.
 	MemoCaptures, MemoHits int64
+	// GangWidth is the configured fusion width (0 = auto, 1 = off).
+	GangWidth int
+	// FusedGangs/FusedPoints count fused trace passes and the points
+	// simulated inside them; DirectPoints ran one pass each; GangFallbacks
+	// counts gangs the fused kernel refused and re-ran per point.
+	FusedGangs, FusedPoints, DirectPoints, GangFallbacks int64
 	// Interrupted marks a sweep cancelled before completing; the manifest
 	// holds the shards that finished.
 	Interrupted bool
@@ -50,6 +56,20 @@ type SweepMetrics struct {
 	// keep this near points/workloads.
 	CaptureAmortization float64 `json:"capture_amortization,omitempty"`
 
+	// Gang fusion counters: how the run's points were scheduled onto
+	// trace passes. GangWidth is the configured width (0 = auto, 1 =
+	// fusion off). FusedGangs passes updated FusedPoints points in
+	// lockstep; DirectPoints took one pass each; GangFallbacks counts
+	// gangs the fused kernel refused to fuse (re-run per point — always 0
+	// unless a fallback condition appears). PassesAvoided is the headline:
+	// trace passes a per-point sweep would have made that fusion did not.
+	GangWidth     int   `json:"gang_width,omitempty"`
+	FusedGangs    int64 `json:"fused_gangs,omitempty"`
+	FusedPoints   int64 `json:"fused_points,omitempty"`
+	DirectPoints  int64 `json:"direct_points,omitempty"`
+	GangFallbacks int64 `json:"gang_fallbacks,omitempty"`
+	PassesAvoided int64 `json:"passes_avoided,omitempty"`
+
 	Interrupted bool `json:"interrupted,omitempty"`
 }
 
@@ -68,6 +88,12 @@ func NewSweepMetrics(info SweepInfo) SweepMetrics {
 		Instructions:   info.Instructions,
 		MemoCaptures:   info.MemoCaptures,
 		MemoHits:       info.MemoHits,
+		GangWidth:      info.GangWidth,
+		FusedGangs:     info.FusedGangs,
+		FusedPoints:    info.FusedPoints,
+		DirectPoints:   info.DirectPoints,
+		GangFallbacks:  info.GangFallbacks,
+		PassesAvoided:  info.FusedPoints - info.FusedGangs,
 		Interrupted:    info.Interrupted,
 	}
 	if info.MemoCaptures > 0 {
